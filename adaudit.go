@@ -1,0 +1,178 @@
+// Package adaudit is the public API of the ad-campaign auditing system
+// reproducing "Independent Auditing of Online Display Advertising
+// Campaigns" (Callejo, Cuevas, Cuevas, Kotila — HotNets 2016).
+//
+// The paper's methodology injects a JavaScript beacon into HTML5
+// display ads; the beacon reports every impression over a WebSocket to
+// a central collector, which derives the facts a vendor cannot forge —
+// client IP, impression timestamp, exposure time — and the resulting
+// dataset lets an advertiser audit brand safety, contextual relevance,
+// publisher popularity, impression quality and fraud exposure
+// independently of the ad network's own reports.
+//
+// A Workspace wires the whole reproduction together from one seed:
+//
+//	ws, err := adaudit.NewWorkspace(adaudit.Options{Seed: 1})
+//	run, err := ws.Run(adnet.PaperCampaigns())
+//	rep, err := run.Audit()
+//	run.WriteReport(os.Stdout, rep) // Tables 1-4, Figures 1-3
+//
+// The pieces compose individually too: beacon.Script generates the
+// embeddable JavaScript for a real campaign, collector.Server terminates
+// real beacon WebSockets, and audit.Auditor analyses any impression
+// store — including one loaded from a snapshot produced elsewhere.
+package adaudit
+
+import (
+	"fmt"
+	"io"
+
+	"adaudit/internal/adnet"
+	"adaudit/internal/audit"
+	"adaudit/internal/campaign"
+	"adaudit/internal/collector"
+	"adaudit/internal/ipmeta"
+	"adaudit/internal/publisher"
+	"adaudit/internal/report"
+	"adaudit/internal/store"
+)
+
+// Options configures a Workspace.
+type Options struct {
+	// Seed drives every stochastic component; equal seeds replay
+	// identical universes, deliveries and datasets.
+	Seed int64
+	// NumPublishers sizes the synthetic inventory (default 150000 — big
+	// enough that most long-tail publishers receive a single impression
+	// per campaign, the regime behind Figure 1's missing-publisher
+	// fractions).
+	NumPublishers int
+	// Policy overrides the ad-network behaviour; nil uses the policy
+	// calibrated to the paper's findings.
+	Policy *adnet.Policy
+	// Secret keys the IP anonymiser; defaults to a seed-derived key.
+	Secret []byte
+	// Loss overrides the measurement-loss model; nil uses the default
+	// calibrated to the paper's 16.5% publisher loss.
+	Loss *campaign.LossModel
+}
+
+// Workspace is a fully wired reproduction environment: synthetic
+// publisher and IP universes, the simulated ad network, the collector
+// and its impression store, and the campaign driver.
+type Workspace struct {
+	Seed       int64
+	Publishers *publisher.Universe
+	IPs        *ipmeta.Universe
+	Network    *adnet.Network
+	Store      *store.Store
+	Collector  *collector.Collector
+	Driver     *campaign.Driver
+}
+
+// NewWorkspace builds the full stack from one seed.
+func NewWorkspace(opts Options) (*Workspace, error) {
+	if opts.NumPublishers == 0 {
+		opts.NumPublishers = 150000
+	}
+	pubs, err := publisher.NewUniverse(publisher.Config{
+		Seed:          opts.Seed,
+		NumPublishers: opts.NumPublishers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adaudit: building publisher universe: %w", err)
+	}
+	ips, err := ipmeta.NewUniverse(ipmeta.UniverseConfig{Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("adaudit: building IP universe: %w", err)
+	}
+	network, err := adnet.New(adnet.Config{
+		Seed:       opts.Seed,
+		Publishers: pubs,
+		IPs:        ips,
+		Policy:     opts.Policy,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adaudit: building ad network: %w", err)
+	}
+	st := store.New()
+	secret := opts.Secret
+	if len(secret) == 0 {
+		secret = []byte(fmt.Sprintf("adaudit-dataset-%d", opts.Seed))
+	}
+	coll, err := collector.New(collector.Config{
+		Store:      st,
+		IPDB:       ips.DB,
+		Classifier: &ipmeta.Classifier{DB: ips.DB, DenyList: ips.DenyList, ManualVerify: ips.ManualVerify},
+		Anonymizer: ipmeta.NewAnonymizer(secret),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adaudit: building collector: %w", err)
+	}
+	loss := campaign.DefaultLossModel()
+	if opts.Loss != nil {
+		loss = *opts.Loss
+	}
+	return &Workspace{
+		Seed:       opts.Seed,
+		Publishers: pubs,
+		IPs:        ips,
+		Network:    network,
+		Store:      st,
+		Collector:  coll,
+		Driver: &campaign.Driver{
+			Network:   network,
+			Collector: coll,
+			Loss:      loss,
+			Seed:      opts.Seed,
+		},
+	}, nil
+}
+
+// Run executes the campaigns end to end: network delivery, beacon
+// replay with measurement loss, collection and storage.
+func (ws *Workspace) Run(cs []adnet.Campaign) (*Run, error) {
+	outcome, err := ws.Driver.RunAll(cs)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{ws: ws, Campaigns: cs, Outcome: outcome}, nil
+}
+
+// Auditor returns an auditor over the workspace's dataset, using the
+// publisher universe as the metadata source (the stand-in for the
+// AdWords placement tool + Alexa lookups the paper performs).
+func (ws *Workspace) Auditor() (*audit.Auditor, error) {
+	return audit.New(ws.Store, audit.UniverseMetadata{Universe: ws.Publishers})
+}
+
+// Run is a completed campaign-set execution.
+type Run struct {
+	ws        *Workspace
+	Campaigns []adnet.Campaign
+	Outcome   *campaign.RunOutcome
+}
+
+// Audit runs the paper's full analysis suite over the dataset.
+func (r *Run) Audit() (*audit.FullReport, error) {
+	auditor, err := r.ws.Auditor()
+	if err != nil {
+		return nil, err
+	}
+	inputs := make([]audit.CampaignInput, 0, len(r.Campaigns))
+	reports := r.Outcome.Reports()
+	for _, c := range r.Campaigns {
+		inputs = append(inputs, audit.CampaignInput{
+			ID:       c.ID,
+			Keywords: c.Keywords,
+			Report:   reports[c.ID],
+		})
+	}
+	return auditor.FullAudit(inputs)
+}
+
+// WriteReport renders every table and figure of the paper's evaluation
+// for this run.
+func (r *Run) WriteReport(w io.Writer, rep *audit.FullReport) error {
+	return report.Full(w, r.Campaigns, rep)
+}

@@ -1,0 +1,101 @@
+// Command adsim runs the paper's 8-campaign workload end to end on the
+// simulated ad network, collects the beacon dataset, and writes the
+// impression snapshot plus the vendor reports for later auditing.
+//
+// Usage:
+//
+//	adsim [-seed N] [-publishers N] [-snapshot imps.jsonl] [-csv imps.csv] [-report]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"adaudit"
+	"adaudit/internal/adnet"
+)
+
+func main() {
+	var (
+		seed        = flag.Int64("seed", 1, "simulation seed (same seed, same dataset)")
+		publishers  = flag.Int("publishers", 150000, "synthetic inventory size")
+		snapshot    = flag.String("snapshot", "", "write the impression dataset (JSON lines) to this path")
+		csvPath     = flag.String("csv", "", "write the impression dataset as CSV to this path")
+		reports     = flag.String("reports", "", "write the vendor reports (JSON) to this path")
+		conversions = flag.String("conversions", "", "write the conversion dataset (JSON lines) to this path")
+		printRep    = flag.Bool("report", true, "print the full audit report (tables 1-4, figures 1-3)")
+	)
+	flag.Parse()
+	if err := run(*seed, *publishers, *snapshot, *csvPath, *reports, *conversions, *printRep); err != nil {
+		fmt.Fprintln(os.Stderr, "adsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversionsPath string, printRep bool) error {
+	ws, err := adaudit.NewWorkspace(adaudit.Options{Seed: seed, NumPublishers: publishers})
+	if err != nil {
+		return err
+	}
+	campaigns := adnet.PaperCampaigns()
+	run, err := ws.Run(campaigns)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "adsim: logged %d impressions across %d campaigns (store: %d publishers)\n",
+		run.Outcome.TotalLogged(), len(campaigns), len(ws.Store.Publishers("")))
+
+	if snapshot != "" {
+		if err := writeTo(snapshot, ws.Store.WriteSnapshot); err != nil {
+			return fmt.Errorf("writing snapshot: %w", err)
+		}
+	}
+	if csvPath != "" {
+		if err := writeTo(csvPath, ws.Store.WriteCSV); err != nil {
+			return fmt.Errorf("writing csv: %w", err)
+		}
+	}
+	if conversionsPath != "" {
+		if err := writeTo(conversionsPath, ws.Store.WriteConversionsSnapshot); err != nil {
+			return fmt.Errorf("writing conversions: %w", err)
+		}
+	}
+	if reportsPath != "" {
+		f, err := os.Create(reportsPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(run.Outcome.Reports()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if printRep {
+		rep, err := run.Audit()
+		if err != nil {
+			return err
+		}
+		return run.WriteReport(os.Stdout, rep)
+	}
+	return nil
+}
+
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adaudit/internal/adnet"
+	"adaudit/internal/store"
+)
+
+func TestRunWritesAllOutputs(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "imps.jsonl")
+	csvPath := filepath.Join(dir, "imps.csv")
+	reports := filepath.Join(dir, "reports.json")
+	convs := filepath.Join(dir, "convs.jsonl")
+
+	// Small universe for test speed; -report=false to skip rendering.
+	if err := run(7, 6000, snap, csvPath, reports, convs, false); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() == 0 {
+		t.Fatal("snapshot empty")
+	}
+	if got := len(st.Campaigns()); got != 8 {
+		t.Fatalf("campaigns in snapshot = %d", got)
+	}
+
+	cf, err := os.Open(convs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = st.ReadConversionsSnapshot(cf)
+	cf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumConversions() == 0 {
+		t.Fatal("no conversions written")
+	}
+
+	rf, err := os.Open(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vendorReports map[string]*adnet.VendorReport
+	err = json.NewDecoder(rf).Decode(&vendorReports)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vendorReports) != 8 {
+		t.Fatalf("vendor reports = %d", len(vendorReports))
+	}
+	for id, rep := range vendorReports {
+		if rep.TotalImpressionsCharged == 0 {
+			t.Fatalf("report %s has no charges", id)
+		}
+	}
+
+	if fi, err := os.Stat(csvPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("csv missing or empty: %v", err)
+	}
+}
+
+func TestRunRejectsBadPath(t *testing.T) {
+	if err := run(1, 6000, "/nonexistent-dir/x.jsonl", "", "", "", false); err == nil {
+		t.Fatal("bad snapshot path accepted")
+	}
+}

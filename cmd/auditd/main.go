@@ -1,0 +1,141 @@
+// Command auditd runs the central beacon collector: the WebSocket
+// endpoint the in-ad JavaScript reports to (§3 of the paper). It
+// terminates beacon connections, derives impression timestamps and
+// exposure times from connection lifetimes, enriches records with IP
+// metadata, anonymises client addresses, and persists the dataset as a
+// JSON-lines snapshot on shutdown (SIGINT/SIGTERM) or periodically.
+//
+// Usage:
+//
+//	auditd [-listen 127.0.0.1:8080] [-snapshot imps.jsonl] [-secret KEY]
+//	       [-flush 30s] [-print-script CAMPAIGN:CREATIVE]
+//
+// With -print-script the daemon prints the embeddable JavaScript tag
+// for the given campaign/creative pair and the running endpoint.
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"adaudit/internal/beacon"
+	"adaudit/internal/collector"
+	"adaudit/internal/ipmeta"
+	"adaudit/internal/store"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:8080", "host:port for the beacon endpoint")
+		snapshot    = flag.String("snapshot", "impressions.jsonl", "dataset snapshot path")
+		secret      = flag.String("secret", "", "IP anonymisation key (default: random per run)")
+		flush       = flag.Duration("flush", 30*time.Second, "snapshot flush interval (0 disables)")
+		printScript = flag.String("print-script", "", "print the beacon JS for CAMPAIGN:CREATIVE and the endpoint")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *listen, *snapshot, *secret, *flush, *printScript, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "auditd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the collector and serves until ctx is cancelled; the final
+// dataset snapshot is written on the way out. Factored from main so the
+// daemon is testable end to end.
+func run(ctx context.Context, listen, snapshotPath, secret string, flush time.Duration, printScript string, out io.Writer) error {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	key := []byte(secret)
+	if len(key) == 0 {
+		key = make([]byte, 32)
+		if _, err := rand.Read(key); err != nil {
+			return fmt.Errorf("generating anonymisation key: %w", err)
+		}
+		logger.Info("generated ephemeral anonymisation key; pseudonyms will not be comparable across runs")
+	}
+
+	st := store.New()
+	coll, err := collector.New(collector.Config{
+		Store:      st,
+		Anonymizer: ipmeta.NewAnonymizer(key),
+		Logger:     logger,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := collector.NewServer(coll, listen)
+	if err != nil {
+		return err
+	}
+	logger.Info("collector listening", "beacon", srv.BeaconURL(), "snapshot", snapshotPath)
+
+	if printScript != "" {
+		campaignID, creativeID, ok := strings.Cut(printScript, ":")
+		if !ok {
+			return fmt.Errorf("-print-script wants CAMPAIGN:CREATIVE, got %q", printScript)
+		}
+		js, err := beacon.Script(beacon.ScriptConfig{
+			CollectorURL: srv.BeaconURL(),
+			CampaignID:   campaignID,
+			CreativeID:   creativeID,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, js)
+	}
+
+	if flush > 0 {
+		go func() {
+			t := time.NewTicker(flush)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := writeSnapshot(st, snapshotPath); err != nil {
+						logger.Error("periodic snapshot failed", "err", err)
+					}
+				}
+			}
+		}()
+	}
+
+	err = srv.Serve(ctx)
+	logger.Info("shutting down", "ingested", coll.Metrics.Ingested.Load(),
+		"rejected", coll.Metrics.Rejected.Load())
+	if werr := writeSnapshot(st, snapshotPath); werr != nil {
+		return fmt.Errorf("final snapshot: %w", werr)
+	}
+	return err
+}
+
+func writeSnapshot(st *store.Store, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := st.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

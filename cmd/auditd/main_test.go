@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"adaudit/internal/beacon"
+	"adaudit/internal/store"
+)
+
+func TestWriteSnapshotAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "imps.jsonl")
+	st := store.New()
+	if _, err := st.Insert(store.Impression{
+		CampaignID: "c", Publisher: "p.es", PageURL: "http://p.es/",
+		UserKey: "u", Timestamp: time.Now(), Exposure: time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshot(st, path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp file left behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	restored, err := store.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 1 {
+		t.Fatalf("restored %d records", restored.Len())
+	}
+	// Overwrites are atomic replacements of the previous snapshot.
+	if _, err := st.Insert(store.Impression{
+		CampaignID: "c", Publisher: "q.es", PageURL: "http://q.es/",
+		UserKey: "u2", Timestamp: time.Now(), Exposure: time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshot(st, path); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	restored, err = store.ReadSnapshot(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 2 {
+		t.Fatalf("second snapshot has %d records", restored.Len())
+	}
+}
+
+func TestWriteSnapshotBadDir(t *testing.T) {
+	if err := writeSnapshot(store.New(), "/nonexistent-dir/x.jsonl"); err == nil {
+		t.Fatal("bad directory accepted")
+	}
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "imps.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", snap, "test-secret", 0, "demo:creative-1", out)
+	}()
+
+	// The daemon prints the beacon script once the listener is up; poll
+	// for the endpoint URL it embeds.
+	var beaconURL string
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := wsURLRe.FindString(out.String()); m != "" {
+			beaconURL = m
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if beaconURL == "" {
+		cancel()
+		t.Fatalf("beacon URL never printed; output: %s", out.String())
+	}
+
+	// Report one impression over a live WebSocket.
+	client := &beacon.Client{CollectorURL: beaconURL}
+	p := beacon.Payload{
+		CampaignID: "demo", CreativeID: "creative-1",
+		PageURL:   "http://publisher.example/page",
+		UserAgent: "Mozilla/5.0 Chrome/49.0",
+	}
+	if err := client.Report(ctx, p, 30*time.Millisecond); err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+
+	// Shut down; the final snapshot must contain the impression.
+	time.Sleep(50 * time.Millisecond) // let the async commit land
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := store.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("snapshot has %d records", st.Len())
+	}
+	im, _ := st.Get(1)
+	if im.CampaignID != "demo" || im.Publisher != "publisher.example" {
+		t.Fatalf("record = %+v", im)
+	}
+}
+
+var wsURLRe = regexp.MustCompile(`ws://[0-9.]+:[0-9]+/beacon`)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing the
+// daemon's output while it runs.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,0 +1,47 @@
+package adaudit_test
+
+import (
+	"fmt"
+	"log"
+
+	"adaudit"
+	"adaudit/internal/adnet"
+	"adaudit/internal/beacon"
+)
+
+// ExampleNewWorkspace reproduces the paper's headline finding end to
+// end: run the Research-010 campaign, audit it, and report how many of
+// its publishers the vendor never disclosed.
+func ExampleNewWorkspace() {
+	ws, err := adaudit.NewWorkspace(adaudit.Options{Seed: 1, NumPublishers: 20000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := ws.Run(adnet.PaperCampaigns()[:1]) // Research-010
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := run.Audit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bs := rep.PerCampaign[0].BrandSafety
+	fmt.Printf("vendor hid %.0f%% of delivering publishers\n",
+		100*bs.FractionUnreported())
+	// Output: vendor hid 46% of delivering publishers
+}
+
+// ExampleScript shows the artifact an advertiser actually ships: the
+// JavaScript beacon pasted into an HTML5 creative.
+func ExampleScript() {
+	js, err := beacon.Script(beacon.ScriptConfig{
+		CollectorURL: "wss://collector.example.org/beacon",
+		CampaignID:   "spring-sale",
+		CreativeID:   "banner-728x90",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(js) > 500)
+	// Output: true
+}

@@ -1,0 +1,118 @@
+// Live audit: watch campaigns through the collector's HTTP API.
+//
+// While a campaign runs, the advertiser does not have to wait for the
+// vendor's (delayed, incomplete) reports: the collector exposes the
+// beacon dataset live over JSON endpoints. This example starts a
+// collector, streams a campaign into it, and polls the API the way a
+// dashboard would — campaign roster, live summary, top publishers —
+// then fetches the conversion pixel tag an advertiser would embed.
+//
+// Run with: go run ./examples/liveaudit
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"adaudit"
+	"adaudit/internal/adnet"
+	"adaudit/internal/beacon"
+	"adaudit/internal/collector"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ws, err := adaudit.NewWorkspace(adaudit.Options{Seed: 5, NumPublishers: 15000})
+	if err != nil {
+		return err
+	}
+	srv, err := collector.NewServer(ws.Collector, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.Serve(ctx)
+	base := "http://" + srv.Addr().String()
+	fmt.Printf("collector API live at %s\n\n", base)
+
+	// Stream a campaign into the collector (the simulator stands in for
+	// live traffic; a real deployment receives beacons instead).
+	camp := adnet.Campaign{
+		ID: "summer-push", CreativeID: "banner", Keywords: []string{"football"},
+		CPM: 0.10, Geo: "ES", Impressions: 12000,
+		Start: time.Date(2016, 4, 2, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2016, 4, 3, 0, 0, 0, 0, time.UTC),
+	}
+	if _, err := ws.Driver.Run(camp); err != nil {
+		return err
+	}
+
+	// Poll the dashboard endpoints.
+	var campaigns []collector.CampaignListEntry
+	if err := getJSON(ctx, base+"/api/campaigns", &campaigns); err != nil {
+		return err
+	}
+	fmt.Println("=== /api/campaigns ===")
+	for _, c := range campaigns {
+		fmt.Printf("  %-16s %d impressions\n", c.CampaignID, c.Impressions)
+	}
+
+	var sum collector.CampaignSummary
+	if err := getJSON(ctx, base+"/api/summary?campaign=summer-push", &sum); err != nil {
+		return err
+	}
+	fmt.Println("\n=== /api/summary?campaign=summer-push ===")
+	fmt.Printf("  impressions  %d across %d publishers, %d users\n",
+		sum.Impressions, sum.Publishers, sum.Users)
+	fmt.Printf("  viewable     %.1f%% (upper bound)\n", 100*sum.ViewableUpperBound)
+	fmt.Printf("  data-center  %.1f%% of impressions\n", 100*sum.DataCenterShare)
+	fmt.Printf("  clicks       %d, conversions %d\n", sum.Clicks, sum.Conversions)
+	fmt.Printf("  window       %s .. %s\n",
+		sum.FirstSeen.Format(time.RFC3339), sum.LastSeen.Format(time.RFC3339))
+
+	var pubs []collector.PublisherRow
+	if err := getJSON(ctx, base+"/api/publishers?campaign=summer-push&limit=5", &pubs); err != nil {
+		return err
+	}
+	fmt.Println("\n=== /api/publishers?campaign=summer-push&limit=5 ===")
+	for _, p := range pubs {
+		fmt.Printf("  %-28s %5d impressions  %d clicks\n", p.Publisher, p.Impressions, p.Clicks)
+	}
+
+	// The conversion pixel the advertiser embeds on its thank-you page.
+	tag, err := beacon.Conversion{
+		CampaignID: "summer-push", Action: "purchase", ValueCents: 4999,
+	}.PixelTag(base)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n=== conversion pixel for the advertiser's site ===")
+	fmt.Println(tag)
+	return nil
+}
+
+func getJSON(ctx context.Context, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,128 @@
+// Quickstart: the whole methodology in one file.
+//
+//  1. Generate the embeddable beacon JavaScript an advertiser pastes
+//     into an HTML5 creative.
+//  2. Start a real collector and report a few impressions to it over
+//     live WebSocket connections (what the browser-side JS does).
+//  3. Run a full simulated campaign against the ad network and audit it,
+//     printing the paper's tables.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"adaudit"
+	"adaudit/internal/adnet"
+	"adaudit/internal/audit"
+	"adaudit/internal/beacon"
+	"adaudit/internal/collector"
+	"adaudit/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- 1. The artifact that ships inside the ad. -------------------
+	js, err := beacon.Script(beacon.ScriptConfig{
+		CollectorURL: "wss://collector.example.org/beacon",
+		CampaignID:   "spring-sale",
+		CreativeID:   "banner-728x90",
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== Beacon JavaScript (paste into the HTML5 creative) ===")
+	fmt.Println(js)
+
+	// --- 2. A live collector receiving real beacon connections. ------
+	ws, err := adaudit.NewWorkspace(adaudit.Options{Seed: 42, NumPublishers: 8000})
+	if err != nil {
+		return err
+	}
+	srv, err := collector.NewServer(ws.Collector, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.Serve(ctx)
+	fmt.Printf("=== Collector live at %s ===\n", srv.BeaconURL())
+
+	// Simulate three browsers rendering the ad: each opens a WebSocket,
+	// sends the impression payload, holds the connection (exposure),
+	// interacts, and disconnects.
+	client := &beacon.Client{CollectorURL: srv.BeaconURL()}
+	for i, page := range []string{
+		"http://www.futbolhoy123.es/cronica/derbi",
+		"http://recetas456.es/tortilla",
+		"http://blog789.com/post/42",
+	} {
+		p := beacon.Payload{
+			CampaignID: "spring-sale",
+			CreativeID: "banner-728x90",
+			PageURL:    page,
+			UserAgent:  "Mozilla/5.0 (Windows NT 10.0) Chrome/49.0",
+			Events:     []beacon.Event{{Kind: beacon.EventClick, At: 20 * time.Millisecond}},
+		}
+		if err := client.Report(ctx, p, 60*time.Millisecond); err != nil {
+			return fmt.Errorf("beacon %d: %w", i, err)
+		}
+	}
+	// Records commit asynchronously on disconnect.
+	for ws.Store.Len() < 3 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("collector ingested %d live impressions from %d publishers\n\n",
+		ws.Store.Len(), len(ws.Store.Publishers("")))
+
+	// --- 3. A full campaign, simulated and audited. -------------------
+	camp := adnet.Campaign{
+		ID:          "spring-sale",
+		CreativeID:  "banner-728x90",
+		Keywords:    []string{"football"},
+		CPM:         0.10,
+		Geo:         "ES",
+		Impressions: 20000,
+		Start:       time.Date(2016, 4, 2, 0, 0, 0, 0, time.UTC),
+		End:         time.Date(2016, 4, 3, 0, 0, 0, 0, time.UTC),
+	}
+	outcome, err := ws.Driver.Run(camp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== Simulated campaign: %d delivered, %d logged, %d lost ===\n",
+		len(outcome.Result.Deliveries), outcome.Logged,
+		outcome.LostBlocked+outcome.LostConnection)
+
+	auditor, err := ws.Auditor()
+	if err != nil {
+		return err
+	}
+	full, err := auditor.FullAudit([]audit.CampaignInput{{
+		ID:       camp.ID,
+		Keywords: camp.Keywords,
+		Report:   &outcome.Result.Report,
+	}})
+	if err != nil {
+		return err
+	}
+	if err := report.Figure1(os.Stdout, full.Aggregate, full.PerCampaign); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := report.Table3(os.Stdout, full.PerCampaign); err != nil {
+		return err
+	}
+	fmt.Println()
+	return report.Table4(os.Stdout, full.PerCampaign)
+}

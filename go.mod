@@ -1,0 +1,3 @@
+module adaudit
+
+go 1.22

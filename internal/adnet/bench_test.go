@@ -1,0 +1,58 @@
+package adnet
+
+import (
+	"testing"
+
+	"adaudit/internal/ipmeta"
+	"adaudit/internal/publisher"
+	"adaudit/internal/stats"
+)
+
+func benchNetwork(b *testing.B, numPubs int) *Network {
+	b.Helper()
+	pubs, err := publisher.NewUniverse(publisher.Config{Seed: 1, NumPublishers: numPubs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ips, err := ipmeta.NewUniverse(ipmeta.UniverseConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := New(Config{Seed: 1, Publishers: pubs, IPs: ips})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+// BenchmarkCampaignDelivery measures end-to-end delivery simulation
+// throughput (impressions/op reported as a metric).
+func BenchmarkCampaignDelivery(b *testing.B) {
+	n := benchNetwork(b, 20000)
+	c := testCampaign("bench", 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := n.Run(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Deliveries) != 10000 {
+			b.Fatal("short run")
+		}
+	}
+	b.ReportMetric(10000, "imps/op")
+}
+
+// BenchmarkPoolBuild measures targeting-pool construction over the full
+// 150K-publisher inventory — the per-campaign setup cost.
+func BenchmarkPoolBuild(b *testing.B) {
+	n := benchNetwork(b, 150000)
+	c := testCampaign("bench", 100)
+	rng := stats.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := n.buildPools(rng, &c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package adnet
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"time"
+
+	"adaudit/internal/ipmeta"
+	"adaudit/internal/stats"
+	"adaudit/internal/useragent"
+)
+
+// Device is one traffic source: a (IP address, User-Agent) pair — the
+// paper's user identity. Human devices carry residential addresses in
+// the campaign geo; bot devices carry data-center addresses and
+// automation-flavoured agents.
+type Device struct {
+	// Addr is the device's public IP address.
+	Addr netip.Addr
+	// UserAgent is the device's browser identification.
+	UserAgent string
+	// Country is the device's location (bots report the pseudo-country
+	// "ZZ": data-center traffic has no meaningful consumer geo).
+	Country string
+	// Bot marks data-center automation.
+	Bot bool
+	// BeaconBlocked marks devices whose browser/antivirus configuration
+	// prevents the injected JavaScript from running — the §3.1 error
+	// model behind the audit's own measurement loss.
+	BeaconBlocked bool
+	// PlannedImpressions is how many impressions of one campaign this
+	// device will absorb, drawn from a heavy-tailed repeat-exposure
+	// model (no frequency cap).
+	PlannedImpressions int
+	// Interested marks users whose browsing history matches the
+	// campaign's topic — what audience (OBA) targeting selects for, and
+	// what lifts conversion propensity.
+	Interested bool
+}
+
+// fleetConfig tunes device generation.
+type fleetConfig struct {
+	// blockedFraction is the share of human devices that never execute
+	// third-party JavaScript (default 0.10; with per-connection loss it
+	// produces the paper's 16.5% unlogged-publisher rate).
+	blockedFraction float64
+	// humanTailAlpha shapes the Pareto repeat-exposure tail for humans.
+	// 1.25 reproduces Figure 3's tail: ~1700 of ~160K-impression users
+	// above 10 impressions, ~170 above 100.
+	humanTailAlpha float64
+	// humanTailCap bounds a single human's impressions.
+	humanTailCap int
+	// botTailAlpha/botTailCap shape bot repeat exposure (heavier).
+	botTailAlpha float64
+	botTailCap   int
+}
+
+func defaultFleetConfig() fleetConfig {
+	return fleetConfig{
+		blockedFraction: 0.10,
+		humanTailAlpha:  1.25,
+		humanTailCap:    400,
+		botTailAlpha:    0.95,
+		botTailCap:      600,
+	}
+}
+
+// newHumanDevice draws a residential device in the given country.
+// interestedBias is the probability the user's browsing history matches
+// the campaign topic — the organic base rate for contextual campaigns,
+// or the audience-match rate for OBA campaigns.
+func newHumanDevice(rng *stats.RNG, ipu *ipmeta.Universe, uag *useragent.Generator, country string, cfg fleetConfig, interestedBias float64) (Device, error) {
+	addr, err := ipu.DrawResidentialAddr(rng, country)
+	if err != nil {
+		return Device{}, fmt.Errorf("adnet: drawing human address: %w", err)
+	}
+	planned := int(rng.Pareto(1, cfg.humanTailAlpha))
+	if planned > cfg.humanTailCap {
+		planned = cfg.humanTailCap
+	}
+	if planned < 1 {
+		planned = 1
+	}
+	return Device{
+		Addr:               addr,
+		UserAgent:          uag.Browser(),
+		Country:            country,
+		BeaconBlocked:      rng.Bool(cfg.blockedFraction),
+		PlannedImpressions: planned,
+		Interested:         rng.Bool(interestedBias),
+	}, nil
+}
+
+// newBotDevice draws a data-center device.
+func newBotDevice(rng *stats.RNG, ipu *ipmeta.Universe, uag *useragent.Generator, cfg fleetConfig) (Device, error) {
+	addr, err := ipu.DrawHostingAddr(rng)
+	if err != nil {
+		return Device{}, fmt.Errorf("adnet: drawing bot address: %w", err)
+	}
+	planned := int(rng.Pareto(1, cfg.botTailAlpha))
+	if planned > cfg.botTailCap {
+		planned = cfg.botTailCap
+	}
+	if planned < 1 {
+		planned = 1
+	}
+	return Device{
+		Addr:               addr,
+		UserAgent:          uag.Bot(),
+		Country:            "ZZ",
+		Bot:                true,
+		BeaconBlocked:      false, // bots render the full creative: views must count
+		PlannedImpressions: planned,
+	}, nil
+}
+
+// devicePool hands out (device, timestamp) pairs for one campaign's
+// impressions, respecting each device's planned impression count (so
+// repeat exposure is heavy-tailed) and its own arrival process (so the
+// inter-arrival times of a heavy user reproduce Figure 3's tight
+// bursts: the busier the user, the shorter the median gap).
+type devicePool struct {
+	rng        *stats.RNG
+	make       func() (Device, error)
+	active     []*poolSlot
+	start, end time.Time
+	// baseGapSeconds scales the arrival process: a device planning k
+	// impressions sees median gaps of roughly baseGapSeconds/k.
+	baseGapSeconds float64
+}
+
+type poolSlot struct {
+	dev       Device
+	left      int
+	nextAt    time.Time
+	gapMedian time.Duration
+}
+
+func newDevicePool(rng *stats.RNG, start, end time.Time, baseGapSeconds float64, make func() (Device, error)) *devicePool {
+	return &devicePool{
+		rng:            rng,
+		make:           make,
+		start:          start,
+		end:            end,
+		baseGapSeconds: baseGapSeconds,
+	}
+}
+
+func (p *devicePool) newSlot() (*poolSlot, error) {
+	dev, err := p.make()
+	if err != nil {
+		return nil, err
+	}
+	flight := p.end.Sub(p.start)
+	// First impression lands uniformly in the first 80% of the flight
+	// so bursts have room to complete.
+	offset := time.Duration(p.rng.Float64() * 0.8 * float64(flight))
+	gap := p.baseGapSeconds / float64(dev.PlannedImpressions)
+	if gap < 2 {
+		gap = 2
+	}
+	return &poolSlot{
+		dev:       dev,
+		left:      dev.PlannedImpressions,
+		nextAt:    p.start.Add(offset),
+		gapMedian: time.Duration(gap * float64(time.Second)),
+	}, nil
+}
+
+// next returns the device and timestamp for the next impression. New
+// devices join the pool on demand; a device leaves once its planned
+// impressions are consumed. Selection is biased toward devices with
+// more remaining impressions, interleaving heavy users' bursts with
+// one-off visitors.
+func (p *devicePool) next() (Device, time.Time, error) {
+	// Keep a working set so heavy devices spread across the flight; the
+	// working-set size trades interleaving for memory.
+	const workingSet = 64
+	for len(p.active) < workingSet {
+		slot, err := p.newSlot()
+		if err != nil {
+			return Device{}, time.Time{}, err
+		}
+		p.active = append(p.active, slot)
+	}
+	weights := make([]float64, len(p.active))
+	for i, s := range p.active {
+		weights[i] = float64(s.left)
+	}
+	i := stats.WeightedPick(p.rng, weights)
+	slot := p.active[i]
+	slot.left--
+	dev := slot.dev
+	at := slot.nextAt
+	if at.After(p.end) {
+		at = p.end
+	}
+	// Advance the device's clock by a log-normal gap around its median.
+	gap := time.Duration(p.rng.LogNormal(math.Log(float64(slot.gapMedian)), 0.6))
+	if gap < 2*time.Second {
+		gap = 2 * time.Second
+	}
+	slot.nextAt = slot.nextAt.Add(gap)
+	if slot.left <= 0 {
+		p.active[i] = p.active[len(p.active)-1]
+		p.active = p.active[:len(p.active)-1]
+	}
+	return dev, at, nil
+}

@@ -1,0 +1,535 @@
+package adnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"adaudit/internal/ipmeta"
+	"adaudit/internal/publisher"
+	"adaudit/internal/semsim"
+	"adaudit/internal/stats"
+	"adaudit/internal/useragent"
+)
+
+// CampaignPolicy holds the per-campaign behaviour knobs of the
+// simulated network. The defaults for the 8 paper campaigns are
+// calibrated so the auditing pipeline recovers Tables 2–4 and Figures
+// 1–3 (see DESIGN.md §2 on encoding the paper's findings as simulator
+// ground truth).
+type CampaignPolicy struct {
+	// ContextStrength is the probability the targeting engine places an
+	// impression on a contextually relevant publisher (keyword match).
+	ContextStrength float64
+	// BehavioralUplift is the probability the vendor *claims* a
+	// non-contextually-placed impression as contextual anyway, based on
+	// non-disclosed factors (browsing history) — the Table 2 gap.
+	BehavioralUplift float64
+	// ViewProb is the probability an impression is exposed for >= 1 s
+	// (the audit's upper-bound viewability, Table 3).
+	ViewProb float64
+	// BotMultiplier scales publishers' bot propensity for this
+	// campaign's flight (Table 4's per-campaign variation).
+	BotMultiplier float64
+	// VendorViewableFactor scales the network-wide
+	// VendorViewableGivenExposed rate for this campaign (default 1.0).
+	// Campaigns whose vendor reports covered unusually few placements —
+	// the paper's General-005 had 75% of its publishers unreported —
+	// get a factor below 1.
+	VendorViewableFactor float64
+	// ConversionGivenClick is the probability a human click converts,
+	// provided the user is within the first OptimalFrequency exposures
+	// (default 0.08). Bots never convert: click-spam generates clicks,
+	// not purchases.
+	ConversionGivenClick float64
+	// ViewThroughConversion is the per-impression probability of a
+	// conversion without a click, same frequency window (default 0.0008).
+	ViewThroughConversion float64
+}
+
+// OptimalFrequency is the exposure count beyond which additional
+// impressions stop producing conversions — the Microsoft Advertising
+// Institute finding the paper cites when calling a cap of 10
+// "a reasonable reference value".
+const OptimalFrequency = 10
+
+// paperPolicies are the calibrated policies for Table 1's campaigns.
+var paperPolicies = map[string]CampaignPolicy{
+	"Research-010": {ContextStrength: 0.020, BehavioralUplift: 0.002, ViewProb: 0.56, BotMultiplier: 0.90},
+	"Research-020": {ContextStrength: 0.030, BehavioralUplift: 0.000, ViewProb: 0.52, BotMultiplier: 0.55},
+	"Football-010": {ContextStrength: 0.580, BehavioralUplift: 1.000, ViewProb: 0.80, BotMultiplier: 1.10},
+	"Football-030": {ContextStrength: 0.410, BehavioralUplift: 1.000, ViewProb: 0.83, BotMultiplier: 1.50},
+	"Russia":       {ContextStrength: 0.035, BehavioralUplift: 0.031, ViewProb: 0.63, BotMultiplier: 0.07},
+	"USA":          {ContextStrength: 0.055, BehavioralUplift: 0.048, ViewProb: 0.71, BotMultiplier: 0.19},
+	"General-005":  {ContextStrength: 0.042, BehavioralUplift: 0.026, ViewProb: 0.75, BotMultiplier: 0.11, VendorViewableFactor: 0.55},
+	"General-010":  {ContextStrength: 0.058, BehavioralUplift: 0.535, ViewProb: 0.55, BotMultiplier: 0.12},
+}
+
+// Policy holds the network-wide behaviour knobs.
+type Policy struct {
+	// PerCampaign overrides the per-campaign policy; campaigns absent
+	// from the map get DefaultCampaignPolicy.
+	PerCampaign map[string]CampaignPolicy
+	// RankExponent maps a CPM to the exponent theta of the 1/rank^theta
+	// supply weighting. The default encodes the paper's Figure 2
+	// finding — LOWER CPM campaigns landed on MORE popular publishers —
+	// as theta(cpm) = 0.52 + 0.46*exp(-cpm/0.02), calibrated so a
+	// 0.01€ campaign concentrates ~89% of impressions in the top-50K
+	// ranks while a 0.30€ campaign reaches only ~68% (Figure 2's
+	// summary numbers).
+	RankExponent func(cpm float64) float64
+	// VendorViewableGivenExposed is the probability an impression
+	// exposed >= 1 s also meets the vendor's 50%-of-pixels criterion
+	// and is therefore *reported* (Figure 1's missing publishers).
+	VendorViewableGivenExposed float64
+	// GeoInventoryFraction is the share of the universe serving a
+	// non-default geo (the paper's RU/US campaigns saw a small slice of
+	// GDN inventory).
+	GeoInventoryFraction float64
+	// CampaignInventoryFraction is the share of (geo-eligible) inventory
+	// any single campaign can win auctions on. Real display networks
+	// route each campaign through a budget- and auction-dependent slice
+	// of the exchange, so two campaigns overlap only partially — which
+	// is why the paper's 8 campaigns reached ~7K mostly-distinct
+	// publishers out of GDN's 2M.
+	CampaignInventoryFraction float64
+	// DefaultGeo is the geo whose campaigns see the full inventory.
+	DefaultGeo string
+	// FrequencyCap, when positive, truncates per-user deliveries per
+	// campaign — the control AdWords does NOT apply by default. Kept
+	// configurable for the ablation benchmarks (cap=10 is the
+	// literature's optimum the paper cites).
+	FrequencyCap int
+	// RefundDataCenterFraction is the share of charged data-center
+	// impressions the vendor silently refunds after the flight.
+	RefundDataCenterFraction float64
+	// CTR is the click-through probability for human impressions.
+	CTR float64
+	// FriendlyIframeShare is the fraction of placements rendered in
+	// same-origin iframes, where the beacon can measure visible pixels
+	// (default 0.25 — most display inventory is cross-origin).
+	FriendlyIframeShare float64
+	// OrganicInterestRate is the base rate of users interested in any
+	// given campaign topic (default 0.15); AudienceMatchRate is the
+	// interested share an audience-targeted campaign reaches (default
+	// 0.70). InterestConversionLift multiplies interested users'
+	// conversion propensity (default 3).
+	OrganicInterestRate    float64
+	AudienceMatchRate      float64
+	InterestConversionLift float64
+}
+
+// DefaultPolicy returns the calibrated paper policy.
+func DefaultPolicy() Policy {
+	return Policy{
+		PerCampaign: paperPolicies,
+		RankExponent: func(cpm float64) float64 {
+			return 0.52 + 0.46*math.Exp(-cpm/0.02)
+		},
+		VendorViewableGivenExposed: 0.45,
+		GeoInventoryFraction:       0.30,
+		CampaignInventoryFraction:  0.10,
+		DefaultGeo:                 "ES",
+		FrequencyCap:               0, // AdWords applies none by default
+		RefundDataCenterFraction:   0.30,
+		CTR:                        0.004,
+		FriendlyIframeShare:        0.25,
+		OrganicInterestRate:        0.15,
+		AudienceMatchRate:          0.70,
+		InterestConversionLift:     3,
+	}
+}
+
+// DefaultCampaignPolicy derives a policy for a campaign that has no
+// calibrated entry, from its keywords' inventory share.
+func DefaultCampaignPolicy(c *Campaign, u *publisher.Universe) CampaignPolicy {
+	share := 0.0
+	for _, kw := range c.Keywords {
+		for _, concept := range u.Taxonomy().LookupLemma(kw) {
+			share += float64(len(u.IndexesByVertical(concept))) / float64(u.Len())
+		}
+	}
+	strength := share * 8
+	if strength > 0.6 {
+		strength = 0.6
+	}
+	return CampaignPolicy{
+		ContextStrength:  strength,
+		BehavioralUplift: 0.05,
+		ViewProb:         0.65,
+		BotMultiplier:    1.0,
+	}
+}
+
+// Network simulates the ad network end to end.
+type Network struct {
+	pubs    *publisher.Universe
+	ips     *ipmeta.Universe
+	matcher *semsim.Matcher
+	policy  Policy
+	seed    int64
+}
+
+// Config assembles a Network.
+type Config struct {
+	Seed int64
+	// Publishers is the inventory; required.
+	Publishers *publisher.Universe
+	// IPs is the address universe; required.
+	IPs *ipmeta.Universe
+	// Policy defaults to DefaultPolicy().
+	Policy *Policy
+}
+
+// New validates cfg and returns a Network.
+func New(cfg Config) (*Network, error) {
+	if cfg.Publishers == nil {
+		return nil, fmt.Errorf("adnet: config requires a publisher universe")
+	}
+	if cfg.IPs == nil {
+		return nil, fmt.Errorf("adnet: config requires an IP universe")
+	}
+	policy := DefaultPolicy()
+	if cfg.Policy != nil {
+		policy = *cfg.Policy
+		if policy.RankExponent == nil {
+			policy.RankExponent = DefaultPolicy().RankExponent
+		}
+	}
+	return &Network{
+		pubs:    cfg.Publishers,
+		ips:     cfg.IPs,
+		matcher: semsim.NewMatcher(cfg.Publishers.Taxonomy()),
+		policy:  policy,
+		seed:    cfg.Seed,
+	}, nil
+}
+
+// Publishers returns the network's inventory.
+func (n *Network) Publishers() *publisher.Universe { return n.pubs }
+
+// Matcher returns the contextual matcher the targeting engine uses.
+func (n *Network) Matcher() *semsim.Matcher { return n.matcher }
+
+// Delivery is one served ad impression with the network-side ground
+// truth the audit never sees directly.
+type Delivery struct {
+	// Publisher is the site the impression rendered on.
+	Publisher publisher.Publisher
+	// Device received the impression.
+	Device Device
+	// At is the impression time.
+	At time.Time
+	// Exposure is how long the ad stayed rendered.
+	Exposure time.Duration
+	// MouseMoves and Clicks are the user interactions.
+	MouseMoves int
+	Clicks     int
+	// PlacedContextually marks impressions the targeting engine
+	// deliberately placed on keyword-relevant inventory.
+	PlacedContextually bool
+	// Converted marks impressions that led to a conversion on the
+	// advertiser's site; ConversionValueCents is the action's value and
+	// ConvertedAt its time.
+	Converted            bool
+	ConversionValueCents int64
+	ConvertedAt          time.Time
+	// VendorClaimsContextual marks impressions the vendor's report
+	// counts as contextually delivered (includes non-disclosed
+	// behavioural factors).
+	VendorClaimsContextual bool
+	// VendorViewable marks impressions meeting the vendor's viewability
+	// standard; only these reach the vendor's placement report.
+	VendorViewable bool
+	// VisibilityMeasured marks placements in friendly (same-origin)
+	// iframes, where the beacon can read the visible-pixel fraction;
+	// MaxVisibleFraction is that measurement. Cross-origin placements
+	// (the §3.1 common case) leave both zero.
+	VisibilityMeasured bool
+	MaxVisibleFraction float64
+}
+
+// AuditViewable reports whether the impression meets the audit's
+// upper-bound viewability criterion (exposed >= 1 s).
+func (d *Delivery) AuditViewable() bool { return d.Exposure >= time.Second }
+
+// CampaignResult is everything one campaign run produces.
+type CampaignResult struct {
+	Campaign   Campaign
+	Policy     CampaignPolicy
+	Deliveries []Delivery
+	Report     VendorReport
+}
+
+// Run simulates the full delivery of one campaign and produces both the
+// raw deliveries (ground truth) and the vendor's report (what the
+// advertiser is told). Runs are deterministic in (network seed,
+// campaign ID).
+func (n *Network) Run(c Campaign) (*CampaignResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	pol, ok := n.policy.PerCampaign[c.ID]
+	if !ok {
+		pol = DefaultCampaignPolicy(&c, n.pubs)
+	}
+	rng := stats.NewRNG(n.seed).Fork("campaign/" + c.ID)
+
+	relevant, general, err := n.buildPools(rng, &c)
+	if err != nil {
+		return nil, err
+	}
+	interestedBias := n.policy.OrganicInterestRate
+	if c.Targeting == TargetingAudience {
+		interestedBias = n.policy.AudienceMatchRate
+	}
+	uaGen := useragent.NewGenerator(rng.Fork("ua"))
+	humans := newDevicePool(rng.Fork("humans"), c.Start, c.End, 3600, func() (Device, error) {
+		return newHumanDevice(rng, n.ips, uaGen, c.Geo, defaultFleetConfig(), interestedBias)
+	})
+	bots := newDevicePool(rng.Fork("bots"), c.Start, c.End, 1200, func() (Device, error) {
+		return newBotDevice(rng, n.ips, uaGen, defaultFleetConfig())
+	})
+
+	convGivenClick := pol.ConversionGivenClick
+	if convGivenClick == 0 {
+		convGivenClick = 0.08
+	}
+	viewThrough := pol.ViewThroughConversion
+	if viewThrough == 0 {
+		viewThrough = 0.0008
+	}
+
+	perUser := map[string]int{}
+	exposures := map[string]int{}
+	deliveries := make([]Delivery, 0, c.Impressions)
+	for len(deliveries) < c.Impressions {
+		d, err := n.deliverOne(rng, &c, pol, relevant, general, humans, bots)
+		if err != nil {
+			return nil, err
+		}
+		key := d.Device.Addr.String() + "|" + d.Device.UserAgent
+		if cap := n.policy.FrequencyCap; cap > 0 {
+			if perUser[key] >= cap {
+				continue // capped: the network finds another user
+			}
+			perUser[key]++
+		}
+		// Conversions: only humans, only within the first
+		// OptimalFrequency exposures — repeat bombardment beyond that
+		// point buys nothing (the waste Figure 3 exposes).
+		exposures[key]++
+		if !d.Device.Bot && exposures[key] <= OptimalFrequency {
+			p := viewThrough
+			if d.Clicks > 0 {
+				p = convGivenClick
+			}
+			if d.Device.Interested && n.policy.InterestConversionLift > 0 {
+				p *= n.policy.InterestConversionLift
+			}
+			if rng.Bool(p) {
+				d.Converted = true
+				d.ConversionValueCents = int64(rng.LogNormal(math.Log(2500), 0.8))
+				d.ConvertedAt = d.At.Add(time.Duration(rng.Exp(float64(2 * time.Hour))))
+			}
+		}
+		deliveries = append(deliveries, d)
+	}
+
+	report := n.buildReport(rng.Fork("report"), &c, deliveries)
+	return &CampaignResult{Campaign: c, Policy: pol, Deliveries: deliveries, Report: report}, nil
+}
+
+// pool is a weighted publisher pool with O(1) sampling.
+type pool struct {
+	idxs    []int
+	sampler *stats.AliasSampler
+}
+
+func (n *Network) buildPools(rng *stats.RNG, c *Campaign) (relevant, general *pool, err error) {
+	theta := n.policy.RankExponent(c.CPM)
+	excluded := make(map[string]struct{}, len(c.ExcludedPublishers))
+	for _, d := range c.ExcludedPublishers {
+		excluded[d] = struct{}{}
+	}
+	var relIdxs, genIdxs []int
+	var relW, genW []float64
+	for i := 0; i < n.pubs.Len(); i++ {
+		p := n.pubs.At(i)
+		if _, out := excluded[p.Domain]; out {
+			continue // the one placement control the advertiser has
+		}
+		if !n.servesGeo(p.Domain, c.Geo) {
+			continue
+		}
+		if !n.inCampaignSlice(p.Domain, c.ID) {
+			continue
+		}
+		w := math.Pow(float64(p.Rank), -theta)
+		genIdxs = append(genIdxs, i)
+		genW = append(genW, w)
+		if n.matcher.Relevant(c.Keywords, p.Keywords, p.Topics) {
+			relIdxs = append(relIdxs, i)
+			relW = append(relW, w)
+		}
+	}
+	if len(genIdxs) == 0 {
+		return nil, nil, fmt.Errorf("adnet: no inventory serves geo %s", c.Geo)
+	}
+	gs, err := stats.NewAliasSampler(rng.Fork("general"), genW)
+	if err != nil {
+		return nil, nil, fmt.Errorf("adnet: building general pool: %w", err)
+	}
+	general = &pool{idxs: genIdxs, sampler: gs}
+	if len(relIdxs) > 0 {
+		rs, err := stats.NewAliasSampler(rng.Fork("relevant"), relW)
+		if err != nil {
+			return nil, nil, fmt.Errorf("adnet: building relevant pool: %w", err)
+		}
+		relevant = &pool{idxs: relIdxs, sampler: rs}
+	}
+	return relevant, general, nil
+}
+
+// servesGeo decides whether a publisher serves a campaign geo: the
+// default geo sees the whole inventory; other geos see a stable
+// pseudo-random slice of it.
+func (n *Network) servesGeo(domain, geo string) bool {
+	if geo == n.policy.DefaultGeo || n.policy.GeoInventoryFraction >= 1 {
+		return true
+	}
+	h := fnv.New32a()
+	h.Write([]byte(domain))
+	h.Write([]byte{'/'})
+	h.Write([]byte(geo))
+	return float64(h.Sum32()%1000) < n.policy.GeoInventoryFraction*1000
+}
+
+// inCampaignSlice decides whether a publisher is inside the inventory
+// slice this campaign's auctions reach (stable per domain/campaign).
+func (n *Network) inCampaignSlice(domain, campaignID string) bool {
+	if n.policy.CampaignInventoryFraction <= 0 || n.policy.CampaignInventoryFraction >= 1 {
+		return true
+	}
+	h := fnv.New32a()
+	h.Write([]byte(domain))
+	h.Write([]byte{'#'})
+	h.Write([]byte(campaignID))
+	return float64(h.Sum32()%1000) < n.policy.CampaignInventoryFraction*1000
+}
+
+func (n *Network) deliverOne(rng *stats.RNG, c *Campaign, pol CampaignPolicy,
+	relevant, general *pool, humans, bots *devicePool) (Delivery, error) {
+
+	// Audience campaigns buy users, not contexts: contextual placement
+	// is disabled and delivery roams the whole eligible inventory.
+	placed := c.Targeting == TargetingContextual && relevant != nil && rng.Bool(pol.ContextStrength)
+	var pub publisher.Publisher
+	if placed {
+		pub = n.pubs.At(relevant.idxs[relevant.sampler.Sample()])
+	} else {
+		pub = n.pubs.At(general.idxs[general.sampler.Sample()])
+	}
+
+	botProb := pub.BotPropensity * pol.BotMultiplier
+	if botProb > 0.6 {
+		botProb = 0.6
+	}
+	var (
+		dev Device
+		at  time.Time
+		err error
+	)
+	if rng.Bool(botProb) {
+		dev, at, err = bots.next()
+	} else {
+		dev, at, err = humans.next()
+	}
+	if err != nil {
+		return Delivery{}, err
+	}
+
+	exposure := n.drawExposure(rng, pol.ViewProb, dev.Bot)
+	moves, clicks := n.drawInteractions(rng, exposure, dev.Bot)
+
+	d := Delivery{
+		Publisher:          pub,
+		Device:             dev,
+		At:                 at,
+		Exposure:           exposure,
+		MouseMoves:         moves,
+		Clicks:             clicks,
+		PlacedContextually: placed,
+	}
+	d.VendorClaimsContextual = placed || rng.Bool(pol.BehavioralUplift)
+	factor := pol.VendorViewableFactor
+	if factor == 0 {
+		factor = 1
+	}
+	d.VendorViewable = d.AuditViewable() && rng.Bool(n.policy.VendorViewableGivenExposed*factor)
+
+	// Friendly-iframe placements let the beacon measure visible pixels.
+	if rng.Bool(n.policy.FriendlyIframeShare) {
+		d.VisibilityMeasured = true
+		if d.AuditViewable() {
+			// Long exposures skew toward mostly-visible ads.
+			d.MaxVisibleFraction = 1 - 0.9*rng.Float64()*rng.Float64()
+		} else {
+			// Bounces rarely had the ad meaningfully on screen.
+			d.MaxVisibleFraction = 0.7 * rng.Float64()
+		}
+	}
+	return d, nil
+}
+
+// drawExposure samples the time the ad stays rendered. viewProb is the
+// target P(exposure >= 1s); the two-regime log-normal keeps that
+// probability exact while producing realistic dwell-time spreads.
+func (n *Network) drawExposure(rng *stats.RNG, viewProb float64, bot bool) time.Duration {
+	if bot {
+		// Bots render pages mechanically: most dwell a few seconds.
+		viewProb = 0.85
+	}
+	if rng.Bool(viewProb) {
+		// Exposed regime: median 6 s, clamped to >= 1 s.
+		d := time.Duration(rng.LogNormal(math.Log(6), 0.9) * float64(time.Second))
+		if d < time.Second {
+			d = time.Second
+		}
+		if d > 10*time.Minute {
+			d = 10 * time.Minute
+		}
+		return d
+	}
+	// Bounce regime: median 350 ms, clamped to < 1 s.
+	d := time.Duration(rng.LogNormal(math.Log(0.35), 0.7) * float64(time.Second))
+	if d >= time.Second {
+		d = 999 * time.Millisecond
+	}
+	if d < 20*time.Millisecond {
+		d = 20 * time.Millisecond
+	}
+	return d
+}
+
+func (n *Network) drawInteractions(rng *stats.RNG, exposure time.Duration, bot bool) (moves, clicks int) {
+	if bot {
+		// Headless agents do not move a pointer; some click-fraud bots
+		// click a lot.
+		if rng.Bool(0.05) {
+			clicks = 1 + rng.Intn(3)
+		}
+		return 0, clicks
+	}
+	// Humans: mouse activity scales with dwell time (throttled to the
+	// beacon's 500 ms sampling).
+	maxMoves := int(exposure / (2 * time.Second))
+	if maxMoves > 0 {
+		moves = rng.Intn(maxMoves + 1)
+	}
+	if rng.Bool(n.policy.CTR) {
+		clicks = 1
+	}
+	return moves, clicks
+}

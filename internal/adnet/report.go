@@ -1,0 +1,136 @@
+package adnet
+
+import (
+	"sort"
+
+	"adaudit/internal/stats"
+)
+
+// AnonymousPublisher is the label AdWords reports for Ad Exchange
+// inventory partners that keep their identity hidden.
+const AnonymousPublisher = "anonymous.google"
+
+// ReportRow is one placement row of the vendor report.
+type ReportRow struct {
+	// Publisher is the placement domain, or AnonymousPublisher for
+	// masked Ad Exchange inventory.
+	Publisher string
+	// Impressions is the impression count the vendor reports for the
+	// placement. Per the vendor's (undisclosed) policy this counts only
+	// viewable impressions.
+	Impressions int64
+	// Clicks is the reported click count.
+	Clicks int64
+}
+
+// VendorReport is what the advertiser downloads from the vendor after
+// (or during) the flight — the artifact the paper audits AdWords
+// against. Its construction encodes the reporting policies the paper
+// uncovered: viewable-only placement rows, anonymous inventory
+// masking, an optimistic contextual count, and silent refunds.
+type VendorReport struct {
+	CampaignID string
+	// Rows are the per-placement counts, sorted by impressions
+	// descending. Only placements with at least one viewable impression
+	// appear; anonymous inventory is collapsed into one row.
+	Rows []ReportRow
+	// TotalImpressionsCharged is what the advertiser pays for — ALL
+	// delivered impressions (viewable or not, bot or not), minus
+	// refunds.
+	TotalImpressionsCharged int64
+	// ContextualImpressions is the vendor's count of contextually
+	// delivered impressions (its own criteria, not disclosed).
+	ContextualImpressions int64
+	// RefundedImpressions is the unexplained post-flight credit the
+	// paper observed for data-center traffic.
+	RefundedImpressions int64
+}
+
+// ReportedPublishers returns the distinct non-anonymous publisher
+// domains in the report.
+func (r *VendorReport) ReportedPublishers() []string {
+	out := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		if row.Publisher != AnonymousPublisher {
+			out = append(out, row.Publisher)
+		}
+	}
+	return out
+}
+
+// AnonymousImpressions returns the impression count reported under the
+// anonymous label.
+func (r *VendorReport) AnonymousImpressions() int64 {
+	for _, row := range r.Rows {
+		if row.Publisher == AnonymousPublisher {
+			return row.Impressions
+		}
+	}
+	return 0
+}
+
+// ReportedImpressions returns the total impressions across report rows
+// (viewable impressions only, by policy).
+func (r *VendorReport) ReportedImpressions() int64 {
+	var n int64
+	for _, row := range r.Rows {
+		n += row.Impressions
+	}
+	return n
+}
+
+// buildReport assembles the vendor report from the ground-truth
+// deliveries, applying the vendor's reporting policies.
+func (n *Network) buildReport(rng *stats.RNG, c *Campaign, deliveries []Delivery) VendorReport {
+	type agg struct {
+		imps, clicks int64
+	}
+	rows := map[string]*agg{}
+	var contextual, dcCharged int64
+
+	for i := range deliveries {
+		d := &deliveries[i]
+		if d.VendorClaimsContextual {
+			contextual++
+		}
+		if d.Device.Bot {
+			dcCharged++
+		}
+		if !d.VendorViewable {
+			continue // policy: only viewable impressions are reported
+		}
+		name := d.Publisher.Domain
+		if d.Publisher.Anonymous {
+			name = AnonymousPublisher
+		}
+		a := rows[name]
+		if a == nil {
+			a = &agg{}
+			rows[name] = a
+		}
+		a.imps++
+		a.clicks += int64(d.Clicks)
+	}
+
+	report := VendorReport{
+		CampaignID:            c.ID,
+		ContextualImpressions: contextual,
+	}
+	for name, a := range rows {
+		report.Rows = append(report.Rows, ReportRow{Publisher: name, Impressions: a.imps, Clicks: a.clicks})
+	}
+	sort.Slice(report.Rows, func(i, j int) bool {
+		if report.Rows[i].Impressions != report.Rows[j].Impressions {
+			return report.Rows[i].Impressions > report.Rows[j].Impressions
+		}
+		return report.Rows[i].Publisher < report.Rows[j].Publisher
+	})
+
+	// Billing: every delivered impression is charged; a fraction of the
+	// data-center traffic is silently refunded after the flight.
+	refund := int64(float64(dcCharged) * n.policy.RefundDataCenterFraction)
+	report.RefundedImpressions = refund
+	report.TotalImpressionsCharged = int64(len(deliveries)) - refund
+	_ = rng // reserved for future stochastic reporting policies
+	return report
+}

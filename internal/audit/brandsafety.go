@@ -1,0 +1,98 @@
+package audit
+
+import (
+	"sort"
+
+	"adaudit/internal/adnet"
+	"adaudit/internal/stats"
+)
+
+// BrandSafetyResult is the Figure 1 analysis: the Venn partition of
+// publishers observed by the audit vs. reported by the vendor, plus the
+// anonymous-inventory accounting that rules out "it's all
+// anonymous.google" as an explanation for the gap.
+type BrandSafetyResult struct {
+	// CampaignID is the audited campaign, or "" for the aggregate.
+	CampaignID string
+	// Venn partitions publishers: A = audit-observed, B =
+	// vendor-reported (non-anonymous rows).
+	Venn stats.Venn
+	// AuditOnly lists publishers the audit saw but the vendor never
+	// reported — the set an advertiser needs for brand-safety
+	// blacklisting and cannot currently get.
+	AuditOnly []string
+	// VendorOnly lists publishers the vendor reported but the audit
+	// missed (the methodology's own §3.1 loss).
+	VendorOnly []string
+	// AnonymousImpressions is the impression count the vendor lumped
+	// under "anonymous.google".
+	AnonymousImpressions int64
+	// UnsafeUnreported lists audit-only publishers whose metadata marks
+	// them brand-unsafe: concrete brand-safety exposure the vendor's
+	// report hides.
+	UnsafeUnreported []string
+}
+
+// FractionUnreported is the paper's headline metric: the share of
+// audit-observed publishers absent from the vendor report (57%
+// aggregate, up to 75% for General-005).
+func (r BrandSafetyResult) FractionUnreported() float64 {
+	return r.Venn.FractionMissedByB()
+}
+
+// FractionAuditMissed is the audit-side loss: the share of
+// vendor-reported publishers the beacon never logged (the paper's
+// footnote-2 16.5%).
+func (r BrandSafetyResult) FractionAuditMissed() float64 {
+	return r.Venn.FractionMissedByA()
+}
+
+// BrandSafety compares one campaign's audit-observed publishers with
+// its vendor report.
+func (a *Auditor) BrandSafety(campaignID string, report *adnet.VendorReport) BrandSafetyResult {
+	audited := stats.SetOf(a.Store.Publishers(campaignID))
+	reported := stats.SetOf(report.ReportedPublishers())
+	return a.brandSafety(campaignID, audited, reported, report.AnonymousImpressions())
+}
+
+// BrandSafetyAggregate pools every campaign's publishers and reports,
+// reproducing Figure 1's all-campaigns diagram.
+func (a *Auditor) BrandSafetyAggregate(reports map[string]*adnet.VendorReport) BrandSafetyResult {
+	audited := stats.SetOf(a.Store.Publishers(""))
+	reported := map[string]struct{}{}
+	var anon int64
+	for _, rep := range reports {
+		for _, p := range rep.ReportedPublishers() {
+			reported[p] = struct{}{}
+		}
+		anon += rep.AnonymousImpressions()
+	}
+	return a.brandSafety("", audited, reported, anon)
+}
+
+func (a *Auditor) brandSafety(campaignID string, audited, reported map[string]struct{}, anon int64) BrandSafetyResult {
+	res := BrandSafetyResult{
+		CampaignID:           campaignID,
+		Venn:                 stats.VennOf(audited, reported),
+		AnonymousImpressions: anon,
+	}
+	for p := range audited {
+		if _, ok := reported[p]; !ok {
+			res.AuditOnly = append(res.AuditOnly, p)
+			if a.Meta != nil {
+				if meta, ok := a.Meta.PublisherMeta(p); ok && meta.Unsafe {
+					res.UnsafeUnreported = append(res.UnsafeUnreported, p)
+				}
+			}
+		}
+	}
+	for p := range reported {
+		if _, ok := audited[p]; !ok {
+			res.VendorOnly = append(res.VendorOnly, p)
+		}
+	}
+	sort.Strings(res.AuditOnly)
+	sort.Strings(res.VendorOnly)
+	sort.Strings(res.UnsafeUnreported)
+	return res
+}

@@ -1,0 +1,82 @@
+package audit
+
+import (
+	"fmt"
+
+	"adaudit/internal/adnet"
+)
+
+// ContextResult is the Table 2 analysis: the fraction of impressions
+// delivered to contextually meaningful publishers, as measured by the
+// audit vs. claimed by the vendor.
+type ContextResult struct {
+	CampaignID string
+	// AuditImpressions is the number of logged impressions analysed.
+	AuditImpressions int
+	// MeaningfulImpressions is how many of them rendered on a publisher
+	// whose keywords match the campaign's or whose topics are
+	// semantically similar (Leacock–Chodorow) to a campaign keyword.
+	MeaningfulImpressions int
+	// UnknownMeta counts impressions whose publisher has no metadata;
+	// they count as not meaningful, as in the paper (publishers with no
+	// assigned keywords cannot match).
+	UnknownMeta int
+	// VendorClaimed and VendorTotal are the vendor's contextual count
+	// and its denominator (all delivered impressions).
+	VendorClaimed int64
+	VendorTotal   int64
+}
+
+// AuditFraction is the audit-measured contextually-meaningful share.
+func (r ContextResult) AuditFraction() float64 {
+	if r.AuditImpressions == 0 {
+		return 0
+	}
+	return float64(r.MeaningfulImpressions) / float64(r.AuditImpressions)
+}
+
+// VendorFraction is the vendor-claimed contextually-delivered share.
+func (r ContextResult) VendorFraction() float64 {
+	if r.VendorTotal == 0 {
+		return 0
+	}
+	return float64(r.VendorClaimed) / float64(r.VendorTotal)
+}
+
+// Context runs the Table 2 analysis for one campaign. keywords are the
+// campaign's targeting keywords; report may be nil when only the audit
+// side is wanted.
+func (a *Auditor) Context(campaignID string, keywords []string, report *adnet.VendorReport) (ContextResult, error) {
+	if a.Meta == nil || a.Matcher == nil {
+		return ContextResult{}, fmt.Errorf("audit: context analysis requires metadata and a matcher")
+	}
+	res := ContextResult{CampaignID: campaignID}
+
+	// Publisher relevance is a property of the publisher, not the
+	// impression: resolve each distinct publisher once.
+	relevant := map[string]bool{}
+	for _, pub := range a.Store.Publishers(campaignID) {
+		meta, ok := a.Meta.PublisherMeta(pub)
+		if !ok {
+			continue
+		}
+		relevant[pub] = a.Matcher.Relevant(keywords, meta.Keywords, meta.Topics)
+	}
+
+	for _, im := range a.campaignImpressions(campaignID) {
+		res.AuditImpressions++
+		rel, known := relevant[im.Publisher]
+		if !known {
+			res.UnknownMeta++
+			continue
+		}
+		if rel {
+			res.MeaningfulImpressions++
+		}
+	}
+	if report != nil {
+		res.VendorClaimed = report.ContextualImpressions
+		res.VendorTotal = report.TotalImpressionsCharged + report.RefundedImpressions
+	}
+	return res, nil
+}

@@ -1,0 +1,121 @@
+package audit
+
+import (
+	"testing"
+	"time"
+
+	"adaudit/internal/store"
+)
+
+func addConv(t *testing.T, st *store.Store, campaign, user string, at time.Time, value int64) {
+	t.Helper()
+	if _, err := st.InsertConversion(store.Conversion{
+		CampaignID: campaign, UserKey: user, Action: "purchase",
+		ValueCents: value, Timestamp: at,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func addImpClicks(t *testing.T, st *store.Store, campaign, user string, at time.Time, clicks int, dc string) {
+	t.Helper()
+	if dc == "" {
+		dc = "not-data-center"
+	}
+	if _, err := st.Insert(store.Impression{
+		CampaignID: campaign, CreativeID: "cr", Publisher: "p.es",
+		PageURL: "http://p.es/", UserAgent: "UA",
+		IPPseudonym: "ip-" + user, UserKey: user,
+		Timestamp: at, Exposure: time.Second, Clicks: clicks, DataCenter: dc,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConversionTotals(t *testing.T) {
+	st := store.New()
+	// u1: 2 exposures, 1 click, 1 conversion worth 20€.
+	addImpClicks(t, st, "c", "u1", base, 1, "")
+	addImpClicks(t, st, "c", "u1", base.Add(time.Hour), 0, "")
+	addConv(t, st, "c", "u1", base.Add(2*time.Hour), 2000)
+	// u2: 1 exposure, no conversion.
+	addImpClicks(t, st, "c", "u2", base, 0, "")
+	// bot: 2 exposures, 3 clicks, no conversion.
+	addImpClicks(t, st, "c", "bot", base, 2, "provider-db")
+	addImpClicks(t, st, "c", "bot", base.Add(time.Minute), 1, "provider-db")
+
+	a := newAuditor(t, st, nil)
+	res := a.Conversions("c")
+	if res.Impressions != 5 || res.Clicks != 4 || res.Conversions != 1 {
+		t.Fatalf("totals = %+v", res)
+	}
+	if res.ValueCents != 2000 {
+		t.Fatalf("value = %d", res.ValueCents)
+	}
+	if got := res.ConversionRatio(); got != 0.2 {
+		t.Fatalf("ratio = %v", got)
+	}
+	if got := res.CTR(); got != 0.8 {
+		t.Fatalf("ctr = %v", got)
+	}
+	// The click-spam signature: DC clicks high, DC conversions zero.
+	if res.DataCenterImpressions != 2 || res.DataCenterClicks != 3 {
+		t.Fatalf("dc segment = %+v", res)
+	}
+	if got := res.DataCenterCTR(); got != 1.5 {
+		t.Fatalf("dc ctr = %v", got)
+	}
+	if res.DataCenterConversions != 0 {
+		t.Fatalf("dc conversions = %d", res.DataCenterConversions)
+	}
+}
+
+func TestConversionFrequencyCurve(t *testing.T) {
+	st := store.New()
+	// One user with 1 exposure and a conversion; one with 15 exposures
+	// and a conversion; one with 30 exposures and none.
+	addImpClicks(t, st, "c", "u1", base, 0, "")
+	addConv(t, st, "c", "u1", base.Add(time.Hour), 100)
+	for i := 0; i < 15; i++ {
+		addImpClicks(t, st, "c", "u15", base.Add(time.Duration(i)*time.Minute), 0, "")
+	}
+	addConv(t, st, "c", "u15", base.Add(time.Hour), 100)
+	for i := 0; i < 30; i++ {
+		addImpClicks(t, st, "c", "u30", base.Add(time.Duration(i)*time.Minute), 0, "")
+	}
+
+	a := newAuditor(t, st, nil)
+	res := a.Conversions("c")
+	byLo := map[int]ExposureBucket{}
+	for _, b := range res.ByExposure {
+		byLo[b.Lo] = b
+	}
+	if b := byLo[1]; b.Users != 1 || b.Conversions != 1 {
+		t.Fatalf("bucket [1,1] = %+v", b)
+	}
+	if b := byLo[11]; b.Users != 1 || b.Conversions != 1 || b.Impressions != 15 {
+		t.Fatalf("bucket [11,20] = %+v", b)
+	}
+	if b := byLo[21]; b.Users != 1 || b.Conversions != 0 || b.Impressions != 30 {
+		t.Fatalf("bucket [21,50] = %+v", b)
+	}
+	if got := byLo[1].ConversionsPerUser(); got != 1 {
+		t.Fatalf("conv/user = %v", got)
+	}
+	if got := (ExposureBucket{}).ConversionsPerUser(); got != 0 {
+		t.Fatalf("empty bucket conv/user = %v", got)
+	}
+}
+
+func TestConversionsDontCrossCampaigns(t *testing.T) {
+	st := store.New()
+	addImpClicks(t, st, "c1", "u", base, 0, "")
+	addConv(t, st, "c2", "u", base, 100)
+	a := newAuditor(t, st, nil)
+	if got := a.Conversions("c1"); got.Conversions != 0 {
+		t.Fatalf("c1 picked up c2's conversion: %+v", got)
+	}
+	if got := a.Conversions("c2"); got.Conversions != 1 {
+		t.Fatalf("c2 lost its conversion: %+v", got)
+	}
+}

@@ -1,0 +1,66 @@
+package audit
+
+import (
+	"fmt"
+
+	"adaudit/internal/adnet"
+)
+
+// CampaignInput names one campaign to audit: its targeting keywords
+// (needed by the context analysis) and its vendor report.
+type CampaignInput struct {
+	ID       string
+	Keywords []string
+	Report   *adnet.VendorReport
+}
+
+// CampaignAudit bundles every per-campaign analysis.
+type CampaignAudit struct {
+	ID          string
+	BrandSafety BrandSafetyResult
+	Context     ContextResult
+	Popularity  PopularityResult
+	Viewability ViewabilityResult
+	Fraud       FraudResult
+}
+
+// FullReport is the complete audit of a dataset: one CampaignAudit per
+// campaign plus the cross-campaign aggregates (Figure 1's all-campaigns
+// Venn and Figure 3's frequency scatter).
+type FullReport struct {
+	PerCampaign []CampaignAudit
+	Aggregate   BrandSafetyResult
+	Frequency   FrequencyResult
+}
+
+// FullAudit runs every analysis over the dataset. Popularity uses
+// base-10 rank buckets up to 10M, matching Figure 2.
+func (a *Auditor) FullAudit(inputs []CampaignInput) (*FullReport, error) {
+	rep := &FullReport{}
+	reports := map[string]*adnet.VendorReport{}
+	for _, in := range inputs {
+		if in.Report == nil {
+			return nil, fmt.Errorf("audit: campaign %s has no vendor report", in.ID)
+		}
+		reports[in.ID] = in.Report
+
+		ca := CampaignAudit{ID: in.ID}
+		ca.BrandSafety = a.BrandSafety(in.ID, in.Report)
+		ctx, err := a.Context(in.ID, in.Keywords, in.Report)
+		if err != nil {
+			return nil, fmt.Errorf("audit: context for %s: %w", in.ID, err)
+		}
+		ca.Context = ctx
+		pop, err := a.Popularity(in.ID, 10, 10_000_000)
+		if err != nil {
+			return nil, fmt.Errorf("audit: popularity for %s: %w", in.ID, err)
+		}
+		ca.Popularity = pop
+		ca.Viewability = a.Viewability(in.ID)
+		ca.Fraud = a.Fraud(in.ID)
+		rep.PerCampaign = append(rep.PerCampaign, ca)
+	}
+	rep.Aggregate = a.BrandSafetyAggregate(reports)
+	rep.Frequency = a.Frequency()
+	return rep, nil
+}

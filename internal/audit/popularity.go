@@ -1,0 +1,107 @@
+package audit
+
+import (
+	"fmt"
+
+	"adaudit/internal/stats"
+)
+
+// PopularityResult is the Figure 2 analysis: how a campaign's
+// publishers and impressions distribute across popularity-rank buckets.
+type PopularityResult struct {
+	CampaignID string
+	// Publishers histograms each distinct publisher once by its rank.
+	Publishers *stats.Histogram
+	// Impressions histograms every impression by its publisher's rank.
+	Impressions *stats.Histogram
+	// UnknownMeta counts impressions whose publisher has no rank
+	// metadata (excluded from the histograms).
+	UnknownMeta int
+
+	// Raw ranks backing exact threshold queries (the histograms bucket
+	// by decades, which cannot answer mid-bucket cut-offs like the
+	// paper's Top-50K exactly).
+	pubRanks []int
+	impRanks []int
+}
+
+// TopKPublisherFraction returns the share of distinct publishers inside
+// the top-limit ranks, Figure 2's headline summary (e.g. limit=50000).
+func (r PopularityResult) TopKPublisherFraction(limit int) float64 {
+	return fractionAtOrBelow(r.pubRanks, limit)
+}
+
+// TopKImpressionFraction returns the share of impressions delivered on
+// publishers inside the top-limit ranks.
+func (r PopularityResult) TopKImpressionFraction(limit int) float64 {
+	return fractionAtOrBelow(r.impRanks, limit)
+}
+
+func fractionAtOrBelow(ranks []int, limit int) float64 {
+	if len(ranks) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range ranks {
+		if r <= limit {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ranks))
+}
+
+// Popularity runs the Figure 2 analysis for one campaign (or the whole
+// dataset when campaignID is ""), bucketing ranks logarithmically with
+// the given base up to maxRank. The paper uses base 10 over the Alexa
+// ranking's 10M span.
+func (a *Auditor) Popularity(campaignID string, base float64, maxRank float64) (PopularityResult, error) {
+	if a.Meta == nil {
+		return PopularityResult{}, fmt.Errorf("audit: popularity analysis requires metadata")
+	}
+	lb, err := stats.NewLogBuckets(base, maxRank)
+	if err != nil {
+		return PopularityResult{}, fmt.Errorf("audit: building rank buckets: %w", err)
+	}
+	res := PopularityResult{
+		CampaignID:  campaignID,
+		Publishers:  stats.NewHistogram(lb),
+		Impressions: stats.NewHistogram(lb),
+	}
+	ranks := map[string]int{}
+	for _, pub := range a.Store.Publishers(campaignID) {
+		meta, ok := a.Meta.PublisherMeta(pub)
+		if !ok {
+			continue
+		}
+		ranks[pub] = meta.Rank
+		res.Publishers.Observe(float64(meta.Rank))
+		res.pubRanks = append(res.pubRanks, meta.Rank)
+	}
+	for _, im := range a.campaignImpressions(campaignID) {
+		rank, ok := ranks[im.Publisher]
+		if !ok {
+			res.UnknownMeta++
+			continue
+		}
+		res.Impressions.Observe(float64(rank))
+		res.impRanks = append(res.impRanks, rank)
+	}
+	return res, nil
+}
+
+// PopularityCPMCorrelation quantifies the paper's Figure 2 headline —
+// that paying a higher CPM does not buy delivery on more popular
+// publishers — as the Spearman rank correlation between campaign CPMs
+// and their top-limit impression shares. A positive correlation would
+// mean money buys popularity; the paper's data (and this reproduction)
+// yield a non-positive one.
+func PopularityCPMCorrelation(cpms []float64, results []PopularityResult, limit int) (float64, error) {
+	if len(cpms) != len(results) {
+		return 0, fmt.Errorf("audit: %d CPMs for %d popularity results", len(cpms), len(results))
+	}
+	shares := make([]float64, len(results))
+	for i := range results {
+		shares[i] = results[i].TopKImpressionFraction(limit)
+	}
+	return stats.SpearmanRho(cpms, shares)
+}

@@ -1,0 +1,163 @@
+package audit
+
+import (
+	"sort"
+	"time"
+
+	"adaudit/internal/stats"
+	"adaudit/internal/store"
+)
+
+// ViewabilityResult is the Table 3 analysis: the fraction of logged
+// impressions meeting the upper-bound viewability criterion the
+// methodology can measure from inside an iframe — exposed for at least
+// one second (the Same-Origin policy hides whether 50% of pixels were
+// on screen, §3.1).
+type ViewabilityResult struct {
+	CampaignID  string
+	Impressions int
+	ViewableUB  int
+	// MeasuredImpressions counts placements where the beacon could read
+	// the visible-pixel fraction (friendly iframes); MRCViewable counts
+	// those meeting the FULL MRC standard — >= 50% of pixels for >= 1 s.
+	// Comparing MRCFraction with Fraction quantifies how loose the
+	// §3.1 upper bound is.
+	MeasuredImpressions int
+	MRCViewable         int
+	// ExposureSummary describes the exposure-time distribution in
+	// seconds.
+	ExposureSummary stats.Summary
+}
+
+// Fraction returns the viewable-upper-bound share.
+func (r ViewabilityResult) Fraction() float64 {
+	if r.Impressions == 0 {
+		return 0
+	}
+	return float64(r.ViewableUB) / float64(r.Impressions)
+}
+
+// MRCFraction returns the strict-standard viewable share among the
+// impressions where visibility was measurable, or 0 when none were.
+func (r ViewabilityResult) MRCFraction() float64 {
+	if r.MeasuredImpressions == 0 {
+		return 0
+	}
+	return float64(r.MRCViewable) / float64(r.MeasuredImpressions)
+}
+
+// ViewabilityThreshold is the MRC/IAB standard's time component.
+const ViewabilityThreshold = time.Second
+
+// Viewability runs the Table 3 analysis for one campaign ("" for all).
+func (a *Auditor) Viewability(campaignID string) ViewabilityResult {
+	res := ViewabilityResult{CampaignID: campaignID}
+	var exposures []float64
+	for _, im := range a.campaignImpressions(campaignID) {
+		res.Impressions++
+		if im.Exposure >= ViewabilityThreshold {
+			res.ViewableUB++
+		}
+		if im.VisibilityMeasured {
+			res.MeasuredImpressions++
+			if im.Exposure >= ViewabilityThreshold && im.MaxVisibleFraction >= 0.5 {
+				res.MRCViewable++
+			}
+		}
+		exposures = append(exposures, im.Exposure.Seconds())
+	}
+	res.ExposureSummary = stats.Summarize(exposures)
+	return res
+}
+
+// UserFrequency is one point of Figure 3's scatter: a (campaign, user)
+// pair with the impressions it received and the median inter-arrival
+// time between consecutive impressions.
+type UserFrequency struct {
+	CampaignID string
+	UserKey    string
+	// Impressions of this campaign's ad delivered to the user.
+	Impressions int
+	// MedianInterArrival between consecutive impressions; zero when the
+	// user saw fewer than two.
+	MedianInterArrival time.Duration
+}
+
+// FrequencyResult is the Figure 3 analysis.
+type FrequencyResult struct {
+	// Points holds one entry per (campaign, user) pair, sorted by
+	// impressions descending.
+	Points []UserFrequency
+	// UsersOver counts users above each impression threshold; the paper
+	// reports 1720 users over 10 and 176 over 100.
+	UsersOver10  int
+	UsersOver100 int
+}
+
+// MaxImpressions returns the heaviest user's impression count.
+func (r FrequencyResult) MaxImpressions() int {
+	if len(r.Points) == 0 {
+		return 0
+	}
+	return r.Points[0].Impressions
+}
+
+// MedianIATBelow counts users with more than minImps impressions whose
+// median inter-arrival time is below d — the paper's "hundreds of
+// impressions under a minute apart" observation.
+func (r FrequencyResult) MedianIATBelow(minImps int, d time.Duration) int {
+	n := 0
+	for _, p := range r.Points {
+		if p.Impressions > minImps && p.MedianInterArrival > 0 && p.MedianInterArrival < d {
+			n++
+		}
+	}
+	return n
+}
+
+// Frequency runs the Figure 3 analysis across all campaigns: a user is
+// an (IP pseudonym, User-Agent) pair, and each campaign's ad is counted
+// separately for the same user.
+func (a *Auditor) Frequency() FrequencyResult {
+	type key struct{ campaign, user string }
+	times := map[key][]time.Time{}
+	a.Store.ForEach(func(im store.Impression) bool {
+		k := key{im.CampaignID, im.UserKey}
+		times[k] = append(times[k], im.Timestamp)
+		return true
+	})
+
+	res := FrequencyResult{Points: make([]UserFrequency, 0, len(times))}
+	for k, ts := range times {
+		p := UserFrequency{
+			CampaignID:  k.campaign,
+			UserKey:     k.user,
+			Impressions: len(ts),
+		}
+		if len(ts) >= 2 {
+			sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
+			gaps := make([]time.Duration, len(ts)-1)
+			for i := 1; i < len(ts); i++ {
+				gaps[i-1] = ts[i].Sub(ts[i-1])
+			}
+			p.MedianInterArrival = stats.MedianDurations(gaps)
+		}
+		if p.Impressions > 10 {
+			res.UsersOver10++
+		}
+		if p.Impressions > 100 {
+			res.UsersOver100++
+		}
+		res.Points = append(res.Points, p)
+	}
+	sort.Slice(res.Points, func(i, j int) bool {
+		if res.Points[i].Impressions != res.Points[j].Impressions {
+			return res.Points[i].Impressions > res.Points[j].Impressions
+		}
+		if res.Points[i].UserKey != res.Points[j].UserKey {
+			return res.Points[i].UserKey < res.Points[j].UserKey
+		}
+		return res.Points[i].CampaignID < res.Points[j].CampaignID
+	})
+	return res
+}

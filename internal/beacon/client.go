@@ -1,0 +1,128 @@
+package beacon
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"adaudit/internal/wsproto"
+)
+
+// Client replays the beacon's network behaviour from Go: it opens a
+// WebSocket to the collector, sends the impression payload as a text
+// frame, optionally streams interaction updates, and holds the
+// connection open for the exposure duration — exactly the traffic the
+// injected JavaScript generates, so the collector cannot tell them
+// apart. Used by the simulator's device fleet and by integration tests.
+type Client struct {
+	// CollectorURL is the ws:// endpoint of the collector.
+	CollectorURL string
+	// Dialer customises the underlying WebSocket dial (e.g. NetDial for
+	// tests). The zero value works.
+	Dialer wsproto.Dialer
+}
+
+// Session is a live beacon connection for one ad impression.
+type Session struct {
+	conn *wsproto.Conn
+}
+
+// serviceControlFrames keeps a reader on the connection so protocol
+// control traffic is handled for the session's lifetime — in particular
+// the collector's keep-alive pings get their automatic pongs, exactly
+// as a browser's WebSocket implementation pongs beneath the page's
+// JavaScript. It exits when the connection dies.
+func (s *Session) serviceControlFrames() {
+	for {
+		if _, _, err := s.conn.ReadMessage(); err != nil {
+			return
+		}
+	}
+}
+
+// Open connects to the collector and transmits the initial impression
+// payload. The returned session keeps the connection (and therefore the
+// collector's exposure clock) running until Close.
+func (c *Client) Open(ctx context.Context, p Payload) (*Session, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	d := c.Dialer
+	if d.Header == nil {
+		d.Header = http.Header{}
+		// Browsers send the page origin and UA with the WS handshake;
+		// the collector prefers the in-payload values but logs these.
+		if p.UserAgent != "" {
+			d.Header.Set("User-Agent", p.UserAgent)
+		}
+	}
+	conn, _, err := d.Dial(ctx, c.CollectorURL)
+	if err != nil {
+		return nil, fmt.Errorf("beacon: dialing collector: %w", err)
+	}
+	if err := conn.WriteText(p.Encode()); err != nil {
+		conn.Close(wsproto.CloseInternalError, "write failed")
+		return nil, fmt.Errorf("beacon: sending impression: %w", err)
+	}
+	sess := &Session{conn: conn}
+	go sess.serviceControlFrames()
+	return sess, nil
+}
+
+// SendEvent streams an interaction update on the open session.
+func (s *Session) SendEvent(e Event) error {
+	if err := s.conn.WriteText(EncodeEventUpdate(e)); err != nil {
+		return fmt.Errorf("beacon: sending event: %w", err)
+	}
+	return nil
+}
+
+// Hold keeps the session open for d (simulating the user staying on the
+// page), respecting ctx cancellation.
+func (s *Session) Hold(ctx context.Context, d time.Duration) error {
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close ends the impression: the collector records the disconnect time
+// and derives the exposure duration.
+func (s *Session) Close() error {
+	return s.conn.Close(wsproto.CloseNormal, "unload")
+}
+
+// Report is a convenience helper: open, hold for the exposure duration,
+// send the given events at their offsets (best effort), and close.
+func (c *Client) Report(ctx context.Context, p Payload, exposure time.Duration) error {
+	events := p.Events
+	p.Events = nil
+	sess, err := c.Open(ctx, p)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	start := time.Now()
+	for _, e := range events {
+		wait := e.At - time.Since(start)
+		if wait > 0 {
+			if err := sess.Hold(ctx, wait); err != nil {
+				return err
+			}
+		}
+		if err := sess.SendEvent(e); err != nil {
+			return err
+		}
+	}
+	remaining := exposure - time.Since(start)
+	if remaining > 0 {
+		if err := sess.Hold(ctx, remaining); err != nil {
+			return err
+		}
+	}
+	return nil
+}

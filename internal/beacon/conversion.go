@@ -1,0 +1,96 @@
+package beacon
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+)
+
+// Conversion is the payload the advertiser's conversion pixel reports
+// when a desired action (purchase, booking, signup) completes on the
+// advertiser's own site. Unlike the in-ad beacon it runs first-party,
+// so it travels over a plain HTTP pixel request rather than a
+// WebSocket; the collector joins it to exposures through the same
+// (IP, User-Agent) user identity.
+//
+// The paper defines the conversion ratio in §2 and leaves its analysis
+// as future work; this message type completes that loop.
+type Conversion struct {
+	// CampaignID attributes the action to a campaign (carried through
+	// the landing-page URL's click tag, as ad platforms do).
+	CampaignID string
+	// Action names the conversion event, e.g. "purchase".
+	Action string
+	// ValueCents is the action's value in euro cents, 0 if valueless.
+	ValueCents int64
+}
+
+// Validate checks the conversion is complete enough to report.
+func (c Conversion) Validate() error {
+	switch {
+	case c.CampaignID == "":
+		return fmt.Errorf("beacon: conversion missing campaign id")
+	case c.Action == "":
+		return fmt.Errorf("beacon: conversion missing action")
+	case c.ValueCents < 0:
+		return fmt.Errorf("beacon: negative conversion value %d", c.ValueCents)
+	}
+	return nil
+}
+
+// EncodeQuery serialises the conversion as the query string of a pixel
+// request: GET /conv?v=1&t=conv&cid=...&action=...&val=...
+func (c Conversion) EncodeQuery() string {
+	v := url.Values{}
+	v.Set("v", strconv.Itoa(PayloadVersion))
+	v.Set("t", "conv")
+	v.Set("cid", c.CampaignID)
+	v.Set("action", c.Action)
+	if c.ValueCents != 0 {
+		v.Set("val", strconv.FormatInt(c.ValueCents, 10))
+	}
+	return v.Encode()
+}
+
+// DecodeConversion parses a conversion pixel query string.
+func DecodeConversion(s string) (Conversion, error) {
+	v, err := url.ParseQuery(s)
+	if err != nil {
+		return Conversion{}, fmt.Errorf("beacon: parsing conversion: %w", err)
+	}
+	if v.Get("v") != strconv.Itoa(PayloadVersion) {
+		return Conversion{}, fmt.Errorf("beacon: unsupported conversion version %q", v.Get("v"))
+	}
+	if v.Get("t") != "conv" {
+		return Conversion{}, fmt.Errorf("beacon: not a conversion payload (t=%q)", v.Get("t"))
+	}
+	c := Conversion{
+		CampaignID: v.Get("cid"),
+		Action:     v.Get("action"),
+	}
+	if raw := v.Get("val"); raw != "" {
+		val, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return Conversion{}, fmt.Errorf("beacon: malformed conversion value %q", raw)
+		}
+		c.ValueCents = val
+	}
+	if err := c.Validate(); err != nil {
+		return Conversion{}, err
+	}
+	return c, nil
+}
+
+// PixelTag renders the HTML the advertiser embeds on its conversion
+// page — a 1x1 image pointing at the collector's /conv endpoint.
+// collectorBase is the http(s) origin of the collector.
+func (c Conversion) PixelTag(collectorBase string) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	if collectorBase == "" {
+		return "", fmt.Errorf("beacon: pixel tag requires a collector base URL")
+	}
+	return fmt.Sprintf(`<img src="%s/conv?%s" width="1" height="1" alt="" style="display:none">`,
+		collectorBase, c.EncodeQuery()), nil
+}

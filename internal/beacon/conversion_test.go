@@ -1,0 +1,93 @@
+package beacon
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConversionRoundTrip(t *testing.T) {
+	c := Conversion{CampaignID: "spring-sale", Action: "purchase", ValueCents: 4999}
+	got, err := DecodeConversion(c.EncodeQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestConversionRoundTripZeroValue(t *testing.T) {
+	c := Conversion{CampaignID: "c", Action: "signup"}
+	got, err := DecodeConversion(c.EncodeQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ValueCents != 0 {
+		t.Fatalf("zero value round trip: %+v", got)
+	}
+}
+
+func TestConversionRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(cid, action string, val int64) bool {
+		clean := func(s, fallback string) string {
+			s = strings.Map(func(r rune) rune {
+				if r < 0x20 || r > 0x7E {
+					return -1
+				}
+				return r
+			}, s)
+			if s == "" {
+				return fallback
+			}
+			return s
+		}
+		if val < 0 {
+			val = -val
+		}
+		c := Conversion{CampaignID: clean(cid, "c"), Action: clean(action, "a"), ValueCents: val}
+		got, err := DecodeConversion(c.EncodeQuery())
+		return err == nil && got == c
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeConversionRejects(t *testing.T) {
+	cases := map[string]string{
+		"impression payload": samplePayload().Encode(),
+		"missing t":          "v=1&cid=c&action=a",
+		"wrong t":            "v=1&t=imp&cid=c&action=a",
+		"missing campaign":   "v=1&t=conv&action=a",
+		"missing action":     "v=1&t=conv&cid=c",
+		"bad value":          "v=1&t=conv&cid=c&action=a&val=xx",
+		"negative value":     "v=1&t=conv&cid=c&action=a&val=-5",
+		"wrong version":      "v=2&t=conv&cid=c&action=a",
+		"bad query":          "v=1&%zz",
+	}
+	for name, raw := range cases {
+		if _, err := DecodeConversion(raw); err == nil {
+			t.Errorf("%s: accepted %q", name, raw)
+		}
+	}
+}
+
+func TestPixelTag(t *testing.T) {
+	c := Conversion{CampaignID: "c", Action: "purchase", ValueCents: 100}
+	tag, err := c.PixelTag("https://collector.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<img", "/conv?", "t=conv", "cid=c", `width="1"`} {
+		if !strings.Contains(tag, want) {
+			t.Errorf("pixel tag missing %q: %s", want, tag)
+		}
+	}
+	if _, err := c.PixelTag(""); err == nil {
+		t.Fatal("empty base accepted")
+	}
+	if _, err := (Conversion{}).PixelTag("http://x"); err == nil {
+		t.Fatal("invalid conversion accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package beacon
+
+import (
+	"testing"
+)
+
+// FuzzDecode checks the impression-payload parser never panics and that
+// anything it accepts re-encodes to an equivalent payload.
+func FuzzDecode(f *testing.F) {
+	f.Add(samplePayload().Encode())
+	f.Add("v=1&cid=c&crid=r&url=http%3A%2F%2Fx.es%2F")
+	f.Add("v=1&cid=c&crid=r&url=http%3A%2F%2Fx.es%2F&ev=click%40100,move%40200")
+	f.Add("")
+	f.Add("&&&=%%%")
+	f.Add("v=9")
+	f.Fuzz(func(t *testing.T, raw string) {
+		p, err := Decode(raw)
+		if err != nil {
+			return
+		}
+		// Accepted payloads must be internally valid and re-decodable.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Decode accepted invalid payload: %v", err)
+		}
+		q, err := Decode(p.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if q.CampaignID != p.CampaignID || q.PageURL != p.PageURL || len(q.Events) != len(p.Events) {
+			t.Fatalf("round trip drift: %+v vs %+v", p, q)
+		}
+	})
+}
+
+// FuzzDecodeEventUpdate checks the incremental-event parser never
+// panics and classifies consistently.
+func FuzzDecodeEventUpdate(f *testing.F) {
+	f.Add("ev:click@100")
+	f.Add("ev:move@0")
+	f.Add("ev:")
+	f.Add("not an event")
+	f.Add("ev:vis@500:0.750")
+	f.Fuzz(func(t *testing.T, raw string) {
+		e, isEvent, err := DecodeEventUpdate(raw)
+		if err == nil && isEvent {
+			// Valid events survive a re-encode/re-decode cycle (the
+			// textual form may differ, e.g. fraction precision).
+			e2, isEvent2, err := DecodeEventUpdate(EncodeEventUpdate(e))
+			if err != nil || !isEvent2 {
+				t.Fatalf("re-decode of %q failed: %v", raw, err)
+			}
+			if e2.Kind != e.Kind || e2.At != e.At {
+				t.Fatalf("round trip drift: %+v vs %+v", e, e2)
+			}
+		}
+	})
+}
+
+// FuzzDecodeConversion checks the conversion parser never panics and
+// accepted conversions round trip.
+func FuzzDecodeConversion(f *testing.F) {
+	f.Add(Conversion{CampaignID: "c", Action: "a", ValueCents: 1}.EncodeQuery())
+	f.Add("v=1&t=conv&cid=c&action=a")
+	f.Add("t=conv")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, raw string) {
+		c, err := DecodeConversion(raw)
+		if err != nil {
+			return
+		}
+		got, err := DecodeConversion(c.EncodeQuery())
+		if err != nil || got != c {
+			t.Fatalf("round trip drift: %+v vs %+v (%v)", c, got, err)
+		}
+	})
+}

@@ -1,0 +1,214 @@
+// Package beacon implements the measurement code the paper injects into
+// HTML5 display ads (§3): the payload format the in-ad JavaScript sends
+// over a WebSocket to the central collector, a Go client speaking the
+// same wire protocol (indistinguishable from a browser at the collector),
+// and a generator for the embeddable JavaScript snippet itself.
+package beacon
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// PayloadVersion is the wire-format version this package speaks.
+const PayloadVersion = 1
+
+// EventKind is a user-interaction type observed on the ad.
+type EventKind string
+
+// Interaction kinds the paper's JavaScript collects, plus the
+// visibility extension.
+const (
+	EventMouseMove EventKind = "move"
+	EventClick     EventKind = "click"
+	// EventVisibility reports the fraction of the ad's pixels inside
+	// the viewport. The paper's §3.1 notes the Same-Origin policy hides
+	// this in cross-origin iframes, limiting it to a viewability upper
+	// bound; placements in friendly (same-origin) iframes CAN measure
+	// it, and this event carries that measurement when available.
+	EventVisibility EventKind = "vis"
+)
+
+// Event is one user interaction with the ad.
+type Event struct {
+	Kind EventKind
+	// At is the time since the impression rendered.
+	At time.Duration
+	// Fraction is the visible-pixel fraction in [0,1]; only meaningful
+	// for EventVisibility.
+	Fraction float64
+}
+
+// Payload is the information the beacon transmits for one ad impression.
+// The collector augments it with connection-derived facts (client IP,
+// timestamps, exposure time) which deliberately do NOT travel in the
+// payload: the paper derives them server-side so a lying client cannot
+// forge them.
+type Payload struct {
+	// CampaignID identifies the advertiser campaign the creative
+	// belongs to.
+	CampaignID string
+	// CreativeID identifies the specific ad creative.
+	CreativeID string
+	// PageURL is the full URL of the page displaying the ad; its host
+	// is the publisher. Inside a cross-origin iframe the beacon reads
+	// document.referrer, the standard workaround the paper's §3.1
+	// Same-Origin discussion implies.
+	PageURL string
+	// UserAgent is the browser's navigator.userAgent.
+	UserAgent string
+	// Events are user interactions observed so far.
+	Events []Event
+}
+
+// Validate checks the payload is complete enough to ingest.
+func (p Payload) Validate() error {
+	switch {
+	case p.CampaignID == "":
+		return fmt.Errorf("beacon: payload missing campaign id")
+	case p.CreativeID == "":
+		return fmt.Errorf("beacon: payload missing creative id")
+	case p.PageURL == "":
+		return fmt.Errorf("beacon: payload missing page url")
+	}
+	if _, err := url.Parse(p.PageURL); err != nil {
+		return fmt.Errorf("beacon: invalid page url: %w", err)
+	}
+	return nil
+}
+
+// Publisher returns the publisher domain: the hostname of PageURL,
+// lower-cased and stripped of a "www." prefix, matching how the paper
+// reduces impression URLs to publishers.
+func (p Payload) Publisher() (string, error) {
+	u, err := url.Parse(p.PageURL)
+	if err != nil {
+		return "", fmt.Errorf("beacon: parsing page url: %w", err)
+	}
+	host := strings.ToLower(u.Hostname())
+	host = strings.TrimPrefix(host, "www.")
+	if host == "" {
+		return "", fmt.Errorf("beacon: page url %q has no host", p.PageURL)
+	}
+	return host, nil
+}
+
+// Encode serialises the payload to the string the beacon sends as a
+// WebSocket text message: URL-encoded key/value pairs, the format a
+// five-line JavaScript encoder can emit.
+func (p Payload) Encode() string {
+	v := url.Values{}
+	v.Set("v", strconv.Itoa(PayloadVersion))
+	v.Set("cid", p.CampaignID)
+	v.Set("crid", p.CreativeID)
+	v.Set("url", p.PageURL)
+	v.Set("ua", p.UserAgent)
+	if len(p.Events) > 0 {
+		evs := make([]string, len(p.Events))
+		for i, e := range p.Events {
+			evs[i] = encodeEvent(e)
+		}
+		v.Set("ev", strings.Join(evs, ","))
+	}
+	return v.Encode()
+}
+
+// encodeEvent renders one event: "kind@ms" or "vis@ms:frac".
+func encodeEvent(e Event) string {
+	if e.Kind == EventVisibility {
+		return fmt.Sprintf("%s@%d:%.3f", e.Kind, e.At.Milliseconds(), e.Fraction)
+	}
+	return fmt.Sprintf("%s@%d", e.Kind, e.At.Milliseconds())
+}
+
+// decodeEvent parses one event token.
+func decodeEvent(part string) (Event, error) {
+	kind, rest, ok := strings.Cut(part, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("beacon: malformed event %q", part)
+	}
+	atRaw, fracRaw, hasFrac := strings.Cut(rest, ":")
+	ms, err := strconv.ParseInt(atRaw, 10, 64)
+	if err != nil || ms < 0 {
+		return Event{}, fmt.Errorf("beacon: malformed event time %q", atRaw)
+	}
+	e := Event{Kind: EventKind(kind), At: time.Duration(ms) * time.Millisecond}
+	switch e.Kind {
+	case EventMouseMove, EventClick:
+		if hasFrac {
+			return Event{}, fmt.Errorf("beacon: unexpected fraction on %q", part)
+		}
+	case EventVisibility:
+		if !hasFrac {
+			return Event{}, fmt.Errorf("beacon: visibility event %q missing fraction", part)
+		}
+		f, err := strconv.ParseFloat(fracRaw, 64)
+		if err != nil || f < 0 || f > 1 {
+			return Event{}, fmt.Errorf("beacon: malformed visibility fraction %q", fracRaw)
+		}
+		e.Fraction = f
+	default:
+		return Event{}, fmt.Errorf("beacon: unknown event kind %q", kind)
+	}
+	return e, nil
+}
+
+// Decode parses a payload string received by the collector. It is
+// deliberately tolerant of unknown keys (future beacon versions) but
+// strict about the version and the event syntax.
+func Decode(s string) (Payload, error) {
+	v, err := url.ParseQuery(s)
+	if err != nil {
+		return Payload{}, fmt.Errorf("beacon: parsing payload: %w", err)
+	}
+	ver := v.Get("v")
+	if ver != strconv.Itoa(PayloadVersion) {
+		return Payload{}, fmt.Errorf("beacon: unsupported payload version %q", ver)
+	}
+	p := Payload{
+		CampaignID: v.Get("cid"),
+		CreativeID: v.Get("crid"),
+		PageURL:    v.Get("url"),
+		UserAgent:  v.Get("ua"),
+	}
+	if raw := v.Get("ev"); raw != "" {
+		for _, part := range strings.Split(raw, ",") {
+			e, err := decodeEvent(part)
+			if err != nil {
+				return Payload{}, err
+			}
+			p.Events = append(p.Events, e)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Payload{}, err
+	}
+	return p, nil
+}
+
+// eventMessagePrefix distinguishes incremental interaction updates sent
+// after the initial impression message on the same connection.
+const eventMessagePrefix = "ev:"
+
+// EncodeEventUpdate serialises a single interaction event sent after the
+// initial impression message.
+func EncodeEventUpdate(e Event) string {
+	return eventMessagePrefix + encodeEvent(e)
+}
+
+// DecodeEventUpdate parses an incremental interaction message. ok is
+// false if the message is not an event update (i.e. it should be parsed
+// as an initial payload instead).
+func DecodeEventUpdate(s string) (Event, bool, error) {
+	if !strings.HasPrefix(s, eventMessagePrefix) {
+		return Event{}, false, nil
+	}
+	e, err := decodeEvent(strings.TrimPrefix(s, eventMessagePrefix))
+	if err != nil {
+		return Event{}, true, err
+	}
+	return e, true, nil
+}

@@ -1,0 +1,155 @@
+package beacon
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func samplePayload() Payload {
+	return Payload{
+		CampaignID: "Research-010",
+		CreativeID: "creative-728x90",
+		PageURL:    "http://www.ciencia123.es/articulo?id=7&ref=home",
+		UserAgent:  "Mozilla/5.0 (Windows NT 10.0) Chrome/49.0",
+		Events: []Event{
+			{Kind: EventMouseMove, At: 1200 * time.Millisecond},
+			{Kind: EventClick, At: 3400 * time.Millisecond},
+		},
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	p := samplePayload()
+	got, err := Decode(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CampaignID != p.CampaignID || got.CreativeID != p.CreativeID ||
+		got.PageURL != p.PageURL || got.UserAgent != p.UserAgent {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if len(got.Events) != 2 || got.Events[0] != p.Events[0] || got.Events[1] != p.Events[1] {
+		t.Fatalf("events mismatch: %+v", got.Events)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary printable field values.
+func TestPayloadRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(cid, crid, host, ua string) bool {
+		clean := func(s, fallback string) string {
+			s = strings.Map(func(r rune) rune {
+				if r < 0x20 || r > 0x7E {
+					return -1
+				}
+				return r
+			}, s)
+			if s == "" {
+				return fallback
+			}
+			return s
+		}
+		p := Payload{
+			CampaignID: clean(cid, "c"),
+			CreativeID: clean(crid, "cr"),
+			PageURL:    "http://example.es/" + clean(host, "x"),
+			UserAgent:  clean(ua, ""),
+		}
+		got, err := Decode(p.Encode())
+		if err != nil {
+			return false
+		}
+		return got.CampaignID == p.CampaignID && got.CreativeID == p.CreativeID &&
+			got.PageURL == p.PageURL && got.UserAgent == p.UserAgent
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"wrong version":    "v=9&cid=c&crid=r&url=http://x.es/",
+		"missing version":  "cid=c&crid=r&url=http://x.es/",
+		"missing campaign": "v=1&crid=r&url=http://x.es/",
+		"missing creative": "v=1&cid=c&url=http://x.es/",
+		"missing url":      "v=1&cid=c&crid=r",
+		"bad event":        "v=1&cid=c&crid=r&url=http://x.es/&ev=hover%401000",
+		"bad event time":   "v=1&cid=c&crid=r&url=http://x.es/&ev=click%40-5",
+		"no event sep":     "v=1&cid=c&crid=r&url=http://x.es/&ev=click1000",
+		"bad query":        "v=1&cid=%zz",
+	}
+	for name, raw := range cases {
+		if _, err := Decode(raw); err == nil {
+			t.Errorf("%s: Decode accepted %q", name, raw)
+		}
+	}
+}
+
+func TestPublisherExtraction(t *testing.T) {
+	cases := []struct {
+		url, want string
+	}{
+		{"http://www.futbolhoy123.es/noticia/42", "futbolhoy123.es"},
+		{"https://Ciencia456.ES/path", "ciencia456.es"},
+		{"http://foro789.net", "foro789.net"},
+		{"http://www.sub.blog321.com/x?y=1", "sub.blog321.com"},
+	}
+	for _, c := range cases {
+		p := Payload{CampaignID: "c", CreativeID: "r", PageURL: c.url}
+		got, err := p.Publisher()
+		if err != nil {
+			t.Fatalf("Publisher(%q): %v", c.url, err)
+		}
+		if got != c.want {
+			t.Errorf("Publisher(%q) = %q, want %q", c.url, got, c.want)
+		}
+	}
+	bad := Payload{CampaignID: "c", CreativeID: "r", PageURL: "not-a-url"}
+	if _, err := bad.Publisher(); err == nil {
+		t.Error("Publisher accepted URL without host")
+	}
+}
+
+func TestEventUpdateRoundTrip(t *testing.T) {
+	e := Event{Kind: EventClick, At: 2500 * time.Millisecond}
+	got, isEvent, err := DecodeEventUpdate(EncodeEventUpdate(e))
+	if err != nil || !isEvent {
+		t.Fatalf("decode = %v, %v", isEvent, err)
+	}
+	if got != e {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestEventUpdateDetection(t *testing.T) {
+	// A full payload is not an event update.
+	if _, isEvent, err := DecodeEventUpdate(samplePayload().Encode()); isEvent || err != nil {
+		t.Fatalf("payload misdetected as event: %v, %v", isEvent, err)
+	}
+	// Malformed updates are detected as events but error.
+	for _, raw := range []string{"ev:click", "ev:hover@100", "ev:click@abc", "ev:click@-1"} {
+		if _, isEvent, err := DecodeEventUpdate(raw); !isEvent || err == nil {
+			t.Errorf("DecodeEventUpdate(%q) = (%v, %v), want detected error", raw, isEvent, err)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := samplePayload()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*Payload){
+		func(p *Payload) { p.CampaignID = "" },
+		func(p *Payload) { p.CreativeID = "" },
+		func(p *Payload) { p.PageURL = "" },
+	} {
+		q := samplePayload()
+		mutate(&q)
+		if err := q.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", q)
+		}
+	}
+}

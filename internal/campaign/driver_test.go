@@ -1,0 +1,320 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"adaudit/internal/adnet"
+	"adaudit/internal/collector"
+	"adaudit/internal/ipmeta"
+	"adaudit/internal/publisher"
+	"adaudit/internal/store"
+)
+
+type fixture struct {
+	network *adnet.Network
+	store   *store.Store
+	coll    *collector.Collector
+	driver  *Driver
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	pubs, err := publisher.NewUniverse(publisher.Config{Seed: 21, NumPublishers: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ips, err := ipmeta.NewUniverse(ipmeta.UniverseConfig{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := adnet.New(adnet.Config{Seed: 21, Publishers: pubs, IPs: ips})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	coll, err := collector.New(collector.Config{
+		Store:      st,
+		IPDB:       ips.DB,
+		Classifier: &ipmeta.Classifier{DB: ips.DB, DenyList: ips.DenyList, ManualVerify: ips.ManualVerify},
+		Anonymizer: ipmeta.NewAnonymizer([]byte("fixture")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		network: net,
+		store:   st,
+		coll:    coll,
+		driver:  &Driver{Network: net, Collector: coll, Loss: DefaultLossModel(), Seed: 21},
+	}
+}
+
+func smallCampaign(id string, imps int) adnet.Campaign {
+	return adnet.Campaign{
+		ID: id, CreativeID: "cr", Keywords: []string{"football"},
+		CPM: 0.10, Geo: "ES", Impressions: imps,
+		Start: time.Date(2016, 4, 2, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2016, 4, 3, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestRunAccountsForEveryImpression(t *testing.T) {
+	f := newFixture(t)
+	out, err := f.driver.Run(smallCampaign("acct", 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := out.Logged + out.LostBlocked + out.LostConnection
+	if total != 3000 {
+		t.Fatalf("accounted %d of 3000 impressions", total)
+	}
+	if f.store.Len() != out.Logged {
+		t.Fatalf("store has %d, outcome says %d", f.store.Len(), out.Logged)
+	}
+	if out.Logged == 0 {
+		t.Fatal("nothing logged")
+	}
+}
+
+func TestLossModelLosesSomething(t *testing.T) {
+	f := newFixture(t)
+	out, err := f.driver.Run(smallCampaign("loss", 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.LostBlocked == 0 {
+		t.Fatal("no script-blocked losses: fleet model broken")
+	}
+	if out.LostConnection == 0 {
+		t.Fatal("no connection losses: loss model broken")
+	}
+	lostFrac := float64(out.LostBlocked+out.LostConnection) / 4000
+	if lostFrac < 0.05 || lostFrac > 0.30 {
+		t.Fatalf("loss fraction = %v, want ~0.10-0.20", lostFrac)
+	}
+}
+
+func TestZeroLossDriver(t *testing.T) {
+	f := newFixture(t)
+	f.driver.Loss = LossModel{}
+	out, err := f.driver.Run(smallCampaign("noloss", 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.LostConnection != 0 {
+		t.Fatalf("connection losses with zero loss model: %d", out.LostConnection)
+	}
+	// Blocked devices still lose impressions: that is a device property.
+	if out.Logged+out.LostBlocked != 1000 {
+		t.Fatalf("accounting broken: %+v", out)
+	}
+}
+
+func TestStoredRecordsMatchDeliveries(t *testing.T) {
+	f := newFixture(t)
+	f.driver.Loss = LossModel{}
+	out, err := f.driver.Run(smallCampaign("match", 800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := f.store.ByCampaign("match")
+	if len(recs) != out.Logged {
+		t.Fatalf("stored %d, logged %d", len(recs), out.Logged)
+	}
+	// Every stored publisher must exist in the universe.
+	for _, im := range recs {
+		if _, ok := f.network.Publishers().ByDomain(im.Publisher); !ok {
+			t.Fatalf("stored publisher %q not in universe", im.Publisher)
+		}
+		if im.Exposure <= 0 {
+			t.Fatalf("stored exposure %v", im.Exposure)
+		}
+		if im.Timestamp.Before(time.Date(2016, 4, 2, 0, 0, 0, 0, time.UTC)) {
+			t.Fatalf("timestamp %v before flight", im.Timestamp)
+		}
+	}
+}
+
+func TestRunAllMultipleCampaigns(t *testing.T) {
+	f := newFixture(t)
+	cs := []adnet.Campaign{smallCampaign("m1", 500), smallCampaign("m2", 700)}
+	out, err := f.driver.RunAll(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Campaigns) != 2 {
+		t.Fatalf("outcomes = %d", len(out.Campaigns))
+	}
+	reports := out.Reports()
+	if reports["m1"] == nil || reports["m2"] == nil {
+		t.Fatal("missing vendor reports")
+	}
+	if out.TotalLogged() != f.store.Len() {
+		t.Fatalf("TotalLogged %d != store %d", out.TotalLogged(), f.store.Len())
+	}
+	if got := len(f.store.Campaigns()); got != 2 {
+		t.Fatalf("store campaigns = %d", got)
+	}
+}
+
+func TestPayloadForBuildsValidPayload(t *testing.T) {
+	f := newFixture(t)
+	res, err := f.network.Run(smallCampaign("pl", 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Deliveries {
+		p := PayloadFor(&res.Campaign, &res.Deliveries[i])
+		if err := p.Validate(); err != nil {
+			t.Fatalf("delivery %d: %v", i, err)
+		}
+		pub, err := p.Publisher()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pub != res.Deliveries[i].Publisher.Domain {
+			t.Fatalf("publisher %q != delivery %q", pub, res.Deliveries[i].Publisher.Domain)
+		}
+		want := res.Deliveries[i].MouseMoves + res.Deliveries[i].Clicks
+		if res.Deliveries[i].VisibilityMeasured {
+			want++
+		}
+		if len(p.Events) != want {
+			t.Fatalf("delivery %d: %d events, want %d", i, len(p.Events), want)
+		}
+	}
+}
+
+func TestDriverRequiresComponents(t *testing.T) {
+	d := &Driver{}
+	if _, err := d.Run(smallCampaign("x", 10)); err == nil {
+		t.Fatal("empty driver ran")
+	}
+}
+
+func TestWireReplayMatchesDirectPath(t *testing.T) {
+	f := newFixture(t)
+	res, err := f.network.Run(smallCampaign("wire", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eligible := 0
+	for i := range res.Deliveries {
+		if !res.Deliveries[i].Device.BeaconBlocked {
+			eligible++
+		}
+	}
+	if eligible < 25 {
+		t.Fatalf("fixture too small: only %d unblocked deliveries", eligible)
+	}
+
+	srv, err := collector.NewServer(f.coll, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.Serve(ctx)
+
+	const limit = 25
+	sent, err := ReplayOverWire(ctx, srv.BeaconURL(), res, limit, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != limit {
+		t.Fatalf("sent %d, want %d", sent, limit)
+	}
+	// Records land asynchronously on disconnect.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.store.Len() < limit && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if f.store.Len() != limit {
+		t.Fatalf("store has %d of %d wire records", f.store.Len(), limit)
+	}
+	recs := f.store.ByCampaign("wire")
+	for _, im := range recs {
+		if _, ok := f.network.Publishers().ByDomain(im.Publisher); !ok {
+			t.Fatalf("wire record publisher %q unknown", im.Publisher)
+		}
+		if im.IPPseudonym == "" || im.UserKey == "" {
+			t.Fatal("wire record not enriched")
+		}
+	}
+}
+
+func TestWireReplayValidatesScale(t *testing.T) {
+	if _, err := ReplayOverWire(context.Background(), "ws://x", &adnet.CampaignResult{}, 1, 0); err == nil {
+		t.Fatal("zero exposure scale accepted")
+	}
+}
+
+func TestConversionsFlowThroughDriver(t *testing.T) {
+	f := newFixture(t)
+	out, err := f.driver.Run(smallCampaign("convs", 8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Conversions == 0 {
+		t.Fatal("no conversions logged")
+	}
+	if f.store.NumConversions() != out.Conversions {
+		t.Fatalf("store has %d conversions, outcome says %d",
+			f.store.NumConversions(), out.Conversions)
+	}
+	// Conversions join to exposures: every conversion's user key must
+	// have impressions in the same campaign.
+	for _, conv := range f.store.Conversions("convs") {
+		if len(f.store.ByUser(conv.UserKey)) == 0 {
+			t.Fatalf("conversion user %q has no impressions", conv.UserKey)
+		}
+	}
+	// Plausible conversion ratio: well under 1%.
+	ratio := float64(out.Conversions) / 8000
+	if ratio > 0.01 {
+		t.Fatalf("conversion ratio %v implausibly high", ratio)
+	}
+}
+
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	cs := []adnet.Campaign{
+		smallCampaign("par-1", 900),
+		smallCampaign("par-2", 700),
+		smallCampaign("par-3", 500),
+	}
+	seq := newFixture(t)
+	seqOut, err := seq.driver.RunAll(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := newFixture(t)
+	parOut, err := par.driver.RunAllParallel(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqOut.TotalLogged() != parOut.TotalLogged() {
+		t.Fatalf("logged: seq %d vs par %d", seqOut.TotalLogged(), parOut.TotalLogged())
+	}
+	// Same records per campaign, independent of interleaving: compare
+	// the per-campaign publisher multisets via counts.
+	for _, c := range cs {
+		a := seq.store.ByCampaign(c.ID)
+		b := par.store.ByCampaign(c.ID)
+		if len(a) != len(b) {
+			t.Fatalf("%s: seq %d vs par %d records", c.ID, len(a), len(b))
+		}
+		ca := map[string]int{}
+		cb := map[string]int{}
+		for i := range a {
+			ca[a[i].Publisher+"|"+a[i].UserKey]++
+			cb[b[i].Publisher+"|"+b[i].UserKey]++
+		}
+		for k, v := range ca {
+			if cb[k] != v {
+				t.Fatalf("%s: record multiset differs at %q (%d vs %d)", c.ID, k, v, cb[k])
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package collector
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"adaudit/internal/beacon"
+	"adaudit/internal/ipmeta"
+	"adaudit/internal/store"
+)
+
+func benchCollector(b *testing.B) *Collector {
+	b.Helper()
+	uni, err := ipmeta.NewUniverse(ipmeta.UniverseConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := New(Config{
+		Store:      store.New(),
+		IPDB:       uni.DB,
+		Classifier: &ipmeta.Classifier{DB: uni.DB, DenyList: uni.DenyList, ManualVerify: uni.ManualVerify},
+		Anonymizer: ipmeta.NewAnonymizer([]byte("bench")),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkIngest measures the direct ingest funnel: payload →
+// enrichment (LPM lookup, classification, pseudonymisation) → store.
+func BenchmarkIngest(b *testing.B) {
+	c := benchCollector(b)
+	base := time.Date(2016, 3, 29, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		obs := Observation{
+			Payload: beacon.Payload{
+				CampaignID: "bench",
+				CreativeID: "cr",
+				PageURL:    fmt.Sprintf("http://pub%d.es/p", i%1000),
+				UserAgent:  "Mozilla/5.0 Chrome/49.0",
+			},
+			RemoteIP:    netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i%250 + 1)}),
+			ConnectedAt: base.Add(time.Duration(i) * time.Second),
+			Exposure:    3 * time.Second,
+		}
+		if _, err := c.Ingest(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWebSocketSession measures the full network path: dial,
+// handshake, payload frame, disconnect, commit — one real impression
+// per iteration.
+func BenchmarkWebSocketSession(b *testing.B) {
+	c := benchCollector(b)
+	srv, err := NewServer(c, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.Serve(ctx)
+
+	client := &beacon.Client{CollectorURL: srv.BeaconURL()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := beacon.Payload{
+			CampaignID: "bench",
+			CreativeID: "cr",
+			PageURL:    "http://pub.es/p",
+			UserAgent:  "Mozilla/5.0 Chrome/49.0",
+		}
+		sess, err := client.Open(ctx, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Wait for the async commits so the bench accounts real work.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Metrics.Ingested.Load() < int64(b.N) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}

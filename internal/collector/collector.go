@@ -1,0 +1,326 @@
+// Package collector implements the paper's central measurement server
+// (§3): it terminates the beacons' WebSocket connections, parses the
+// impression payloads, derives the connection-side facts the client
+// cannot forge — peer IP address, impression timestamp (connection
+// establishment) and exposure time (connection duration) — enriches the
+// record with IP metadata (ISP, country, data-center verdict) and then
+// anonymises the address before the record reaches the store.
+//
+// The same enrichment pipeline is reachable without a socket through
+// Ingest, which the campaign simulator uses to replay large synthetic
+// workloads on a virtual clock; the WebSocket path and the direct path
+// converge on identical store records.
+package collector
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"adaudit/internal/beacon"
+	"adaudit/internal/ipmeta"
+	"adaudit/internal/store"
+	"adaudit/internal/wsproto"
+)
+
+// Config assembles a Collector.
+type Config struct {
+	// Store receives enriched impression records. Required.
+	Store *store.Store
+	// IPDB resolves client addresses to ISP/country metadata. Optional;
+	// unresolved addresses yield empty ISP/Country.
+	IPDB *ipmeta.DB
+	// Classifier runs the data-center fraud cascade on client
+	// addresses. Optional; when nil every record is "not-data-center".
+	Classifier *ipmeta.Classifier
+	// Anonymizer pseudonymises client IPs. Required: the paper's
+	// methodology never stores raw addresses.
+	Anonymizer *ipmeta.Anonymizer
+	// MaxMessageSize bounds beacon messages (default 16 KiB).
+	MaxMessageSize int64
+	// MaxExposure caps a single connection's lifetime so an abandoned
+	// browser tab cannot hold a socket forever (default 30 minutes, the
+	// session horizon; exposure is clamped to this).
+	MaxExposure time.Duration
+	// HandshakeTimeout bounds how long a connection may sit idle before
+	// sending its initial payload (default 10 s).
+	HandshakeTimeout time.Duration
+	// KeepAliveInterval pings idle beacon sessions and drops peers that
+	// stop answering within two intervals; without that a silently dead
+	// TCP peer (crashed browser, NAT timeout) holds its socket — and
+	// inflates its exposure measurement — until MaxExposure fires.
+	// Default 30 s; negative disables.
+	KeepAliveInterval time.Duration
+	// Logger receives operational events; defaults to slog.Default().
+	Logger *slog.Logger
+}
+
+// Metrics are the collector's liveness counters, all updated atomically.
+type Metrics struct {
+	// Connections counts accepted WebSocket connections.
+	Connections atomic.Int64
+	// Ingested counts impressions committed to the store.
+	Ingested atomic.Int64
+	// Rejected counts connections dropped before a valid payload
+	// (decode failures, timeouts, invalid records).
+	Rejected atomic.Int64
+	// Events counts interaction updates received.
+	Events atomic.Int64
+	// Conversions counts conversion-pixel records committed.
+	Conversions atomic.Int64
+}
+
+// Collector terminates beacon traffic and writes impression records.
+type Collector struct {
+	cfg      Config
+	upgrader wsproto.Upgrader
+	// Metrics exposes ingest counters for health checks and tests.
+	Metrics Metrics
+}
+
+// New validates cfg and returns a Collector.
+func New(cfg Config) (*Collector, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("collector: config requires a store")
+	}
+	if cfg.Anonymizer == nil {
+		return nil, fmt.Errorf("collector: config requires an anonymizer")
+	}
+	if cfg.MaxMessageSize == 0 {
+		cfg.MaxMessageSize = 16 << 10
+	}
+	if cfg.MaxExposure == 0 {
+		cfg.MaxExposure = 30 * time.Minute
+	}
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	switch {
+	case cfg.KeepAliveInterval == 0:
+		cfg.KeepAliveInterval = 30 * time.Second
+	case cfg.KeepAliveInterval < 0:
+		cfg.KeepAliveInterval = 0
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	return &Collector{
+		cfg: cfg,
+		upgrader: wsproto.Upgrader{
+			MaxMessageSize: cfg.MaxMessageSize,
+			// Ad beacons are cross-origin by design: the iframe origin
+			// is whatever publisher the network chose. All origins pass.
+			CheckOrigin: nil,
+			// Accept permessage-deflate offers: individual payloads are
+			// small, but browsers offer it and long-lived sessions with
+			// many interaction updates benefit.
+			EnableCompression: true,
+		},
+	}, nil
+}
+
+// Observation is one impression as seen at the network edge, before
+// enrichment: the decoded payload plus the connection-derived facts.
+type Observation struct {
+	Payload beacon.Payload
+	// RemoteIP is the peer address of the beacon connection.
+	RemoteIP netip.Addr
+	// ConnectedAt is the connection-establishment time — the paper's
+	// impression timestamp.
+	ConnectedAt time.Time
+	// Exposure is the connection duration.
+	Exposure time.Duration
+}
+
+// Ingest enriches obs and commits it to the store. This is the single
+// funnel both the WebSocket path and the simulator's direct path use.
+func (c *Collector) Ingest(obs Observation) (int64, error) {
+	pub, err := obs.Payload.Publisher()
+	if err != nil {
+		c.Metrics.Rejected.Add(1)
+		return 0, fmt.Errorf("collector: extracting publisher: %w", err)
+	}
+	if obs.Exposure < 0 {
+		obs.Exposure = 0
+	}
+	if obs.Exposure > c.cfg.MaxExposure {
+		obs.Exposure = c.cfg.MaxExposure
+	}
+
+	var isp, country string
+	if c.cfg.IPDB != nil {
+		if rec, ok := c.cfg.IPDB.Lookup(obs.RemoteIP); ok {
+			isp, country = rec.Org.Name, rec.Org.Country
+		}
+	}
+	verdict := ipmeta.VerdictNotDataCenter
+	if c.cfg.Classifier != nil {
+		verdict = c.cfg.Classifier.Classify(obs.RemoteIP)
+	}
+	pseud := c.cfg.Anonymizer.Pseudonym(obs.RemoteIP)
+
+	moves, clicks := 0, 0
+	visMeasured := false
+	maxVis := 0.0
+	for _, e := range obs.Payload.Events {
+		switch e.Kind {
+		case beacon.EventMouseMove:
+			moves++
+		case beacon.EventClick:
+			clicks++
+		case beacon.EventVisibility:
+			visMeasured = true
+			if e.Fraction > maxVis {
+				maxVis = e.Fraction
+			}
+		}
+	}
+
+	im := store.Impression{
+		CampaignID:  obs.Payload.CampaignID,
+		CreativeID:  obs.Payload.CreativeID,
+		Publisher:   pub,
+		PageURL:     obs.Payload.PageURL,
+		UserAgent:   obs.Payload.UserAgent,
+		IPPseudonym: pseud,
+		UserKey:     UserKey(pseud, obs.Payload.UserAgent),
+		ISP:         isp,
+		Country:     country,
+		DataCenter:  verdict.String(),
+		Timestamp:   obs.ConnectedAt,
+		Exposure:    obs.Exposure,
+		MouseMoves:  moves,
+		Clicks:      clicks,
+
+		VisibilityMeasured: visMeasured,
+		MaxVisibleFraction: maxVis,
+	}
+	id, err := c.cfg.Store.Insert(im)
+	if err != nil {
+		c.Metrics.Rejected.Add(1)
+		return 0, fmt.Errorf("collector: storing impression: %w", err)
+	}
+	c.Metrics.Ingested.Add(1)
+	return id, nil
+}
+
+// ServeHTTP upgrades the request to a WebSocket and runs the beacon
+// session protocol: first text message is the impression payload,
+// subsequent "ev:" messages are interaction updates, and the connection
+// lifetime measures exposure. The impression is committed when the
+// connection ends (or the exposure cap fires).
+func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	conn, err := c.upgrader.Upgrade(w, r)
+	if err != nil {
+		c.cfg.Logger.Debug("collector: handshake rejected", "err", err, "remote", r.RemoteAddr)
+		return
+	}
+	c.Metrics.Connections.Add(1)
+	go c.runSession(conn)
+}
+
+func (c *Collector) runSession(conn *wsproto.Conn) {
+	defer conn.Close(wsproto.CloseNormal, "")
+
+	remote, err := remoteAddr(conn.RemoteAddr())
+	if err != nil {
+		c.Metrics.Rejected.Add(1)
+		c.cfg.Logger.Warn("collector: unresolvable peer address", "err", err)
+		return
+	}
+	connectedAt := conn.Established()
+
+	// The beacon must identify itself promptly.
+	_ = conn.SetReadDeadline(connectedAt.Add(c.cfg.HandshakeTimeout))
+	op, msg, err := conn.ReadMessage()
+	if err != nil || op != wsproto.OpText {
+		c.Metrics.Rejected.Add(1)
+		return
+	}
+	payload, err := beacon.Decode(string(msg))
+	if err != nil {
+		c.Metrics.Rejected.Add(1)
+		c.cfg.Logger.Debug("collector: bad payload", "err", err, "remote", remote)
+		_ = conn.Close(wsproto.ClosePolicyViolation, "bad payload")
+		return
+	}
+
+	// Stream interaction updates until disconnect or exposure cap. With
+	// keep-alive enabled the read deadline renews on every pong, so a
+	// dead peer is detected within two intervals instead of holding the
+	// socket until the exposure cap.
+	hardStop := connectedAt.Add(c.cfg.MaxExposure)
+	renewDeadline := func() {
+		d := hardStop
+		if ka := c.cfg.KeepAliveInterval; ka > 0 {
+			if soft := time.Now().Add(2 * ka); soft.Before(d) {
+				d = soft
+			}
+		}
+		_ = conn.SetReadDeadline(d)
+	}
+	conn.SetPongHandler(func([]byte) { renewDeadline() })
+	renewDeadline()
+	if ka := c.cfg.KeepAliveInterval; ka > 0 {
+		stopPings := make(chan struct{})
+		defer close(stopPings)
+		go func() {
+			t := time.NewTicker(ka)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopPings:
+					return
+				case <-t.C:
+					if err := conn.Ping(nil); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+	for {
+		_, msg, err := conn.ReadMessage()
+		if err != nil {
+			break
+		}
+		renewDeadline()
+		e, isEvent, err := beacon.DecodeEventUpdate(string(msg))
+		if err != nil {
+			c.cfg.Logger.Debug("collector: bad event update", "err", err, "remote", remote)
+			continue
+		}
+		if isEvent {
+			c.Metrics.Events.Add(1)
+			payload.Events = append(payload.Events, e)
+		}
+	}
+
+	exposure := time.Since(connectedAt)
+	if _, err := c.Ingest(Observation{
+		Payload:     payload,
+		RemoteIP:    remote,
+		ConnectedAt: connectedAt,
+		Exposure:    exposure,
+	}); err != nil {
+		c.cfg.Logger.Warn("collector: ingest failed", "err", err, "remote", remote)
+	}
+}
+
+func remoteAddr(a net.Addr) (netip.Addr, error) {
+	ap, err := netip.ParseAddrPort(a.String())
+	if err != nil {
+		return netip.Addr{}, fmt.Errorf("collector: parsing remote addr %q: %w", a.String(), err)
+	}
+	return ap.Addr().Unmap(), nil
+}
+
+// UserKey derives the paper's user identity — the combination of IP
+// (already pseudonymised) and User-Agent — as a stable opaque token.
+func UserKey(ipPseudonym, userAgent string) string {
+	return ipPseudonym + "|" + userAgent
+}

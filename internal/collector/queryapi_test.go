@@ -1,0 +1,184 @@
+package collector
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"testing"
+	"time"
+
+	"adaudit/internal/beacon"
+	"adaudit/internal/store"
+)
+
+func queryFixture(t *testing.T) (*Collector, *store.Store, string, context.CancelFunc) {
+	t.Helper()
+	c, st := testCollector(t)
+	srv, err := NewServer(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go srv.Serve(ctx)
+
+	base := time.Date(2016, 3, 29, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 30; i++ {
+		obs := Observation{
+			Payload: beacon.Payload{
+				CampaignID: "camp-a",
+				CreativeID: "cr",
+				PageURL:    fmt.Sprintf("http://pub%d.es/p", i%6),
+				UserAgent:  fmt.Sprintf("UA-%d", i%9),
+			},
+			RemoteIP:    netip.AddrFrom4([4]byte{10, 0, 1, byte(i%200 + 1)}),
+			ConnectedAt: base.Add(time.Duration(i) * time.Minute),
+			Exposure:    time.Duration(i%3) * time.Second, // 1/3 below 1s
+		}
+		if _, err := c.Ingest(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.IngestConversion(ConversionObservation{
+		Conversion: beacon.Conversion{CampaignID: "camp-a", Action: "purchase", ValueCents: 100},
+		RemoteIP:   netip.MustParseAddr("10.0.1.1"),
+		UserAgent:  "UA-0",
+		At:         base.Add(time.Hour),
+	})
+	return c, st, "http://" + srv.Addr().String(), cancel
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestAPICampaigns(t *testing.T) {
+	_, _, base, cancel := queryFixture(t)
+	defer cancel()
+	var list []CampaignListEntry
+	if code := getJSON(t, base+"/api/campaigns", &list); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(list) != 1 || list[0].CampaignID != "camp-a" || list[0].Impressions != 30 {
+		t.Fatalf("campaigns = %+v", list)
+	}
+}
+
+func TestAPISummary(t *testing.T) {
+	_, _, base, cancel := queryFixture(t)
+	defer cancel()
+	var sum CampaignSummary
+	if code := getJSON(t, base+"/api/summary?campaign=camp-a", &sum); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if sum.Impressions != 30 || sum.Publishers != 6 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Conversions != 1 {
+		t.Fatalf("conversions = %d", sum.Conversions)
+	}
+	// Exposures are 0s/1s/2s round-robin: 2/3 at or above 1s.
+	if sum.ViewableUpperBound < 0.6 || sum.ViewableUpperBound > 0.7 {
+		t.Fatalf("viewable = %v", sum.ViewableUpperBound)
+	}
+	if sum.FirstSeen.IsZero() || !sum.LastSeen.After(sum.FirstSeen) {
+		t.Fatalf("window = %v..%v", sum.FirstSeen, sum.LastSeen)
+	}
+}
+
+func TestAPISummaryErrors(t *testing.T) {
+	_, _, base, cancel := queryFixture(t)
+	defer cancel()
+	var sum CampaignSummary
+	if code := getJSON(t, base+"/api/summary", &sum); code != http.StatusBadRequest {
+		t.Fatalf("missing param status %d", code)
+	}
+	if code := getJSON(t, base+"/api/summary?campaign=nope", &sum); code != http.StatusNotFound {
+		t.Fatalf("unknown campaign status %d", code)
+	}
+}
+
+func TestAPIPublishers(t *testing.T) {
+	_, _, base, cancel := queryFixture(t)
+	defer cancel()
+	var rows []PublisherRow
+	if code := getJSON(t, base+"/api/publishers?campaign=camp-a&limit=3", &rows); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Impressions > rows[i-1].Impressions {
+			t.Fatal("rows not sorted")
+		}
+	}
+	if code := getJSON(t, base+"/api/publishers?campaign=camp-a&limit=0", &rows); code != http.StatusBadRequest {
+		t.Fatalf("bad limit status %d", code)
+	}
+	if code := getJSON(t, base+"/api/publishers", &rows); code != http.StatusBadRequest {
+		t.Fatalf("missing campaign status %d", code)
+	}
+}
+
+func TestAPIRejectsNonGET(t *testing.T) {
+	_, _, base, cancel := queryFixture(t)
+	defer cancel()
+	for _, path := range []string{"/api/campaigns", "/api/summary", "/api/publishers"} {
+		resp, err := http.Post(base+path, "text/plain", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s POST status = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestAPITimeseries(t *testing.T) {
+	_, _, base, cancel := queryFixture(t)
+	defer cancel()
+	var points []TimeseriesPoint
+	if code := getJSON(t, base+"/api/timeseries?campaign=camp-a&bucket=10m", &points); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(points) == 0 {
+		t.Fatal("no buckets")
+	}
+	total := 0
+	for i, p := range points {
+		total += p.Impressions
+		if i > 0 && !points[i-1].Start.Before(p.Start) {
+			t.Fatal("buckets not sorted")
+		}
+	}
+	if total != 30 {
+		t.Fatalf("bucketed %d impressions, want 30", total)
+	}
+	// Default bucket (1h) covers the 30-minute fixture in one bucket.
+	if code := getJSON(t, base+"/api/timeseries?campaign=camp-a", &points); code != 200 {
+		t.Fatalf("default bucket status %d", code)
+	}
+	if code := getJSON(t, base+"/api/timeseries?campaign=camp-a&bucket=1s", &points); code != 400 {
+		t.Fatalf("tiny bucket status %d", code)
+	}
+	if code := getJSON(t, base+"/api/timeseries?campaign=nope", &points); code != 404 {
+		t.Fatalf("unknown campaign status %d", code)
+	}
+	if code := getJSON(t, base+"/api/timeseries", &points); code != 400 {
+		t.Fatalf("missing campaign status %d", code)
+	}
+}

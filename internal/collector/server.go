@@ -1,0 +1,89 @@
+package collector
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server runs a Collector behind an HTTP listener with an operational
+// sidecar: the beacon endpoint, a health endpoint and a metrics
+// endpoint. It owns listener lifecycle and graceful shutdown, so
+// cmd/auditd and the examples share one hardened serving path.
+type Server struct {
+	collector *Collector
+	httpSrv   *http.Server
+	ln        net.Listener
+}
+
+// NewServer wraps c in a Server listening on addr (host:port; port 0
+// picks a free port).
+func NewServer(c *Collector, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collector: listening on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/beacon", c)
+	mux.HandleFunc("/conv", c.ServeConversionPixel)
+	(&queryAPI{st: c.cfg.Store}).register(mux)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "connections %d\n", c.Metrics.Connections.Load())
+		fmt.Fprintf(w, "ingested %d\n", c.Metrics.Ingested.Load())
+		fmt.Fprintf(w, "rejected %d\n", c.Metrics.Rejected.Load())
+		fmt.Fprintf(w, "events %d\n", c.Metrics.Events.Load())
+		fmt.Fprintf(w, "conversions %d\n", c.Metrics.Conversions.Load())
+	})
+	return &Server{
+		collector: c,
+		httpSrv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+		ln: ln,
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// BeaconURL returns the ws:// URL beacons should dial.
+func (s *Server) BeaconURL() string {
+	return fmt.Sprintf("ws://%s/beacon", s.ln.Addr().String())
+}
+
+// Serve blocks serving requests until ctx is cancelled, then shuts the
+// listener down gracefully (in-flight WebSocket sessions are summarily
+// closed: their sockets die with the process, exactly like a real
+// collector restart — the paper's §3.1 loss model).
+func (s *Server) Serve(ctx context.Context) error {
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- s.httpSrv.Serve(s.ln)
+	}()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.httpSrv.Shutdown(shutdownCtx)
+		_ = s.httpSrv.Close()
+		<-errCh
+		return nil
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return fmt.Errorf("collector: serving: %w", err)
+	}
+}
+
+// Close tears the server down immediately.
+func (s *Server) Close() error { return s.httpSrv.Close() }

@@ -1,0 +1,43 @@
+package ipmeta
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/netip"
+)
+
+// Anonymizer irreversibly pseudonymises IP addresses, implementing the
+// paper's footnote 1: metadata (ISP, country, data-center status) is
+// extracted first, then the raw address is replaced by a keyed hash so
+// analyses can still group by user (IP+User-Agent) without retaining
+// personal data.
+//
+// The hash is HMAC-SHA-256 under a per-dataset secret, so equal addresses
+// map to equal pseudonyms within a dataset but pseudonyms cannot be
+// correlated across datasets or reversed by dictionary attack over the
+// 2^32 IPv4 space without the key.
+type Anonymizer struct {
+	key []byte
+}
+
+// NewAnonymizer returns an anonymizer keyed with the given secret. The
+// secret must be non-empty; it should be generated per dataset and
+// discarded after ingestion.
+func NewAnonymizer(secret []byte) *Anonymizer {
+	if len(secret) == 0 {
+		panic("ipmeta: anonymizer requires a non-empty secret")
+	}
+	key := make([]byte, len(secret))
+	copy(key, secret)
+	return &Anonymizer{key: key}
+}
+
+// Pseudonym returns the hex-encoded pseudonym for addr. Invalid addresses
+// map to the pseudonym of the zero address.
+func (a *Anonymizer) Pseudonym(addr netip.Addr) string {
+	mac := hmac.New(sha256.New, a.key)
+	b, _ := addr.MarshalBinary()
+	mac.Write(b)
+	return hex.EncodeToString(mac.Sum(nil)[:16])
+}

@@ -1,0 +1,72 @@
+package ipmeta
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnonymizerConsistentWithinDataset(t *testing.T) {
+	a := NewAnonymizer([]byte("dataset-secret"))
+	addr := netip.MustParseAddr("203.0.113.7")
+	if a.Pseudonym(addr) != a.Pseudonym(addr) {
+		t.Fatal("same address produced different pseudonyms")
+	}
+}
+
+func TestAnonymizerKeysIndependent(t *testing.T) {
+	a := NewAnonymizer([]byte("key-a"))
+	b := NewAnonymizer([]byte("key-b"))
+	addr := netip.MustParseAddr("203.0.113.7")
+	if a.Pseudonym(addr) == b.Pseudonym(addr) {
+		t.Fatal("different keys produced the same pseudonym")
+	}
+}
+
+func TestAnonymizerInjectiveInPractice(t *testing.T) {
+	a := NewAnonymizer([]byte("k"))
+	err := quick.Check(func(x, y uint32) bool {
+		ax := netip.AddrFrom4([4]byte{byte(x >> 24), byte(x >> 16), byte(x >> 8), byte(x)})
+		ay := netip.AddrFrom4([4]byte{byte(y >> 24), byte(y >> 16), byte(y >> 8), byte(y)})
+		if ax == ay {
+			return a.Pseudonym(ax) == a.Pseudonym(ay)
+		}
+		return a.Pseudonym(ax) != a.Pseudonym(ay)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnonymizerOutputFormat(t *testing.T) {
+	a := NewAnonymizer([]byte("k"))
+	p := a.Pseudonym(netip.MustParseAddr("10.0.0.1"))
+	if len(p) != 32 {
+		t.Fatalf("pseudonym length = %d, want 32 hex chars", len(p))
+	}
+	for _, c := range p {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			t.Fatalf("pseudonym %q contains non-hex char %q", p, c)
+		}
+	}
+}
+
+func TestAnonymizerPanicsOnEmptySecret(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty secret")
+		}
+	}()
+	NewAnonymizer(nil)
+}
+
+func TestAnonymizerDefensiveKeyCopy(t *testing.T) {
+	secret := []byte("mutable")
+	a := NewAnonymizer(secret)
+	addr := netip.MustParseAddr("10.0.0.1")
+	before := a.Pseudonym(addr)
+	secret[0] = 'X'
+	if a.Pseudonym(addr) != before {
+		t.Fatal("anonymizer affected by caller mutating the secret slice")
+	}
+}

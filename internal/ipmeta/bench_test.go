@@ -1,0 +1,79 @@
+package ipmeta
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func benchUniverse(b *testing.B) *Universe {
+	b.Helper()
+	u, err := NewUniverse(UniverseConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u
+}
+
+func benchAddrs(b *testing.B, u *Universe, n int) []netip.Addr {
+	b.Helper()
+	addrs := make([]netip.Addr, n)
+	for i := range addrs {
+		var err error
+		if i%5 == 0 {
+			addrs[i], err = u.RandomHostingAddr()
+		} else {
+			addrs[i], err = u.RandomResidentialAddr("ES")
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return addrs
+}
+
+func BenchmarkLPMLookup(b *testing.B) {
+	u := benchUniverse(b)
+	addrs := benchAddrs(b, u, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := u.DB.Lookup(addrs[i%len(addrs)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkDenyListContains(b *testing.B) {
+	u := benchUniverse(b)
+	addrs := benchAddrs(b, u, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.DenyList.Contains(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkFullCascadeClassify(b *testing.B) {
+	u := benchUniverse(b)
+	c := &Classifier{DB: u.DB, DenyList: u.DenyList, ManualVerify: u.ManualVerify}
+	addrs := benchAddrs(b, u, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkPseudonym(b *testing.B) {
+	a := NewAnonymizer([]byte("bench-secret"))
+	addr := netip.MustParseAddr("203.0.113.77")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Pseudonym(addr)
+	}
+}
+
+func BenchmarkUniverseGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewUniverse(UniverseConfig{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

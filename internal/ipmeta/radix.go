@@ -1,0 +1,132 @@
+// Package ipmeta maps IP addresses to network metadata: owning
+// organisation, organisation kind (ISP, hosting/cloud provider, mobile
+// carrier, ...), and country. It is the offline stand-in for the MaxMind
+// GeoIP ISP database the paper uses in §4.2 (Fraud Identification),
+// plus the Botlab deny-hosting IP list used as the second stage of the
+// paper's data-center detection cascade.
+//
+// Lookups run over binary radix tries keyed by IP prefixes with
+// longest-prefix-match semantics, the same structure real
+// IP-intelligence databases compile to. IPv4 and IPv6 live in separate
+// tries; 4-in-6 mapped addresses are unmapped and matched against the
+// IPv4 trie, mirroring how dual-stack servers observe clients.
+package ipmeta
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// radixNode is a node in a binary trie over address bits.
+// A node may carry a value (the most specific entry so far along the
+// path); children are indexed by the next address bit.
+type radixNode[V any] struct {
+	child [2]*radixNode[V]
+	val   V
+	set   bool
+}
+
+// insertBits walks/extends the trie along the first `bits` bits of key
+// and sets the value at the final node. It reports whether the entry is
+// new.
+func insertBits[V any](root *radixNode[V], key []byte, bits int, val V) bool {
+	node := root
+	for i := 0; i < bits; i++ {
+		bit := (key[i/8] >> (7 - i%8)) & 1
+		if node.child[bit] == nil {
+			node.child[bit] = &radixNode[V]{}
+		}
+		node = node.child[bit]
+	}
+	isNew := !node.set
+	node.val = val
+	node.set = true
+	return isNew
+}
+
+// lookupBits walks the trie along key, remembering the deepest value.
+func lookupBits[V any](root *radixNode[V], key []byte, bits int) (V, bool) {
+	var best V
+	found := false
+	node := root
+	for i := 0; i <= bits; i++ {
+		if node.set {
+			best = node.val
+			found = true
+		}
+		if i == bits {
+			break
+		}
+		bit := (key[i/8] >> (7 - i%8)) & 1
+		if node.child[bit] == nil {
+			break
+		}
+		node = node.child[bit]
+	}
+	return best, found
+}
+
+// RadixTree is a longest-prefix-match table from IP CIDR prefixes
+// (IPv4 and IPv6) to values. The zero value is not usable; call
+// NewRadixTree. RadixTree is safe for concurrent readers once
+// populated; Insert must not race with Lookup.
+type RadixTree[V any] struct {
+	v4 *radixNode[V]
+	v6 *radixNode[V]
+	n  int
+}
+
+// NewRadixTree returns an empty tree.
+func NewRadixTree[V any]() *RadixTree[V] {
+	return &RadixTree[V]{v4: &radixNode[V]{}, v6: &radixNode[V]{}}
+}
+
+// Len returns the number of prefixes inserted.
+func (t *RadixTree[V]) Len() int { return t.n }
+
+// Insert associates val with prefix. Inserting the same prefix twice
+// overwrites the previous value. An invalid prefix returns an error.
+func (t *RadixTree[V]) Insert(prefix netip.Prefix, val V) error {
+	if !prefix.IsValid() {
+		return fmt.Errorf("ipmeta: invalid prefix %v", prefix)
+	}
+	prefix = prefix.Masked()
+	var isNew bool
+	if prefix.Addr().Is4() {
+		b := prefix.Addr().As4()
+		isNew = insertBits(t.v4, b[:], prefix.Bits(), val)
+	} else {
+		b := prefix.Addr().As16()
+		isNew = insertBits(t.v6, b[:], prefix.Bits(), val)
+	}
+	if isNew {
+		t.n++
+	}
+	return nil
+}
+
+// Lookup returns the value of the longest prefix containing addr and
+// true, or the zero value and false if no prefix matches. 4-in-6 mapped
+// addresses are unmapped and matched against the IPv4 table.
+func (t *RadixTree[V]) Lookup(addr netip.Addr) (V, bool) {
+	var zero V
+	addr = addr.Unmap()
+	if !addr.IsValid() {
+		return zero, false
+	}
+	if addr.Is4() {
+		b := addr.As4()
+		return lookupBits(t.v4, b[:], 32)
+	}
+	b := addr.As16()
+	return lookupBits(t.v6, b[:], 128)
+}
+
+func uint32ToIPv4(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+func ipv4ToUint32(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

@@ -1,0 +1,226 @@
+package ipmeta
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func mustPrefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRadixLongestPrefixMatch(t *testing.T) {
+	tr := NewRadixTree[string]()
+	for p, v := range map[string]string{
+		"10.0.0.0/8":     "big",
+		"10.1.0.0/16":    "mid",
+		"10.1.2.0/24":    "small",
+		"192.168.0.0/16": "rfc1918",
+	} {
+		if err := tr.Insert(mustPrefix(t, p), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		addr string
+		want string
+		ok   bool
+	}{
+		{"10.1.2.3", "small", true},
+		{"10.1.3.4", "mid", true},
+		{"10.200.0.1", "big", true},
+		{"192.168.55.1", "rfc1918", true},
+		{"172.16.0.1", "", false},
+		{"8.8.8.8", "", false},
+	}
+	for _, c := range cases {
+		got, ok := tr.Lookup(netip.MustParseAddr(c.addr))
+		if ok != c.ok || got != c.want {
+			t.Errorf("Lookup(%s) = (%q, %v), want (%q, %v)", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestRadixExactHostRoute(t *testing.T) {
+	tr := NewRadixTree[int]()
+	if err := tr.Insert(mustPrefix(t, "1.2.3.4/32"), 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr.Lookup(netip.MustParseAddr("1.2.3.4")); !ok || v != 7 {
+		t.Fatalf("host route lookup = (%d, %v)", v, ok)
+	}
+	if _, ok := tr.Lookup(netip.MustParseAddr("1.2.3.5")); ok {
+		t.Fatal("adjacent address matched /32 route")
+	}
+}
+
+func TestRadixDefaultRoute(t *testing.T) {
+	tr := NewRadixTree[string]()
+	if err := tr.Insert(mustPrefix(t, "0.0.0.0/0"), "default"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr.Lookup(netip.MustParseAddr("203.0.113.9")); !ok || v != "default" {
+		t.Fatalf("default route lookup = (%q, %v)", v, ok)
+	}
+}
+
+func TestRadixOverwrite(t *testing.T) {
+	tr := NewRadixTree[string]()
+	p := mustPrefix(t, "10.0.0.0/8")
+	tr.Insert(p, "a")
+	tr.Insert(p, "b")
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate insert, want 1", tr.Len())
+	}
+	if v, _ := tr.Lookup(netip.MustParseAddr("10.1.1.1")); v != "b" {
+		t.Fatalf("overwrite did not take: %q", v)
+	}
+}
+
+func TestRadixIPv6LongestPrefixMatch(t *testing.T) {
+	tr := NewRadixTree[string]()
+	for p, v := range map[string]string{
+		"2001:db8::/32":     "doc",
+		"2001:db8:1::/48":   "doc-sub",
+		"2001:db8:1:2::/64": "doc-subnet",
+		"fd00::/8":          "ula",
+		"2606:4700::/32":    "cdn",
+	} {
+		if err := tr.Insert(netip.MustParsePrefix(p), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		addr string
+		want string
+		ok   bool
+	}{
+		{"2001:db8:1:2::99", "doc-subnet", true},
+		{"2001:db8:1:3::1", "doc-sub", true},
+		{"2001:db8:ffff::1", "doc", true},
+		{"fd12:3456::1", "ula", true},
+		{"2606:4700:4700::1111", "cdn", true},
+		{"2607::1", "", false},
+	}
+	for _, c := range cases {
+		got, ok := tr.Lookup(netip.MustParseAddr(c.addr))
+		if ok != c.ok || got != c.want {
+			t.Errorf("Lookup(%s) = (%q, %v), want (%q, %v)", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestRadixFamiliesSeparate(t *testing.T) {
+	tr := NewRadixTree[int]()
+	tr.Insert(mustPrefix(t, "0.0.0.0/0"), 4)
+	tr.Insert(netip.MustParsePrefix("::/0"), 6)
+	if v, ok := tr.Lookup(netip.MustParseAddr("2001:db8::1")); !ok || v != 6 {
+		t.Fatalf("v6 default = (%d, %v)", v, ok)
+	}
+	if v, ok := tr.Lookup(netip.MustParseAddr("8.8.8.8")); !ok || v != 4 {
+		t.Fatalf("v4 default = (%d, %v)", v, ok)
+	}
+	// An IPv4 default alone never matches IPv6 addresses.
+	only4 := NewRadixTree[int]()
+	only4.Insert(mustPrefix(t, "0.0.0.0/0"), 1)
+	if _, ok := only4.Lookup(netip.MustParseAddr("2001:db8::1")); ok {
+		t.Fatal("IPv6 address matched IPv4 tree")
+	}
+}
+
+func TestRadixRejectsInvalidPrefix(t *testing.T) {
+	tr := NewRadixTree[int]()
+	if err := tr.Insert(netip.Prefix{}, 1); err == nil {
+		t.Fatal("invalid prefix accepted")
+	}
+}
+
+func TestRadixMappedIPv4Unmapped(t *testing.T) {
+	tr := NewRadixTree[int]()
+	tr.Insert(mustPrefix(t, "10.0.0.0/8"), 42)
+	mapped := netip.MustParseAddr("::ffff:10.1.2.3")
+	if v, ok := tr.Lookup(mapped); !ok || v != 42 {
+		t.Fatalf("mapped IPv4 lookup = (%d, %v), want (42, true)", v, ok)
+	}
+}
+
+func TestRadixMaskedInsert(t *testing.T) {
+	tr := NewRadixTree[int]()
+	// Un-masked prefix: host bits set; Insert must mask them.
+	p, err := netip.ParsePrefix("10.1.2.3/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr.Lookup(netip.MustParseAddr("10.1.200.200")); !ok || v != 1 {
+		t.Fatalf("masked insert lookup = (%d, %v)", v, ok)
+	}
+}
+
+// Property: LPM lookup agrees with a naive linear scan over all inserted
+// prefixes (pick the longest containing prefix).
+func TestRadixMatchesLinearScan(t *testing.T) {
+	type entry struct {
+		p netip.Prefix
+		v int
+	}
+	check := func(seed int64) bool {
+		rng := newTestRand(seed)
+		var entries []entry
+		tr := NewRadixTree[int]()
+		n := int(rng()%40) + 1
+		for i := 0; i < n; i++ {
+			bits := int(rng() % 33)
+			addr := netip.AddrFrom4([4]byte{byte(rng()), byte(rng()), byte(rng()), byte(rng())})
+			p := netip.PrefixFrom(addr, bits).Masked()
+			// Deduplicate: later insert wins in both models.
+			entries = append(entries, entry{p, i})
+			tr.Insert(p, i)
+		}
+		for trial := 0; trial < 50; trial++ {
+			q := netip.AddrFrom4([4]byte{byte(rng()), byte(rng()), byte(rng()), byte(rng())})
+			wantV, wantOK := -1, false
+			bestBits := -1
+			for _, e := range entries {
+				if e.p.Contains(q) && e.p.Bits() >= bestBits {
+					// >= so that for equal prefixes the later insert wins.
+					if e.p.Bits() > bestBits || wantOK {
+						wantV, wantOK = e.v, true
+						bestBits = e.p.Bits()
+					}
+				}
+			}
+			gotV, gotOK := tr.Lookup(q)
+			if gotOK != wantOK {
+				return false
+			}
+			if wantOK && gotV != wantV {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTestRand returns a tiny deterministic generator for property tests
+// that need raw bytes without importing the stats package (avoiding an
+// import cycle in tests is not an issue here, but a local LCG keeps the
+// property self-contained).
+func newTestRand(seed int64) func() uint64 {
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	return func() uint64 {
+		s = s*2862933555777941757 + 3037000493
+		return s >> 8
+	}
+}

@@ -1,0 +1,60 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"adaudit/internal/audit"
+)
+
+// TableConversions renders the conversion audit (the paper's §2
+// conversion-ratio metric, deferred there to future work): per-campaign
+// totals, the data-center segment, and the conversion-vs-frequency
+// curve that justifies the cap-of-10 reference value.
+func TableConversions(w io.Writer, results []audit.ConversionResult) error {
+	fmt.Fprintln(w, "Extension: conversion audit")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Campaign ID\tImpressions\tClicks\tConv.\tCTR\tConv. ratio\tValue\tDC CTR\tDC conv.")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%s\t%.2f€\t%s\t%d\n",
+			r.CampaignID, r.Impressions, r.Clicks, r.Conversions,
+			pct(r.CTR()), pct(r.ConversionRatio()),
+			float64(r.ValueCents)/100,
+			pct(r.DataCenterCTR()), r.DataCenterConversions)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Conversions per user vs. exposure frequency (all campaigns pooled)")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "Exposures/user\tUsers\tConversions\tConv./user")
+	pooled := map[[2]int]*audit.ExposureBucket{}
+	var order [][2]int
+	for _, r := range results {
+		for _, b := range r.ByExposure {
+			k := [2]int{b.Lo, b.Hi}
+			agg := pooled[k]
+			if agg == nil {
+				agg = &audit.ExposureBucket{Lo: b.Lo, Hi: b.Hi}
+				pooled[k] = agg
+				order = append(order, k)
+			}
+			agg.Users += b.Users
+			agg.Impressions += b.Impressions
+			agg.Conversions += b.Conversions
+		}
+	}
+	for _, k := range order {
+		b := pooled[k]
+		label := fmt.Sprintf("%d", b.Lo)
+		switch {
+		case b.Hi >= 1<<29:
+			label = fmt.Sprintf("%d+", b.Lo)
+		case b.Hi != b.Lo:
+			label = fmt.Sprintf("%d-%d", b.Lo, b.Hi)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\n", label, b.Users, b.Conversions, b.ConversionsPerUser())
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,66 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"adaudit/internal/audit"
+)
+
+// Figure2CSV writes the rank-bucket series as CSV (one row per campaign
+// and metric), ready for external plotting.
+func Figure2CSV(w io.Writer, perCampaign []audit.CampaignAudit) error {
+	if len(perCampaign) == 0 {
+		return fmt.Errorf("report: figure 2 csv needs at least one campaign")
+	}
+	cw := csv.NewWriter(w)
+	buckets := perCampaign[0].Popularity.Publishers.Buckets
+	header := []string{"campaign", "metric"}
+	for i := 0; i < buckets.NumBuckets(); i++ {
+		header = append(header, buckets.Label(i))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, ca := range perCampaign {
+		rowP := []string{ca.ID, "publishers"}
+		rowI := []string{ca.ID, "impressions"}
+		for i := 0; i < buckets.NumBuckets(); i++ {
+			rowP = append(rowP, strconv.FormatFloat(ca.Popularity.Publishers.Fraction(i), 'f', 6, 64))
+			rowI = append(rowI, strconv.FormatFloat(ca.Popularity.Impressions.Fraction(i), 'f', 6, 64))
+		}
+		if err := cw.Write(rowP); err != nil {
+			return err
+		}
+		if err := cw.Write(rowI); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Figure3CSV writes the raw frequency scatter (one row per user/ad
+// pair), the exact data behind the paper's log-log plot.
+func Figure3CSV(w io.Writer, freq audit.FrequencyResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"campaign", "impressions", "median_iat_seconds"}); err != nil {
+		return err
+	}
+	for _, p := range freq.Points {
+		if p.Impressions < 2 {
+			continue
+		}
+		if err := cw.Write([]string{
+			p.CampaignID,
+			strconv.Itoa(p.Impressions),
+			strconv.FormatFloat(p.MedianInterArrival.Seconds(), 'f', 3, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

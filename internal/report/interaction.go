@@ -1,0 +1,26 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"adaudit/internal/audit"
+)
+
+// TableInteractions renders the behavioural fraud signals that
+// corroborate Table 4's IP-based detection: automation User-Agents,
+// UA-spoofing data-center traffic, and click-without-pointer activity.
+func TableInteractions(w io.Writer, results []audit.InteractionResult) error {
+	fmt.Fprintln(w, "Extension: behavioural fraud signals")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Campaign ID\tImpressions\tUA bots\tDC imps\tCorroborated\tDC w/ spoofed UA\tResid. automation\tClick w/o mouse\tSuspicious users")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d (%s)\t%d\t%d (%d DC)\t%d\n",
+			r.CampaignID, r.Impressions, r.UAFlagged, r.DCFlagged,
+			r.Corroborated, r.SpoofedUA, pct(r.SpoofShare()),
+			r.ResidentialAutomation,
+			r.ClickNoMove, r.ClickNoMoveDC,
+			len(r.SuspiciousUsers))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,232 @@
+// Package report renders audit results as the tables and figures of the
+// paper's evaluation section: aligned text tables for human reading and
+// CSV series for plotting. Each Render function corresponds to one
+// artifact (Table 1–4, Figure 1–3) and prints the same rows/series the
+// paper reports.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"adaudit/internal/adnet"
+	"adaudit/internal/audit"
+	"adaudit/internal/stats"
+)
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+}
+
+func pct(v float64) string {
+	return fmt.Sprintf("%.2f%%", v*100)
+}
+
+// Table1 prints the campaign roster.
+func Table1(w io.Writer, campaigns []adnet.Campaign) error {
+	fmt.Fprintln(w, "Table 1: campaigns")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Campaign ID\t# Impressions\tCPM\tKeywords\tGeo\tStart\tEnd\tBudget")
+	for _, c := range campaigns {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f€\t%s\t%s\t%s\t%s\t%.2f€\n",
+			c.ID, c.Impressions, c.CPM, strings.Join(c.Keywords, ", "), c.Geo,
+			c.Start.Format("2006-01-02"), c.End.Format("2006-01-02"), c.Budget())
+	}
+	return tw.Flush()
+}
+
+// Figure1 prints the brand-safety Venn partition (audit-only / both /
+// vendor-only publishers) for the aggregate and each campaign.
+func Figure1(w io.Writer, aggregate audit.BrandSafetyResult, perCampaign []audit.CampaignAudit) error {
+	fmt.Fprintln(w, "Figure 1: publishers reported by the audit vs. the vendor")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Scope\tAudit only\tBoth\tVendor only\t% unreported by vendor\t% missed by audit\tAnon. imps")
+	row := func(scope string, r audit.BrandSafetyResult) {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%s\t%d\n",
+			scope, r.Venn.OnlyA, r.Venn.Both, r.Venn.OnlyB,
+			pct(r.FractionUnreported()), pct(r.FractionAuditMissed()),
+			r.AnonymousImpressions)
+	}
+	row("ALL CAMPAIGNS", aggregate)
+	for _, ca := range perCampaign {
+		row(ca.ID, ca.BrandSafety)
+	}
+	return tw.Flush()
+}
+
+// Table2 prints the contextual-relevance comparison.
+func Table2(w io.Writer, perCampaign []audit.CampaignAudit) error {
+	fmt.Fprintln(w, "Table 2: impressions on contextually meaningful publishers")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Campaign ID\tAuditing Methodology\tVendor Report")
+	for _, ca := range perCampaign {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", ca.ID, pct(ca.Context.AuditFraction()), pct(ca.Context.VendorFraction()))
+	}
+	return tw.Flush()
+}
+
+// Figure2 prints the rank-bucket distributions of publishers (top) and
+// impressions (bottom) for the given campaigns, one column per bucket.
+func Figure2(w io.Writer, perCampaign []audit.CampaignAudit) error {
+	if len(perCampaign) == 0 {
+		return fmt.Errorf("report: figure 2 needs at least one campaign")
+	}
+	buckets := perCampaign[0].Popularity.Publishers.Buckets
+	header := "Campaign ID"
+	for i := 0; i < buckets.NumBuckets(); i++ {
+		header += "\t" + buckets.Label(i)
+	}
+
+	fmt.Fprintln(w, "Figure 2 (top): distribution of publishers across rank buckets")
+	tw := newTab(w)
+	fmt.Fprintln(tw, header)
+	for _, ca := range perCampaign {
+		fmt.Fprint(tw, ca.ID)
+		for i := 0; i < buckets.NumBuckets(); i++ {
+			fmt.Fprintf(tw, "\t%s", pct(ca.Popularity.Publishers.Fraction(i)))
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Figure 2 (bottom): distribution of impressions across rank buckets")
+	tw = newTab(w)
+	fmt.Fprintln(tw, header)
+	for _, ca := range perCampaign {
+		fmt.Fprint(tw, ca.ID)
+		for i := 0; i < buckets.NumBuckets(); i++ {
+			fmt.Fprintf(tw, "\t%s", pct(ca.Popularity.Impressions.Fraction(i)))
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Summary: share inside Alexa-style Top 50K")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "Campaign ID\tPublishers\tImpressions")
+	for _, ca := range perCampaign {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", ca.ID,
+			pct(ca.Popularity.TopKPublisherFraction(50_000)),
+			pct(ca.Popularity.TopKImpressionFraction(50_000)))
+	}
+	return tw.Flush()
+}
+
+// Table3 prints the viewability upper bound per campaign.
+func Table3(w io.Writer, perCampaign []audit.CampaignAudit) error {
+	fmt.Fprintln(w, "Table 3: impressions fulfilling the upper-bound viewability criterion (>= 1 s)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Campaign ID\tView >= 1s\tMedian exposure\tMRC viewable (measured subset)")
+	for _, ca := range perCampaign {
+		mrc := "n/a"
+		if ca.Viewability.MeasuredImpressions > 0 {
+			mrc = fmt.Sprintf("%s of %d", pct(ca.Viewability.MRCFraction()),
+				ca.Viewability.MeasuredImpressions)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2fs\t%s\n", ca.ID, pct(ca.Viewability.Fraction()),
+			ca.Viewability.ExposureSummary.Median, mrc)
+	}
+	return tw.Flush()
+}
+
+// Figure3 prints the frequency scatter summarised into log-spaced
+// impression bins: per bin, the number of users and the quartiles of
+// their median inter-arrival times.
+func Figure3(w io.Writer, freq audit.FrequencyResult) error {
+	fmt.Fprintln(w, "Figure 3: impressions per user vs. median inter-arrival time")
+	lb, err := stats.NewLogBuckets(2, 1<<20)
+	if err != nil {
+		return err
+	}
+	type bin struct {
+		users int
+		iats  []float64
+	}
+	bins := map[int]*bin{}
+	for _, p := range freq.Points {
+		if p.Impressions < 2 {
+			continue
+		}
+		i := lb.Index(float64(p.Impressions))
+		b := bins[i]
+		if b == nil {
+			b = &bin{}
+			bins[i] = b
+		}
+		b.users++
+		b.iats = append(b.iats, p.MedianInterArrival.Seconds())
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Impressions/user\tUsers\tMedian IAT p25\tp50\tp75")
+	for i := 0; i < lb.NumBuckets(); i++ {
+		b := bins[i]
+		if b == nil {
+			continue
+		}
+		s := stats.Summarize(b.iats)
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\n", lb.Label(i), b.users,
+			fmtSeconds(s.P25), fmtSeconds(s.Median), fmtSeconds(s.P75))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Users with > 10 impressions of the same ad: %d\n", freq.UsersOver10)
+	fmt.Fprintf(w, "Users with > 100 impressions of the same ad: %d\n", freq.UsersOver100)
+	fmt.Fprintf(w, "Users over 100 impressions with median gap < 1 min: %d\n",
+		freq.MedianIATBelow(100, time.Minute))
+	return nil
+}
+
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Second / 10).String()
+}
+
+// Table4 prints the data-center traffic statistics.
+func Table4(w io.Writer, perCampaign []audit.CampaignAudit) error {
+	fmt.Fprintln(w, "Table 4: data-center (cloud) traffic per campaign")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Campaign ID\t% Cloud IPs\t% Impressions to cloud IPs\t% Publishers showing ads to cloud IPs")
+	for _, ca := range perCampaign {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", ca.ID,
+			pct(ca.Fraud.PctDataCenterIPs()),
+			pct(ca.Fraud.PctDataCenterImpressions()),
+			pct(ca.Fraud.PctPublishersServingDC()))
+	}
+	return tw.Flush()
+}
+
+// Full prints every artifact of the evaluation in paper order.
+func Full(w io.Writer, campaigns []adnet.Campaign, rep *audit.FullReport) error {
+	if err := Table1(w, campaigns); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := Figure1(w, rep.Aggregate, rep.PerCampaign); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := Table2(w, rep.PerCampaign); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := Figure2(w, rep.PerCampaign); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := Table3(w, rep.PerCampaign); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := Figure3(w, rep.Frequency); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return Table4(w, rep.PerCampaign)
+}

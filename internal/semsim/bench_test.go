@@ -1,0 +1,28 @@
+package semsim
+
+import "testing"
+
+func BenchmarkWordSimilarity(b *testing.B) {
+	tx := DefaultTaxonomy()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tx.WordSimilarity("football", "research"); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkMatcherRelevant(b *testing.B) {
+	m := NewMatcher(DefaultTaxonomy())
+	keywords := []string{"universities", "research", "telematics"}
+	pubKeywords := []string{"futbol", "gol", "liga"}
+	pubTopics := []string{"football", "basketball"}
+	for i := 0; i < b.N; i++ {
+		m.Relevant(keywords, pubKeywords, pubTopics)
+	}
+}
+
+func BenchmarkTaxonomyBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		DefaultTaxonomy()
+	}
+}

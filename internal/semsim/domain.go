@@ -1,0 +1,153 @@
+package semsim
+
+// DefaultTaxonomy returns the embedded display-advertising content
+// taxonomy: an IS-A hierarchy over the content verticals ad networks
+// assign to publishers, deep enough under the paper's campaign verticals
+// (research, football, universities, telematics) for Leacock–Chodorow
+// scores to separate related from unrelated topics.
+//
+// Levels are uniform by construction — content(1) > macro vertical(2) >
+// vertical(3) > topic(4) — so shortest paths are interpretable: siblings
+// span 3 nodes, same-vertical cousins 5, and any cross-macro pair at
+// least 6. The default Matcher threshold (paths up to 5.5 nodes) then
+// reads "contextually similar = within the same macro vertical". The
+// taxonomy also covers the brand-unsafe verticals (adult, gambling,
+// piracy, violence, weapons) needed by the brand-safety analyses.
+func DefaultTaxonomy() *Taxonomy {
+	b := NewTaxonomyBuilder("content", "content", "web content")
+
+	// ----- Knowledge & education: the Research/General campaigns' home.
+	b.Add("knowledge", "content", "knowledge", "learning", "academia")
+	b.Add("education", "knowledge", "education", "teaching")
+	b.Add("universities", "education", "university", "universities", "college", "campus", "higher education")
+	b.Add("schools", "education", "school", "schools", "k-12")
+	b.Add("online-courses", "education", "mooc", "online course", "e-learning")
+	b.Add("science", "knowledge", "science", "scientific")
+	b.Add("research", "science", "research", "researcher", "r&d", "scientific research")
+	b.Add("physics", "science", "physics")
+	b.Add("biology", "science", "biology", "life sciences")
+	b.Add("engineering", "knowledge", "engineering", "engineer")
+	b.Add("telematics", "engineering", "telematics", "telecommunications", "networking", "telecom")
+	b.Add("computer-science", "engineering", "computer science", "informatics", "computing")
+	b.Add("robotics", "engineering", "robotics", "automation")
+	b.Add("reference", "knowledge", "reference")
+	b.Add("encyclopedias", "reference", "encyclopedia", "wiki")
+	b.Add("dictionaries", "reference", "dictionary", "thesaurus")
+
+	// ----- Sports: the Football campaigns' home.
+	b.Add("sports", "content", "sports", "sport")
+	b.Add("team-sports", "sports", "team sports")
+	b.Add("football", "team-sports", "football", "soccer", "futbol", "laliga", "la liga", "champions league")
+	b.Add("basketball", "team-sports", "basketball", "nba", "acb")
+	b.Add("rugby", "team-sports", "rugby")
+	b.Add("handball", "team-sports", "handball")
+	b.Add("racket-sports", "sports", "racket sports")
+	b.Add("tennis", "racket-sports", "tennis", "atp", "wta")
+	b.Add("padel", "racket-sports", "padel")
+	b.Add("motorsport", "sports", "motorsport", "racing")
+	b.Add("formula1", "motorsport", "formula 1", "f1")
+	b.Add("motogp", "motorsport", "motogp", "motorcycling")
+	b.Add("endurance-sports", "sports", "endurance sports")
+	b.Add("cycling", "endurance-sports", "cycling", "la vuelta")
+	b.Add("athletics", "endurance-sports", "athletics", "running", "marathon")
+	b.Add("esports", "sports", "esports", "competitive gaming")
+
+	// ----- News & media.
+	b.Add("news", "content", "news", "journalism", "press")
+	b.Add("politics", "news", "politics", "political")
+	b.Add("national-politics", "politics", "national politics", "government")
+	b.Add("world-politics", "politics", "world politics", "international affairs")
+	b.Add("business-news", "news", "business news", "economy")
+	b.Add("markets", "business-news", "markets", "stock market")
+	b.Add("local-news", "news", "local news", "regional news")
+	b.Add("weather", "news", "weather", "forecast")
+
+	// ----- Entertainment.
+	b.Add("entertainment", "content", "entertainment", "showbiz")
+	b.Add("screen", "entertainment", "screen entertainment")
+	b.Add("movies", "screen", "movies", "cinema", "film")
+	b.Add("television", "screen", "tv", "television", "series")
+	b.Add("streaming", "screen", "streaming", "video on demand")
+	b.Add("music", "entertainment", "music")
+	b.Add("concerts", "music", "concerts", "live music")
+	b.Add("gaming", "entertainment", "gaming")
+	b.Add("videogames", "gaming", "videogames", "video games", "consoles")
+	b.Add("mobile-games", "gaming", "mobile games", "casual games")
+	b.Add("celebrity", "entertainment", "celebrity", "celebrities")
+	b.Add("gossip", "celebrity", "gossip", "tabloids")
+	b.Add("humor", "entertainment", "humor", "memes", "jokes")
+
+	// ----- Lifestyle.
+	b.Add("lifestyle", "content", "lifestyle")
+	b.Add("travel", "lifestyle", "travel", "tourism", "holidays")
+	b.Add("hotels", "travel", "hotels", "accommodation")
+	b.Add("flights", "travel", "flights", "airlines")
+	b.Add("destinations", "travel", "destinations", "city guides")
+	b.Add("food", "lifestyle", "food", "cooking")
+	b.Add("recipes", "food", "recipes")
+	b.Add("restaurants", "food", "restaurants", "dining")
+	b.Add("fashion", "lifestyle", "fashion", "clothing", "style")
+	b.Add("health", "lifestyle", "health", "wellness")
+	b.Add("fitness", "health", "fitness", "gym", "exercise")
+	b.Add("medicine", "health", "medicine", "medical")
+	b.Add("family", "lifestyle", "family")
+	b.Add("parenting", "family", "parenting", "babies")
+	b.Add("home", "lifestyle", "home")
+	b.Add("decor", "home", "decor", "interior design")
+	b.Add("gardening", "home", "gardening", "diy")
+	b.Add("automotive", "lifestyle", "automotive", "motor")
+	b.Add("cars", "automotive", "cars", "car reviews")
+	b.Add("motorbikes", "automotive", "motorbikes", "motorcycles")
+
+	// ----- Commerce.
+	b.Add("commerce", "content", "commerce")
+	b.Add("shopping", "commerce", "shopping", "e-commerce")
+	b.Add("deals", "shopping", "deals", "coupons", "discounts")
+	b.Add("classifieds", "shopping", "classifieds", "second hand")
+	b.Add("finance", "commerce", "finance")
+	b.Add("banking", "finance", "banking", "banks")
+	b.Add("investing", "finance", "investing", "trading")
+	b.Add("insurance", "finance", "insurance", "loans")
+	b.Add("jobs", "commerce", "jobs", "employment", "careers", "job seeking")
+	b.Add("recruitment", "jobs", "recruitment", "job board")
+	b.Add("real-estate", "commerce", "real estate", "property", "housing")
+
+	// ----- Technology (consumer; distinct from the engineering branch).
+	b.Add("technology", "content", "technology", "tech")
+	b.Add("consumer-tech", "technology", "consumer technology", "gadgets")
+	b.Add("smartphones", "consumer-tech", "smartphones", "mobile phones")
+	b.Add("software", "technology", "software")
+	b.Add("programming", "software", "programming", "developers", "coding")
+	b.Add("apps", "software", "apps", "applications")
+	b.Add("internet", "technology", "internet", "web")
+	b.Add("web-services", "internet", "online services", "email", "search")
+	b.Add("hosting", "internet", "web hosting", "domains")
+
+	// ----- Community & tools: low-value/long-tail inventory.
+	b.Add("community", "content", "community")
+	b.Add("forums", "community", "forum", "forums", "message board")
+	b.Add("blogs", "community", "blog", "blogs", "personal site")
+	b.Add("social", "community", "social network", "social media")
+	b.Add("file-sharing", "community", "downloads", "file sharing")
+	b.Add("web-tools", "community", "converters", "calculators", "online tools", "utilities")
+
+	// ----- Brand-unsafe verticals (for the brand-safety analyses).
+	b.Add("sensitive", "content", "sensitive content")
+	b.Add("adult", "sensitive", "adult", "porn", "xxx", "adult content")
+	b.Add("gambling", "sensitive", "gambling")
+	b.Add("casino", "gambling", "casino", "slots")
+	b.Add("betting", "gambling", "betting", "sportsbook")
+	b.Add("poker", "gambling", "poker")
+	b.Add("piracy", "sensitive", "piracy", "warez")
+	b.Add("torrents", "piracy", "torrents", "p2p downloads")
+	b.Add("violence", "sensitive", "violence", "gore", "shock content")
+	b.Add("weapons", "sensitive", "weapons", "firearms", "guns")
+
+	t, err := b.Build()
+	if err != nil {
+		// The default taxonomy is static data; a build failure is a
+		// programming error, not a runtime condition.
+		panic("semsim: default taxonomy invalid: " + err.Error())
+	}
+	return t
+}

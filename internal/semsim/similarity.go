@@ -1,0 +1,149 @@
+package semsim
+
+import (
+	"math"
+)
+
+// Similarity computes concept-to-concept Leacock–Chodorow similarity:
+// -log(len / 2D), where len counts nodes on the shortest IS-A path and D
+// is the taxonomy's maximum depth. Higher is more similar; identical
+// concepts score -log(1/2D) = log(2D).
+//
+// It returns ok=false when either concept is unknown.
+func (t *Taxonomy) Similarity(a, b string) (sim float64, ok bool) {
+	ia, oka := t.byName[a]
+	ib, okb := t.byName[b]
+	if !oka || !okb {
+		return 0, false
+	}
+	l := t.pathLen(ia, ib)
+	return -math.Log(float64(l) / float64(2*t.maxDepth)), true
+}
+
+// MaxSimilarity returns the taxonomy's maximum attainable similarity,
+// log(2D) — the score of a concept with itself.
+func (t *Taxonomy) MaxSimilarity() float64 {
+	return math.Log(float64(2 * t.maxDepth))
+}
+
+// PathSimilarity returns the LC score of a (possibly fractional) path
+// spanning l nodes: -log(l / 2D). Useful for expressing thresholds in
+// path-length terms, which stay meaningful if the taxonomy grows deeper.
+func (t *Taxonomy) PathSimilarity(l float64) float64 {
+	return -math.Log(l / float64(2*t.maxDepth))
+}
+
+// WordSimilarity computes the similarity between two word forms as the
+// maximum over all concept senses of each word, the standard WordNet
+// word-level lift of a concept measure. It returns ok=false when either
+// word has no sense in the taxonomy.
+func (t *Taxonomy) WordSimilarity(a, b string) (sim float64, ok bool) {
+	as := t.byLemma[normalize(a)]
+	bs := t.byLemma[normalize(b)]
+	if len(as) == 0 || len(bs) == 0 {
+		return 0, false
+	}
+	best := math.Inf(-1)
+	for _, ia := range as {
+		for _, ib := range bs {
+			l := t.pathLen(ia, ib)
+			if s := -math.Log(float64(l) / float64(2*t.maxDepth)); s > best {
+				best = s
+			}
+		}
+	}
+	return best, true
+}
+
+// Matcher decides contextual relevance between a campaign's keywords and
+// a publisher's keywords/topics, implementing the paper's two-clause
+// rule: (1) any publisher keyword equals any campaign keyword, or (2) any
+// publisher topic is semantically similar to any campaign keyword with
+// Leacock–Chodorow similarity at or above Threshold.
+type Matcher struct {
+	Taxonomy *Taxonomy
+	// Threshold is the minimum LC similarity for clause (2). The paper
+	// does not publish its cut-off, so the default is expressed in
+	// path-length terms: concepts connected by a path of at most 3
+	// nodes — the topic itself, its parent vertical, and sibling topics
+	// under the same vertical — count as similar. This tight cut-off
+	// reproduces Table 2's low audit-side fractions for the research
+	// campaigns; widen it (e.g. PathSimilarity(5.5), one macro-vertical)
+	// for the threshold ablation.
+	Threshold float64
+}
+
+// NewMatcher returns a matcher over t with the default threshold,
+// PathSimilarity(3.5): midway between a sibling 3-node path and a
+// 4-node path leaving the vertical.
+func NewMatcher(t *Taxonomy) *Matcher {
+	return &Matcher{Taxonomy: t, Threshold: t.PathSimilarity(3.5)}
+}
+
+// KeywordMatch reports whether any publisher keyword exactly matches any
+// campaign keyword (clause 1), case-insensitively.
+func (m *Matcher) KeywordMatch(campaignKeywords, publisherKeywords []string) bool {
+	set := make(map[string]struct{}, len(campaignKeywords))
+	for _, k := range campaignKeywords {
+		set[normalize(k)] = struct{}{}
+	}
+	for _, k := range publisherKeywords {
+		if _, ok := set[normalize(k)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TopicMatch reports whether any publisher topic reaches the similarity
+// threshold against any campaign keyword (clause 2). Topics or keywords
+// missing from the taxonomy contribute nothing.
+func (m *Matcher) TopicMatch(campaignKeywords, publisherTopics []string) bool {
+	for _, topic := range publisherTopics {
+		for _, kw := range campaignKeywords {
+			if sim, ok := m.Taxonomy.WordSimilarity(topic, kw); ok && sim >= m.Threshold {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Relevant applies the full two-clause rule.
+func (m *Matcher) Relevant(campaignKeywords, publisherKeywords, publisherTopics []string) bool {
+	return m.KeywordMatch(campaignKeywords, publisherKeywords) ||
+		m.TopicMatch(campaignKeywords, publisherTopics)
+}
+
+// WuPalmer computes the Wu-Palmer similarity between two concepts:
+// 2*depth(LCA) / (depth(a) + depth(b)), in (0, 1]. It is the other
+// standard WordNet path measure; exposing it alongside Leacock-Chodorow
+// lets the context analysis quantify how sensitive Table 2 is to the
+// paper's (undisclosed) choice of similarity function.
+func (t *Taxonomy) WuPalmer(a, b string) (float64, bool) {
+	ia, oka := t.byName[a]
+	ib, okb := t.byName[b]
+	if !oka || !okb {
+		return 0, false
+	}
+	lca := t.lowestCommonAncestor(ia, ib)
+	da := float64(t.nodes[ia].depth)
+	db := float64(t.nodes[ib].depth)
+	return 2 * float64(t.nodes[lca].depth) / (da + db), true
+}
+
+// lowestCommonAncestor returns the index of the deepest shared ancestor.
+func (t *Taxonomy) lowestCommonAncestor(a, b int) int {
+	x, y := a, b
+	for t.nodes[x].depth > t.nodes[y].depth {
+		x = t.nodes[x].parent
+	}
+	for t.nodes[y].depth > t.nodes[x].depth {
+		y = t.nodes[y].parent
+	}
+	for x != y {
+		x = t.nodes[x].parent
+		y = t.nodes[y].parent
+	}
+	return x
+}

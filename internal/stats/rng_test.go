@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical draws", same)
+	}
+}
+
+func TestForkStability(t *testing.T) {
+	parent := NewRNG(7)
+	// Consume some of the parent stream; forks must not be affected.
+	for i := 0; i < 123; i++ {
+		parent.Uint64()
+	}
+	f1 := parent.Fork("publishers")
+	f2 := NewRNG(7).Fork("publishers")
+	for i := 0; i < 100; i++ {
+		if f1.Uint64() != f2.Uint64() {
+			t.Fatalf("forked streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestForkLabelsIndependent(t *testing.T) {
+	r := NewRNG(7)
+	a := r.Fork("a")
+	b := r.Fork("b")
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("different fork labels produced identical streams")
+	}
+}
+
+func TestBoolSaturation(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if r.Bool(-0.5) {
+			t.Fatal("Bool(-0.5) returned true")
+		}
+		if !r.Bool(1.5) {
+			t.Fatal("Bool(1.5) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	r := NewRNG(3)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %v, want ~0.3", got)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	xm, alpha := 1.0, 1.5
+	var below, count int
+	for i := 0; i < n; i++ {
+		v := r.Pareto(xm, alpha)
+		if v < xm {
+			t.Fatalf("Pareto sample %v below minimum %v", v, xm)
+		}
+		count++
+		if v < 2*xm {
+			below++
+		}
+	}
+	// P(X < 2xm) = 1 - 2^-alpha ≈ 0.6464 for alpha=1.5.
+	want := 1 - math.Pow(2, -alpha)
+	got := float64(below) / float64(count)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("Pareto CDF at 2xm = %v, want ~%v", got, want)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := NewRNG(9)
+	const n = 100000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.LogNormal(1.0, 0.5)
+	}
+	med := Median(xs)
+	want := math.Exp(1.0)
+	if math.Abs(med-want)/want > 0.03 {
+		t.Fatalf("log-normal median = %v, want ~%v", med, want)
+	}
+}
+
+func TestWeightedPick(t *testing.T) {
+	r := NewRNG(11)
+	weights := []float64{1, 0, 3, -2, 6}
+	counts := make([]int, len(weights))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[WeightedPick(r, weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index picked %d times", counts[1])
+	}
+	if counts[3] != 0 {
+		t.Fatalf("negative-weight index picked %d times", counts[3])
+	}
+	// Expect proportions ~ 1:3:6 over total 10.
+	for i, want := range map[int]float64{0: 0.1, 2: 0.3, 4: 0.6} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("index %d frequency = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedPickPanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive total weight")
+		}
+	}()
+	WeightedPick(NewRNG(1), []float64{0, -1})
+}
+
+func TestPick(t *testing.T) {
+	r := NewRNG(2)
+	xs := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(r, xs)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Pick over 100 draws covered %d/3 elements", len(seen))
+	}
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zipf samples ranks from a bounded Zipf distribution: P(rank = k) is
+// proportional to 1/(k+1)^s for k in [0, n). It is the popularity model
+// behind the synthetic publisher universe (Alexa-like ranking) and the
+// per-user repeat-exposure tail.
+//
+// The implementation uses inversion over the analytic approximation of the
+// generalized harmonic CDF with a small correction table for the head,
+// which keeps construction O(head) and sampling O(log head) worst case
+// while matching the exact distribution to within float tolerance.
+type Zipf struct {
+	rng *RNG
+	s   float64
+	n   uint64
+
+	// headCDF holds the exact cumulative probability of the first
+	// min(n, zipfHeadSize) ranks; the tail is sampled by inverting the
+	// integral approximation of sum 1/k^s.
+	headCDF  []float64
+	headMass float64
+	tailNorm float64
+}
+
+const zipfHeadSize = 4096
+
+// NewZipf returns a Zipf sampler over ranks [0, n) with exponent s.
+// It returns an error if s <= 0 or n == 0.
+func NewZipf(rng *RNG, s float64, n uint64) (*Zipf, error) {
+	if s <= 0 {
+		return nil, fmt.Errorf("stats: zipf exponent must be > 0, got %v", s)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("stats: zipf range must be non-empty")
+	}
+	z := &Zipf{rng: rng, s: s, n: n}
+	head := int(n)
+	if head > zipfHeadSize {
+		head = zipfHeadSize
+	}
+	z.headCDF = make([]float64, head)
+	var sum float64
+	for k := 0; k < head; k++ {
+		sum += math.Pow(float64(k+1), -s)
+		z.headCDF[k] = sum
+	}
+	z.headMass = sum
+	total := sum
+	if uint64(head) < n {
+		tail := z.harmonicTail(float64(head)+0.5, float64(n)+0.5)
+		z.tailNorm = tail
+		total += tail
+	}
+	// Normalize so headMass and tailNorm are probabilities.
+	z.headMass /= total
+	z.tailNorm /= total
+	for k := range z.headCDF {
+		z.headCDF[k] /= total
+	}
+	return z, nil
+}
+
+// harmonicTail approximates sum_{k=a..b} k^-s by the integral of x^-s.
+func (z *Zipf) harmonicTail(a, b float64) float64 {
+	if z.s == 1 {
+		return math.Log(b) - math.Log(a)
+	}
+	return (math.Pow(b, 1-z.s) - math.Pow(a, 1-z.s)) / (1 - z.s)
+}
+
+// N returns the number of ranks the sampler draws from.
+func (z *Zipf) N() uint64 { return z.n }
+
+// Rank draws a rank in [0, n); rank 0 is the most popular.
+func (z *Zipf) Rank() uint64 {
+	u := z.rng.Float64()
+	if u < z.headMass || uint64(len(z.headCDF)) == z.n {
+		// Binary search in the exact head CDF.
+		lo, hi := 0, len(z.headCDF)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if z.headCDF[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return uint64(lo)
+	}
+	// Invert the tail integral: find x with Integral(head..x) = v.
+	v := u - z.headMass
+	a := float64(len(z.headCDF)) + 0.5
+	b := float64(z.n) + 0.5
+	var x float64
+	if z.s == 1 {
+		total := math.Log(b) - math.Log(a)
+		x = a * math.Exp(v/z.tailNorm*total)
+	} else {
+		total := math.Pow(b, 1-z.s) - math.Pow(a, 1-z.s)
+		x = math.Pow(math.Pow(a, 1-z.s)+v/z.tailNorm*total, 1/(1-z.s))
+	}
+	k := uint64(x)
+	if k < uint64(len(z.headCDF)) {
+		k = uint64(len(z.headCDF))
+	}
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfRejectsBadParams(t *testing.T) {
+	r := NewRNG(1)
+	if _, err := NewZipf(r, 0, 10); err == nil {
+		t.Fatal("expected error for s=0")
+	}
+	if _, err := NewZipf(r, -1, 10); err == nil {
+		t.Fatal("expected error for s<0")
+	}
+	if _, err := NewZipf(r, 1, 0); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}
+
+func TestZipfRanksInRange(t *testing.T) {
+	err := quick.Check(func(seed int64, nRaw uint16) bool {
+		n := uint64(nRaw)%100000 + 1
+		z, err := NewZipf(NewRNG(seed), 1.1, n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			if z.Rank() >= n {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfHeadFrequencies(t *testing.T) {
+	// For s=1 over a small n, rank 0 should be about twice as likely as
+	// rank 1 and three times as likely as rank 2.
+	z, err := NewZipf(NewRNG(17), 1.0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500000
+	counts := make([]int, 3)
+	for i := 0; i < n; i++ {
+		r := z.Rank()
+		if r < 3 {
+			counts[r]++
+		}
+	}
+	r01 := float64(counts[0]) / float64(counts[1])
+	r02 := float64(counts[0]) / float64(counts[2])
+	if math.Abs(r01-2) > 0.15 {
+		t.Fatalf("P(0)/P(1) = %v, want ~2", r01)
+	}
+	if math.Abs(r02-3) > 0.25 {
+		t.Fatalf("P(0)/P(2) = %v, want ~3", r02)
+	}
+}
+
+func TestZipfSmallNExactCoverage(t *testing.T) {
+	z, err := NewZipf(NewRNG(3), 1.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{}
+	for i := 0; i < 50000; i++ {
+		seen[z.Rank()]++
+	}
+	for k := uint64(0); k < 5; k++ {
+		if seen[k] == 0 {
+			t.Fatalf("rank %d never sampled", k)
+		}
+	}
+	// Monotone decreasing frequency.
+	for k := uint64(1); k < 5; k++ {
+		if seen[k] > seen[k-1] {
+			t.Fatalf("rank %d sampled more often (%d) than rank %d (%d)",
+				k, seen[k], k-1, seen[k-1])
+		}
+	}
+}
+
+func TestZipfTailSampledForLargeN(t *testing.T) {
+	// n far beyond the exact head: tail ranks must appear.
+	z, err := NewZipf(NewRNG(23), 0.9, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if z.Rank() >= zipfHeadSize {
+			tail++
+		}
+	}
+	if tail == 0 {
+		t.Fatal("no tail ranks sampled for n=10M")
+	}
+	if tail == n {
+		t.Fatal("no head ranks sampled for n=10M")
+	}
+}
+
+func TestZipfDeterminism(t *testing.T) {
+	z1, _ := NewZipf(NewRNG(77), 1.05, 1_000_000)
+	z2, _ := NewZipf(NewRNG(77), 1.05, 1_000_000)
+	for i := 0; i < 1000; i++ {
+		if z1.Rank() != z2.Rank() {
+			t.Fatalf("zipf streams diverged at draw %d", i)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+)
+
+func benchRecord(i int) Impression {
+	return Impression{
+		CampaignID:  fmt.Sprintf("c%d", i%8),
+		CreativeID:  "cr",
+		Publisher:   fmt.Sprintf("pub%d.es", i%5000),
+		PageURL:     "http://pub.es/p",
+		UserAgent:   "Mozilla/5.0",
+		IPPseudonym: fmt.Sprintf("ip%d", i%30000),
+		UserKey:     fmt.Sprintf("u%d", i%30000),
+		ISP:         "isp-a",
+		Country:     "ES",
+		DataCenter:  "not-data-center",
+		Timestamp:   time.Date(2016, 3, 29, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Second),
+		Exposure:    3 * time.Second,
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Insert(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchStore(b *testing.B, n int) *Store {
+	b.Helper()
+	s := New()
+	for i := 0; i < n; i++ {
+		if _, err := s.Insert(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+func BenchmarkByCampaign(b *testing.B) {
+	s := benchStore(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.ByCampaign("c3"); len(got) == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
+func BenchmarkPublishersAggregate(b *testing.B) {
+	s := benchStore(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Publishers(""); len(got) == 0 {
+			b.Fatal("no publishers")
+		}
+	}
+}
+
+func BenchmarkFullScan(b *testing.B) {
+	s := benchStore(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.ForEach(func(Impression) bool { n++; return true })
+		if n != 100_000 {
+			b.Fatal("short scan")
+		}
+	}
+}
+
+func BenchmarkWriteSnapshot(b *testing.B) {
+	s := benchStore(b, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.WriteSnapshot(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteCSV(b *testing.B) {
+	s := benchStore(b, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.WriteCSV(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteSnapshot streams the store as JSON lines (one impression per
+// line), the dataset format cmd/adsim writes and cmd/auditctl reads.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	var encodeErr error
+	s.ForEach(func(im Impression) bool {
+		if err := enc.Encode(im); err != nil {
+			encodeErr = fmt.Errorf("store: encoding snapshot record %d: %w", im.ID, err)
+			return false
+		}
+		return true
+	})
+	if encodeErr != nil {
+		return encodeErr
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("store: flushing snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot loads JSON-lines records into a fresh store. IDs are
+// reassigned in file order; indexes are rebuilt.
+func ReadSnapshot(r io.Reader) (*Store, error) {
+	s := New()
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for line := 1; ; line++ {
+		var im Impression
+		if err := dec.Decode(&im); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("store: decoding snapshot record %d: %w", line, err)
+		}
+		if _, err := s.Insert(im); err != nil {
+			return nil, fmt.Errorf("store: snapshot record %d: %w", line, err)
+		}
+	}
+	return s, nil
+}
+
+// csvHeader is the column order of WriteCSV.
+var csvHeader = []string{
+	"id", "campaign_id", "creative_id", "publisher", "page_url",
+	"user_agent", "ip_pseudonym", "user_key", "isp", "country",
+	"data_center", "timestamp", "exposure_ms", "mouse_moves", "clicks",
+	"visibility_measured", "max_visible_fraction",
+}
+
+// WriteCSV exports the store for spreadsheet/pandas-style analysis.
+func (s *Store) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("store: writing csv header: %w", err)
+	}
+	var writeErr error
+	s.ForEach(func(im Impression) bool {
+		rec := []string{
+			strconv.FormatInt(im.ID, 10),
+			im.CampaignID,
+			im.CreativeID,
+			im.Publisher,
+			im.PageURL,
+			im.UserAgent,
+			im.IPPseudonym,
+			im.UserKey,
+			im.ISP,
+			im.Country,
+			im.DataCenter,
+			im.Timestamp.UTC().Format(time.RFC3339Nano),
+			strconv.FormatInt(im.Exposure.Milliseconds(), 10),
+			strconv.Itoa(im.MouseMoves),
+			strconv.Itoa(im.Clicks),
+			strconv.FormatBool(im.VisibilityMeasured),
+			strconv.FormatFloat(im.MaxVisibleFraction, 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			writeErr = fmt.Errorf("store: writing csv record %d: %w", im.ID, err)
+			return false
+		}
+		return true
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("store: flushing csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+// Package store is the embedded impression database backing the
+// collector — the stand-in for the paper's MySQL instance. It keeps an
+// append-only record log with in-memory secondary indexes (campaign,
+// publisher, user), supports concurrent writers and readers, and
+// round-trips datasets through JSON-lines snapshots and CSV exports for
+// downstream analysis.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Impression is one fully enriched ad-impression record: the beacon
+// payload joined with the connection-derived facts (client address,
+// timestamps, exposure) and the IP metadata extracted before
+// anonymisation, exactly the row schema the paper's §3 methodology
+// stores per impression.
+type Impression struct {
+	// ID is the store-assigned sequence number (1-based).
+	ID int64 `json:"id"`
+	// CampaignID and CreativeID identify the ad.
+	CampaignID string `json:"campaign_id"`
+	CreativeID string `json:"creative_id"`
+	// Publisher is the registrable domain extracted from the page URL.
+	Publisher string `json:"publisher"`
+	// PageURL is the full URL where the impression rendered.
+	PageURL string `json:"page_url"`
+	// UserAgent is the reported navigator.userAgent.
+	UserAgent string `json:"user_agent"`
+	// IPPseudonym is the keyed hash of the client IP (the raw address
+	// is discarded after metadata extraction, per the paper's
+	// anonymisation footnote).
+	IPPseudonym string `json:"ip_pseudonym"`
+	// UserKey identifies a user as the combination of IP and
+	// User-Agent — the identity §4.2's frequency analysis uses, so two
+	// devices behind a NAT with different browsers count separately.
+	UserKey string `json:"user_key"`
+	// ISP is the owning organisation of the client IP; Country its
+	// geolocation; both extracted before anonymisation.
+	ISP     string `json:"isp"`
+	Country string `json:"country"`
+	// DataCenter records the fraud cascade's verdict for the client IP
+	// (ipmeta.DataCenterVerdict.String()).
+	DataCenter string `json:"data_center"`
+	// Timestamp is the connection-establishment time at the collector.
+	Timestamp time.Time `json:"timestamp"`
+	// Exposure is the connection duration — the paper's upper-bound
+	// viewability signal.
+	Exposure time.Duration `json:"exposure"`
+	// MouseMoves and Clicks count interaction events on the ad.
+	MouseMoves int `json:"mouse_moves"`
+	Clicks     int `json:"clicks"`
+	// VisibilityMeasured marks impressions whose placement allowed
+	// pixel-visibility measurement (friendly iframe); cross-origin
+	// placements cannot report it (§3.1) and leave it false.
+	VisibilityMeasured bool `json:"visibility_measured,omitempty"`
+	// MaxVisibleFraction is the peak visible-pixel fraction observed,
+	// meaningful only when VisibilityMeasured.
+	MaxVisibleFraction float64 `json:"max_visible_fraction,omitempty"`
+}
+
+// Validate checks the record is complete enough to insert.
+func (im *Impression) Validate() error {
+	switch {
+	case im.CampaignID == "":
+		return fmt.Errorf("store: impression missing campaign id")
+	case im.Publisher == "":
+		return fmt.Errorf("store: impression missing publisher")
+	case im.UserKey == "":
+		return fmt.Errorf("store: impression missing user key")
+	case im.Timestamp.IsZero():
+		return fmt.Errorf("store: impression missing timestamp")
+	case im.Exposure < 0:
+		return fmt.Errorf("store: negative exposure %v", im.Exposure)
+	}
+	return nil
+}
+
+// Store is a concurrency-safe impression database with an adjacent
+// conversion log (see conversions.go).
+type Store struct {
+	mu   sync.RWMutex
+	recs []Impression
+
+	byCampaign  map[string][]int
+	byPublisher map[string][]int
+	byUser      map[string][]int
+
+	conversions conversionLog
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		byCampaign:  map[string][]int{},
+		byPublisher: map[string][]int{},
+		byUser:      map[string][]int{},
+	}
+}
+
+// Insert validates im, assigns it the next ID and appends it. The
+// returned ID is 1-based.
+func (s *Store) Insert(im Impression) (int64, error) {
+	if err := im.Validate(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := len(s.recs)
+	im.ID = int64(idx + 1)
+	s.recs = append(s.recs, im)
+	s.byCampaign[im.CampaignID] = append(s.byCampaign[im.CampaignID], idx)
+	s.byPublisher[im.Publisher] = append(s.byPublisher[im.Publisher], idx)
+	s.byUser[im.UserKey] = append(s.byUser[im.UserKey], idx)
+	return im.ID, nil
+}
+
+// Len returns the number of stored impressions.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recs)
+}
+
+// Get returns the impression with the given 1-based ID.
+func (s *Store) Get(id int64) (Impression, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id < 1 || id > int64(len(s.recs)) {
+		return Impression{}, false
+	}
+	return s.recs[id-1], true
+}
+
+// ForEach calls fn for every impression in insertion order; fn returning
+// false stops the scan. The store must not be mutated from within fn.
+func (s *Store) ForEach(fn func(Impression) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := range s.recs {
+		if !fn(s.recs[i]) {
+			return
+		}
+	}
+}
+
+// Campaigns returns the distinct campaign IDs present, sorted.
+func (s *Store) Campaigns() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byCampaign))
+	for c := range s.byCampaign {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByCampaign returns a copy of the impressions of one campaign in
+// insertion order.
+func (s *Store) ByCampaign(campaignID string) []Impression {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.collect(s.byCampaign[campaignID])
+}
+
+// ByPublisher returns a copy of the impressions shown on one publisher.
+func (s *Store) ByPublisher(publisher string) []Impression {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.collect(s.byPublisher[publisher])
+}
+
+// ByUser returns a copy of the impressions delivered to one user key.
+func (s *Store) ByUser(userKey string) []Impression {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.collect(s.byUser[userKey])
+}
+
+func (s *Store) collect(idxs []int) []Impression {
+	out := make([]Impression, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.recs[idx]
+	}
+	return out
+}
+
+// Publishers returns the distinct publishers of a campaign, sorted. An
+// empty campaignID aggregates across all campaigns, as the paper's
+// Figure 1 does.
+func (s *Store) Publishers(campaignID string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := map[string]struct{}{}
+	if campaignID == "" {
+		for p := range s.byPublisher {
+			set[p] = struct{}{}
+		}
+	} else {
+		for _, idx := range s.byCampaign[campaignID] {
+			set[s.recs[idx].Publisher] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Users returns the distinct user keys of a campaign, sorted. An empty
+// campaignID aggregates across all campaigns.
+func (s *Store) Users(campaignID string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := map[string]struct{}{}
+	if campaignID == "" {
+		for u := range s.byUser {
+			set[u] = struct{}{}
+		}
+	} else {
+		for _, idx := range s.byCampaign[campaignID] {
+			set[s.recs[idx].UserKey] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}

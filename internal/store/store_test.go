@@ -1,0 +1,308 @@
+package store
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testImpression(campaign, publisher, user string, at time.Time) Impression {
+	return Impression{
+		CampaignID:  campaign,
+		CreativeID:  "cr1",
+		Publisher:   publisher,
+		PageURL:     "http://" + publisher + "/page",
+		UserAgent:   "UA",
+		IPPseudonym: "abcd",
+		UserKey:     user,
+		ISP:         "isp-a",
+		Country:     "ES",
+		DataCenter:  "not-data-center",
+		Timestamp:   at,
+		Exposure:    1500 * time.Millisecond,
+		MouseMoves:  2,
+		Clicks:      1,
+	}
+}
+
+var t0 = time.Date(2016, 3, 29, 12, 0, 0, 0, time.UTC)
+
+func TestInsertAssignsSequentialIDs(t *testing.T) {
+	s := New()
+	for i := 1; i <= 5; i++ {
+		id, err := s.Insert(testImpression("c", "p.es", "u", t0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != int64(i) {
+			t.Fatalf("id = %d, want %d", id, i)
+		}
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestInsertValidates(t *testing.T) {
+	s := New()
+	bad := []Impression{
+		{},
+		{CampaignID: "c"},
+		{CampaignID: "c", Publisher: "p"},
+		{CampaignID: "c", Publisher: "p", UserKey: "u"},
+		func() Impression {
+			im := testImpression("c", "p", "u", t0)
+			im.Exposure = -time.Second
+			return im
+		}(),
+	}
+	for i, im := range bad {
+		if _, err := s.Insert(im); err == nil {
+			t.Errorf("case %d: invalid impression accepted", i)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatal("invalid inserts changed the store")
+	}
+}
+
+func TestGet(t *testing.T) {
+	s := New()
+	id, _ := s.Insert(testImpression("c", "p.es", "u", t0))
+	got, ok := s.Get(id)
+	if !ok || got.Publisher != "p.es" {
+		t.Fatalf("Get(%d) = %+v, %v", id, got, ok)
+	}
+	if _, ok := s.Get(0); ok {
+		t.Fatal("Get(0) succeeded")
+	}
+	if _, ok := s.Get(99); ok {
+		t.Fatal("Get(99) succeeded")
+	}
+}
+
+func TestIndexes(t *testing.T) {
+	s := New()
+	s.Insert(testImpression("A", "p1.es", "u1", t0))
+	s.Insert(testImpression("A", "p2.es", "u1", t0.Add(time.Minute)))
+	s.Insert(testImpression("B", "p1.es", "u2", t0.Add(2*time.Minute)))
+
+	if got := s.ByCampaign("A"); len(got) != 2 {
+		t.Fatalf("ByCampaign(A) = %d records", len(got))
+	}
+	if got := s.ByPublisher("p1.es"); len(got) != 2 {
+		t.Fatalf("ByPublisher(p1.es) = %d records", len(got))
+	}
+	if got := s.ByUser("u1"); len(got) != 2 {
+		t.Fatalf("ByUser(u1) = %d records", len(got))
+	}
+	if got := s.ByCampaign("missing"); len(got) != 0 {
+		t.Fatalf("ByCampaign(missing) = %d records", len(got))
+	}
+	cs := s.Campaigns()
+	if len(cs) != 2 || cs[0] != "A" || cs[1] != "B" {
+		t.Fatalf("Campaigns = %v", cs)
+	}
+}
+
+func TestPublishersAndUsers(t *testing.T) {
+	s := New()
+	s.Insert(testImpression("A", "p1.es", "u1", t0))
+	s.Insert(testImpression("A", "p2.es", "u2", t0))
+	s.Insert(testImpression("B", "p3.es", "u1", t0))
+
+	if got := s.Publishers("A"); len(got) != 2 {
+		t.Fatalf("Publishers(A) = %v", got)
+	}
+	if got := s.Publishers(""); len(got) != 3 {
+		t.Fatalf("Publishers(all) = %v", got)
+	}
+	if got := s.Users("B"); len(got) != 1 || got[0] != "u1" {
+		t.Fatalf("Users(B) = %v", got)
+	}
+	if got := s.Users(""); len(got) != 2 {
+		t.Fatalf("Users(all) = %v", got)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Insert(testImpression("c", "p.es", "u", t0))
+	}
+	n := 0
+	s.ForEach(func(Impression) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("ForEach visited %d records after early stop", n)
+	}
+}
+
+func TestConcurrentInsertAndRead(t *testing.T) {
+	s := New()
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				im := testImpression(
+					fmt.Sprintf("c%d", w%3),
+					fmt.Sprintf("p%d.es", i%17),
+					fmt.Sprintf("u%d-%d", w, i%11),
+					t0.Add(time.Duration(i)*time.Second),
+				)
+				if _, err := s.Insert(im); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Len()
+				s.Publishers("")
+				s.ByCampaign("c0")
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", s.Len(), writers*perWriter)
+	}
+	// IDs must be a permutation-free 1..N sequence.
+	seen := map[int64]bool{}
+	s.ForEach(func(im Impression) bool {
+		if seen[im.ID] {
+			t.Errorf("duplicate id %d", im.ID)
+		}
+		seen[im.ID] = true
+		return true
+	})
+	if len(seen) != writers*perWriter {
+		t.Fatalf("distinct ids = %d", len(seen))
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := New()
+	for i := 0; i < 50; i++ {
+		im := testImpression(fmt.Sprintf("c%d", i%3), fmt.Sprintf("p%d.es", i%7),
+			fmt.Sprintf("u%d", i%11), t0.Add(time.Duration(i)*time.Minute))
+		im.Exposure = time.Duration(i) * 100 * time.Millisecond
+		s.Insert(im)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("restored %d records, want %d", got.Len(), s.Len())
+	}
+	for id := int64(1); id <= int64(s.Len()); id++ {
+		a, _ := s.Get(id)
+		b, _ := got.Get(id)
+		if !a.Timestamp.Equal(b.Timestamp) {
+			t.Fatalf("record %d timestamp mismatch", id)
+		}
+		a.Timestamp, b.Timestamp = time.Time{}, time.Time{}
+		if a != b {
+			t.Fatalf("record %d mismatch:\n%+v\n%+v", id, a, b)
+		}
+	}
+	// Indexes must be rebuilt.
+	if len(got.Publishers("")) != len(s.Publishers("")) {
+		t.Fatal("publisher index not rebuilt")
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+	// Valid JSON but invalid record.
+	if _, err := ReadSnapshot(strings.NewReader(`{"campaign_id":""}`)); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := New()
+	s.Insert(testImpression("c1", "p1.es", "u1", t0))
+	s.Insert(testImpression("c2", "p2.es", "u2", t0.Add(time.Hour)))
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("csv rows = %d, want header + 2", len(recs))
+	}
+	if recs[0][0] != "id" || recs[1][1] != "c1" || recs[2][3] != "p2.es" {
+		t.Fatalf("csv content unexpected: %v", recs)
+	}
+	if recs[1][12] != "1500" {
+		t.Fatalf("exposure_ms = %q, want 1500", recs[1][12])
+	}
+}
+
+// Property: inserting any set of valid records keeps every index
+// consistent with a full scan.
+func TestIndexConsistencyProperty(t *testing.T) {
+	err := quick.Check(func(camps, pubs, users []uint8) bool {
+		n := len(camps)
+		if len(pubs) < n {
+			n = len(pubs)
+		}
+		if len(users) < n {
+			n = len(users)
+		}
+		s := New()
+		for i := 0; i < n; i++ {
+			s.Insert(testImpression(
+				fmt.Sprintf("c%d", camps[i]%5),
+				fmt.Sprintf("p%d.es", pubs[i]%7),
+				fmt.Sprintf("u%d", users[i]%9),
+				t0.Add(time.Duration(i)*time.Second)))
+		}
+		// Cross-check ByCampaign against a scan.
+		counts := map[string]int{}
+		s.ForEach(func(im Impression) bool {
+			counts[im.CampaignID]++
+			return true
+		})
+		for c, want := range counts {
+			if got := len(s.ByCampaign(c)); got != want {
+				return false
+			}
+		}
+		total := 0
+		for _, c := range s.Campaigns() {
+			total += len(s.ByCampaign(c))
+		}
+		return total == s.Len()
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

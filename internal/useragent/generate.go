@@ -1,0 +1,146 @@
+package useragent
+
+import (
+	"fmt"
+
+	"adaudit/internal/stats"
+)
+
+// Generator produces realistic User-Agent strings for the simulated
+// device fleet, with a market-share-weighted mix of browsers, OSes and
+// device classes circa the paper's measurement period (early 2016).
+type Generator struct {
+	rng *stats.RNG
+}
+
+// NewGenerator returns a generator drawing from rng.
+func NewGenerator(rng *stats.RNG) *Generator {
+	return &Generator{rng: rng}
+}
+
+type uaTemplate struct {
+	weight float64
+	format string
+	// versions is the pool of major versions to draw from.
+	versions []int
+	device   DeviceClass
+}
+
+var browserTemplates = []uaTemplate{
+	{ // Chrome on Windows — the dominant display-ad client.
+		weight:   0.34,
+		format:   "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%d.0.2623.87 Safari/537.36",
+		versions: []int{47, 48, 49, 50},
+		device:   DeviceDesktop,
+	},
+	{ // Chrome on Android mobile.
+		weight:   0.18,
+		format:   "Mozilla/5.0 (Linux; Android 6.0; Nexus 5 Build/MRA58N) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%d.0.2623.91 Mobile Safari/537.36",
+		versions: []int{47, 48, 49},
+		device:   DeviceMobile,
+	},
+	{ // Firefox on Windows.
+		weight:   0.12,
+		format:   "Mozilla/5.0 (Windows NT 6.1; Win64; x64; rv:%d.0) Gecko/20100101 Firefox/%d.0",
+		versions: []int{43, 44, 45},
+		device:   DeviceDesktop,
+	},
+	{ // Safari on macOS.
+		weight:   0.07,
+		format:   "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_11_3) AppleWebKit/601.4.4 (KHTML, like Gecko) Version/%d.0.3 Safari/601.4.4",
+		versions: []int{9},
+		device:   DeviceDesktop,
+	},
+	{ // Safari on iPhone.
+		weight:   0.10,
+		format:   "Mozilla/5.0 (iPhone; CPU iPhone OS 9_2_1 like Mac OS X) AppleWebKit/601.1.46 (KHTML, like Gecko) Version/%d.0 Mobile/13D15 Safari/601.1",
+		versions: []int{9},
+		device:   DeviceMobile,
+	},
+	{ // Safari on iPad.
+		weight:   0.04,
+		format:   "Mozilla/5.0 (iPad; CPU OS 9_2 like Mac OS X) AppleWebKit/601.1.46 (KHTML, like Gecko) Version/%d.0 Mobile/13C75 Safari/601.1",
+		versions: []int{9},
+		device:   DeviceTablet,
+	},
+	{ // IE 11 on Windows 7 — still significant in 2016.
+		weight:   0.08,
+		format:   "Mozilla/5.0 (Windows NT 6.1; WOW64; Trident/7.0; rv:%d.0) like Gecko",
+		versions: []int{11},
+		device:   DeviceDesktop,
+	},
+	{ // Edge on Windows 10.
+		weight:   0.03,
+		format:   "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/46.0.2486.0 Safari/537.36 Edge/%d.10586",
+		versions: []int{13},
+		device:   DeviceDesktop,
+	},
+	{ // Opera on Windows.
+		weight:   0.02,
+		format:   "Mozilla/5.0 (Windows NT 6.3; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/48.0.2564.109 Safari/537.36 OPR/%d.0.2256.48",
+		versions: []int{35},
+		device:   DeviceDesktop,
+	},
+	{ // Samsung browser on Android.
+		weight:   0.02,
+		format:   "Mozilla/5.0 (Linux; Android 5.0.2; SAMSUNG SM-G920F Build/LRX22G) AppleWebKit/537.36 (KHTML, like Gecko) SamsungBrowser/%d.0 Chrome/38.0.2125.102 Mobile Safari/537.36",
+		versions: []int{3},
+		device:   DeviceMobile,
+	},
+}
+
+var botTemplates = []uaTemplate{
+	{ // Headless Chrome pretending to be a desktop browser.
+		weight:   0.45,
+		format:   "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) HeadlessChrome/%d.0.2623.87 Safari/537.36",
+		versions: []int{48, 49},
+		device:   DeviceBot,
+	},
+	{ // PhantomJS, the 2016-era headless workhorse.
+		weight:   0.30,
+		format:   "Mozilla/5.0 (Unknown; Linux x86_64) AppleWebKit/538.1 (KHTML, like Gecko) PhantomJS/%d.1.1 Safari/538.1",
+		versions: []int{1, 2},
+		device:   DeviceBot,
+	},
+	{ // A plain Chrome UA on Linux: a bot that spoofs a clean browser
+		// string. Only the IP gives it away — this is why the paper's
+		// fraud detection keys on data-center ranges, not UAs.
+		weight:   0.25,
+		format:   "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%d.0.2623.87 Safari/537.36",
+		versions: []int{48, 49},
+		device:   DeviceDesktop,
+	},
+}
+
+func pickTemplate(rng *stats.RNG, templates []uaTemplate) string {
+	weights := make([]float64, len(templates))
+	for i, tpl := range templates {
+		weights[i] = tpl.weight
+	}
+	tpl := templates[stats.WeightedPick(rng, weights)]
+	v := tpl.versions[rng.Intn(len(tpl.versions))]
+	// Firefox template has two %d verbs for the same version.
+	n := 0
+	for i := 0; i+1 < len(tpl.format); i++ {
+		if tpl.format[i] == '%' && tpl.format[i+1] == 'd' {
+			n++
+		}
+	}
+	args := make([]any, n)
+	for i := range args {
+		args[i] = v
+	}
+	return fmt.Sprintf(tpl.format, args...)
+}
+
+// Browser returns a human-browser User-Agent drawn from the 2016 market
+// mix.
+func (g *Generator) Browser() string {
+	return pickTemplate(g.rng, browserTemplates)
+}
+
+// Bot returns a User-Agent typical of data-center automation. A fraction
+// of bot agents deliberately spoof clean browser strings.
+func (g *Generator) Bot() string {
+	return pickTemplate(g.rng, botTemplates)
+}

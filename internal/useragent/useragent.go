@@ -1,0 +1,194 @@
+// Package useragent generates and parses HTTP User-Agent strings. The
+// paper's beacon records the User-Agent of every device receiving an ad
+// impression and uses it (combined with the IP address) as the user
+// identity for the frequency-cap analysis, so two users behind a NAT with
+// different browsers are counted separately.
+//
+// The parser covers the browser families that dominate display-ad traffic
+// plus the headless/automation agents typical of data-center bot traffic.
+package useragent
+
+import (
+	"strings"
+)
+
+// DeviceClass is the coarse device type of a parsed agent.
+type DeviceClass int
+
+const (
+	// DeviceDesktop is a desktop or laptop browser.
+	DeviceDesktop DeviceClass = iota
+	// DeviceMobile is a phone browser.
+	DeviceMobile
+	// DeviceTablet is a tablet browser.
+	DeviceTablet
+	// DeviceBot is an automation agent (headless browser, fetch library,
+	// crawler).
+	DeviceBot
+	// DeviceUnknown is anything the parser cannot place.
+	DeviceUnknown
+)
+
+// String returns the class name.
+func (d DeviceClass) String() string {
+	switch d {
+	case DeviceDesktop:
+		return "desktop"
+	case DeviceMobile:
+		return "mobile"
+	case DeviceTablet:
+		return "tablet"
+	case DeviceBot:
+		return "bot"
+	default:
+		return "unknown"
+	}
+}
+
+// Agent is a parsed User-Agent.
+type Agent struct {
+	Raw     string
+	Browser string // e.g. "Chrome", "Firefox", "Safari", "HeadlessChrome"
+	Version string // major version, e.g. "49"
+	OS      string // e.g. "Windows", "Android", "iOS", "Linux", "macOS"
+	Device  DeviceClass
+}
+
+// IsBot reports whether the agent looks like automation rather than a
+// human-driven browser. This is a heuristic signal only; the paper's
+// fraud analysis relies on IP classification (data-center ranges), with
+// UA bot-ness as a corroborating feature.
+func (a Agent) IsBot() bool { return a.Device == DeviceBot }
+
+// Parse extracts browser, OS and device class from a User-Agent string.
+// Unknown strings yield Browser "" and DeviceUnknown rather than an
+// error: the collector must never reject an impression for an
+// unrecognised agent.
+func Parse(raw string) Agent {
+	a := Agent{Raw: raw}
+	if raw == "" {
+		a.Device = DeviceUnknown
+		return a
+	}
+	l := strings.ToLower(raw)
+
+	// Bots first: automation markers dominate all other signals.
+	switch {
+	case strings.Contains(l, "headlesschrome"):
+		a.Browser, a.Device = "HeadlessChrome", DeviceBot
+		a.Version = versionAfter(raw, "HeadlessChrome/")
+		a.OS = parseOS(l)
+		return a
+	case strings.Contains(l, "phantomjs"):
+		a.Browser, a.Device = "PhantomJS", DeviceBot
+		a.Version = versionAfter(raw, "PhantomJS/")
+		a.OS = parseOS(l)
+		return a
+	case strings.Contains(l, "selenium"), strings.Contains(l, "webdriver"):
+		a.Browser, a.Device = "WebDriver", DeviceBot
+		a.OS = parseOS(l)
+		return a
+	case strings.Contains(l, "python-requests"):
+		a.Browser, a.Device = "python-requests", DeviceBot
+		a.Version = versionAfter(raw, "python-requests/")
+		return a
+	case strings.Contains(l, "curl/"):
+		a.Browser, a.Device = "curl", DeviceBot
+		a.Version = versionAfter(raw, "curl/")
+		return a
+	case strings.Contains(l, "wget/"):
+		a.Browser, a.Device = "Wget", DeviceBot
+		a.Version = versionAfter(raw, "Wget/")
+		return a
+	case strings.Contains(l, "bot"), strings.Contains(l, "crawler"), strings.Contains(l, "spider"):
+		a.Browser, a.Device = "Crawler", DeviceBot
+		return a
+	}
+
+	a.OS = parseOS(l)
+	a.Device = parseDevice(l)
+
+	// Browser detection order matters: Chrome UAs contain "Safari",
+	// Edge UAs contain "Chrome", Opera UAs contain both.
+	switch {
+	case strings.Contains(l, "edg/"), strings.Contains(l, "edge/"):
+		a.Browser = "Edge"
+		a.Version = firstNonEmpty(versionAfter(raw, "Edg/"), versionAfter(raw, "Edge/"))
+	case strings.Contains(l, "opr/"), strings.Contains(l, "opera"):
+		a.Browser = "Opera"
+		a.Version = firstNonEmpty(versionAfter(raw, "OPR/"), versionAfter(raw, "Opera/"))
+	case strings.Contains(l, "samsungbrowser/"):
+		a.Browser = "SamsungBrowser"
+		a.Version = versionAfter(raw, "SamsungBrowser/")
+	case strings.Contains(l, "firefox/"):
+		a.Browser = "Firefox"
+		a.Version = versionAfter(raw, "Firefox/")
+	case strings.Contains(l, "msie "), strings.Contains(l, "trident/"):
+		a.Browser = "IE"
+		a.Version = firstNonEmpty(versionAfter(raw, "MSIE "), versionAfter(raw, "rv:"))
+	case strings.Contains(l, "chrome/"):
+		a.Browser = "Chrome"
+		a.Version = versionAfter(raw, "Chrome/")
+	case strings.Contains(l, "safari/") && strings.Contains(l, "version/"):
+		a.Browser = "Safari"
+		a.Version = versionAfter(raw, "Version/")
+	default:
+		a.Device = DeviceUnknown
+	}
+	return a
+}
+
+func parseOS(l string) string {
+	switch {
+	case strings.Contains(l, "windows"):
+		return "Windows"
+	case strings.Contains(l, "android"):
+		return "Android"
+	case strings.Contains(l, "iphone"), strings.Contains(l, "ipad"), strings.Contains(l, "ios"):
+		return "iOS"
+	case strings.Contains(l, "mac os x"), strings.Contains(l, "macintosh"):
+		return "macOS"
+	case strings.Contains(l, "linux"):
+		return "Linux"
+	default:
+		return ""
+	}
+}
+
+func parseDevice(l string) DeviceClass {
+	switch {
+	case strings.Contains(l, "ipad"), strings.Contains(l, "tablet"):
+		return DeviceTablet
+	case strings.Contains(l, "mobile"), strings.Contains(l, "iphone"):
+		return DeviceMobile
+	case strings.Contains(l, "android"):
+		// Android without "Mobile" is a tablet by UA convention.
+		return DeviceTablet
+	default:
+		return DeviceDesktop
+	}
+}
+
+// versionAfter returns the major version number following marker in raw,
+// or "" when absent. Matching is case-insensitive.
+func versionAfter(raw, marker string) string {
+	idx := strings.Index(strings.ToLower(raw), strings.ToLower(marker))
+	if idx < 0 {
+		return ""
+	}
+	rest := raw[idx+len(marker):]
+	end := 0
+	for end < len(rest) && rest[end] >= '0' && rest[end] <= '9' {
+		end++
+	}
+	return rest[:end]
+}
+
+func firstNonEmpty(xs ...string) string {
+	for _, x := range xs {
+		if x != "" {
+			return x
+		}
+	}
+	return ""
+}

@@ -1,0 +1,183 @@
+package useragent
+
+import (
+	"testing"
+
+	"adaudit/internal/stats"
+)
+
+func TestParseChromeWindows(t *testing.T) {
+	a := Parse("Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/49.0.2623.87 Safari/537.36")
+	if a.Browser != "Chrome" || a.Version != "49" || a.OS != "Windows" || a.Device != DeviceDesktop {
+		t.Fatalf("got %+v", a)
+	}
+}
+
+func TestParseFirefox(t *testing.T) {
+	a := Parse("Mozilla/5.0 (Windows NT 6.1; Win64; x64; rv:45.0) Gecko/20100101 Firefox/45.0")
+	if a.Browser != "Firefox" || a.Version != "45" || a.OS != "Windows" {
+		t.Fatalf("got %+v", a)
+	}
+}
+
+func TestParseSafariMac(t *testing.T) {
+	a := Parse("Mozilla/5.0 (Macintosh; Intel Mac OS X 10_11_3) AppleWebKit/601.4.4 (KHTML, like Gecko) Version/9.0.3 Safari/601.4.4")
+	if a.Browser != "Safari" || a.Version != "9" || a.OS != "macOS" || a.Device != DeviceDesktop {
+		t.Fatalf("got %+v", a)
+	}
+}
+
+func TestParseMobileSafariIPhone(t *testing.T) {
+	a := Parse("Mozilla/5.0 (iPhone; CPU iPhone OS 9_2_1 like Mac OS X) AppleWebKit/601.1.46 (KHTML, like Gecko) Version/9.0 Mobile/13D15 Safari/601.1")
+	if a.Browser != "Safari" || a.OS != "iOS" || a.Device != DeviceMobile {
+		t.Fatalf("got %+v", a)
+	}
+}
+
+func TestParseIPadIsTablet(t *testing.T) {
+	a := Parse("Mozilla/5.0 (iPad; CPU OS 9_2 like Mac OS X) AppleWebKit/601.1.46 (KHTML, like Gecko) Version/9.0 Mobile/13C75 Safari/601.1")
+	if a.Device != DeviceTablet {
+		t.Fatalf("iPad parsed as %v", a.Device)
+	}
+}
+
+func TestParseAndroidChromeMobile(t *testing.T) {
+	a := Parse("Mozilla/5.0 (Linux; Android 6.0; Nexus 5 Build/MRA58N) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/49.0.2623.91 Mobile Safari/537.36")
+	if a.Browser != "Chrome" || a.OS != "Android" || a.Device != DeviceMobile {
+		t.Fatalf("got %+v", a)
+	}
+}
+
+func TestParseAndroidTabletWithoutMobileToken(t *testing.T) {
+	a := Parse("Mozilla/5.0 (Linux; Android 5.1.1; SM-T550) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/48.0.2564.106 Safari/537.36")
+	if a.Device != DeviceTablet {
+		t.Fatalf("Android non-mobile parsed as %v", a.Device)
+	}
+}
+
+func TestParseEdge(t *testing.T) {
+	a := Parse("Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/46.0.2486.0 Safari/537.36 Edge/13.10586")
+	if a.Browser != "Edge" || a.Version != "13" {
+		t.Fatalf("got %+v", a)
+	}
+}
+
+func TestParseOpera(t *testing.T) {
+	a := Parse("Mozilla/5.0 (Windows NT 6.3; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/48.0.2564.109 Safari/537.36 OPR/35.0.2256.48")
+	if a.Browser != "Opera" || a.Version != "35" {
+		t.Fatalf("got %+v", a)
+	}
+}
+
+func TestParseIE11(t *testing.T) {
+	a := Parse("Mozilla/5.0 (Windows NT 6.1; WOW64; Trident/7.0; rv:11.0) like Gecko")
+	if a.Browser != "IE" || a.Version != "11" || a.OS != "Windows" {
+		t.Fatalf("got %+v", a)
+	}
+}
+
+func TestParseHeadlessChromeIsBot(t *testing.T) {
+	a := Parse("Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) HeadlessChrome/49.0.2623.87 Safari/537.36")
+	if !a.IsBot() || a.Browser != "HeadlessChrome" || a.Version != "49" {
+		t.Fatalf("got %+v", a)
+	}
+}
+
+func TestParsePhantomJSIsBot(t *testing.T) {
+	a := Parse("Mozilla/5.0 (Unknown; Linux x86_64) AppleWebKit/538.1 (KHTML, like Gecko) PhantomJS/2.1.1 Safari/538.1")
+	if !a.IsBot() || a.Browser != "PhantomJS" {
+		t.Fatalf("got %+v", a)
+	}
+}
+
+func TestParseFetchLibraries(t *testing.T) {
+	for raw, browser := range map[string]string{
+		"python-requests/2.9.1":   "python-requests",
+		"curl/7.47.0":             "curl",
+		"Wget/1.17.1 (linux-gnu)": "Wget",
+	} {
+		a := Parse(raw)
+		if !a.IsBot() || a.Browser != browser {
+			t.Errorf("Parse(%q) = %+v, want bot %s", raw, a, browser)
+		}
+	}
+}
+
+func TestParseCrawler(t *testing.T) {
+	a := Parse("Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)")
+	if !a.IsBot() || a.Browser != "Crawler" {
+		t.Fatalf("got %+v", a)
+	}
+}
+
+func TestParseEmptyAndGarbage(t *testing.T) {
+	if a := Parse(""); a.Device != DeviceUnknown || a.Browser != "" {
+		t.Fatalf("Parse(\"\") = %+v", a)
+	}
+	if a := Parse("definitely not a user agent"); a.Device != DeviceUnknown {
+		t.Fatalf("garbage parsed as %+v", a)
+	}
+}
+
+func TestDeviceClassStrings(t *testing.T) {
+	if DeviceDesktop.String() != "desktop" || DeviceBot.String() != "bot" || DeviceClass(99).String() != "unknown" {
+		t.Fatal("DeviceClass.String mismatch")
+	}
+}
+
+func TestGeneratorBrowserAgentsParse(t *testing.T) {
+	g := NewGenerator(stats.NewRNG(1))
+	browsers := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		raw := g.Browser()
+		a := Parse(raw)
+		if a.Browser == "" {
+			t.Fatalf("generated browser UA failed to parse: %q", raw)
+		}
+		if a.IsBot() {
+			t.Fatalf("generated browser UA parsed as bot: %q", raw)
+		}
+		browsers[a.Browser]++
+	}
+	// The mix must cover the major families.
+	for _, want := range []string{"Chrome", "Firefox", "Safari", "IE", "Edge"} {
+		if browsers[want] == 0 {
+			t.Errorf("browser family %s never generated (mix: %v)", want, browsers)
+		}
+	}
+	// Chrome should dominate the 2016 mix.
+	if browsers["Chrome"] < browsers["Firefox"] {
+		t.Errorf("Chrome (%d) should outnumber Firefox (%d)", browsers["Chrome"], browsers["Firefox"])
+	}
+}
+
+func TestGeneratorBotAgents(t *testing.T) {
+	g := NewGenerator(stats.NewRNG(2))
+	flagged, spoofed := 0, 0
+	for i := 0; i < 2000; i++ {
+		a := Parse(g.Bot())
+		if a.IsBot() {
+			flagged++
+		} else {
+			spoofed++
+		}
+	}
+	if flagged == 0 {
+		t.Fatal("no generated bot UA was flagged as bot")
+	}
+	// The spoofing fraction is deliberate: some bots present clean
+	// browser strings and are only catchable by IP classification.
+	if spoofed == 0 {
+		t.Fatal("expected some bot UAs to spoof clean browser strings")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := NewGenerator(stats.NewRNG(7))
+	g2 := NewGenerator(stats.NewRNG(7))
+	for i := 0; i < 100; i++ {
+		if g1.Browser() != g2.Browser() {
+			t.Fatal("generator streams diverged")
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package wsproto
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func benchFrame(size int, masked bool) Frame {
+	f := Frame{Fin: true, Opcode: OpBinary, Payload: bytes.Repeat([]byte{0xA5}, size)}
+	if masked {
+		f.Masked = true
+		f.MaskKey = [4]byte{1, 2, 3, 4}
+	}
+	return f
+}
+
+func BenchmarkWriteFrame256(b *testing.B) {
+	f := benchFrame(256, false)
+	b.SetBytes(256)
+	for i := 0; i < b.N; i++ {
+		if err := WriteFrame(io256{}, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// io256 is a no-op writer avoiding buffer growth noise.
+type io256 struct{}
+
+func (io256) Write(p []byte) (int, error) { return len(p), nil }
+
+func BenchmarkWriteFrameMasked4K(b *testing.B) {
+	f := benchFrame(4096, true)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		if err := WriteFrame(io256{}, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadFrame4K(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, benchFrame(4096, true)); err != nil {
+		b.Fatal(err)
+	}
+	wire := buf.Bytes()
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadFrame(bytes.NewReader(wire), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaskBytes(b *testing.B) {
+	data := make([]byte, 16<<10)
+	key := [4]byte{0xDE, 0xAD, 0xBE, 0xEF}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		MaskBytes(key, 0, data)
+	}
+}
+
+// BenchmarkEchoRoundTripTCP measures a full message round trip over a
+// real TCP connection: beacon-sized text frames through handshake-
+// established client and server conns.
+func BenchmarkEchoRoundTripTCP(b *testing.B) {
+	upgrader := &Upgrader{MaxMessageSize: 1 << 16}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := upgrader.Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer conn.Close(CloseNormal, "")
+		for {
+			op, msg, err := conn.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := conn.WriteMessage(op, msg); err != nil {
+				return
+			}
+		}
+	}))
+	defer srv.Close()
+
+	d := &Dialer{MaxMessageSize: 1 << 16}
+	conn, _, err := d.Dial(context.Background(), "ws"+strings.TrimPrefix(srv.URL, "http"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close(CloseNormal, "")
+
+	payload := []byte("v=1&cid=Research-010&crid=banner&url=http%3A%2F%2Fciencia123.es%2Fp&ua=Mozilla%2F5.0")
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.WriteMessage(OpText, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := conn.ReadMessage(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHandshake(b *testing.B) {
+	upgrader := &Upgrader{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := upgrader.Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		conn.Close(CloseNormal, "")
+	}))
+	defer srv.Close()
+	url := "ws" + strings.TrimPrefix(srv.URL, "http")
+	d := &Dialer{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn, _, err := d.Dial(context.Background(), url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn.Close(CloseNormal, "")
+	}
+}

@@ -1,0 +1,150 @@
+package wsproto
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// This file implements the permessage-deflate extension (RFC 7692) in
+// its simplest interoperable profile: no context takeover on either
+// side, so every message is an independent DEFLATE stream. That profile
+// is what production beacon collectors actually deploy — it caps
+// per-connection memory at zero between messages, which matters when
+// holding hundreds of thousands of mostly idle ad-impression sockets.
+//
+// Wire mechanics (§7): a compressed message sets RSV1 on its first
+// frame; the payload is the raw DEFLATE stream with the final
+// 0x00 0x00 0xff 0xff flush tail removed. Control frames are never
+// compressed.
+
+// extensionName is the RFC 7692 token.
+const extensionName = "permessage-deflate"
+
+// deflateTail is the flush marker removed from (and re-appended to)
+// every compressed message, per RFC 7692 §7.2.1.
+var deflateTail = []byte{0x00, 0x00, 0xff, 0xff}
+
+// compressThreshold is the minimum payload size worth compressing;
+// below it the DEFLATE framing overhead exceeds the savings.
+const compressThreshold = 128
+
+var flateWriterPool = sync.Pool{
+	New: func() any {
+		w, err := flate.NewWriter(io.Discard, flate.DefaultCompression)
+		if err != nil {
+			panic("wsproto: flate.NewWriter with default level failed: " + err.Error())
+		}
+		return w
+	},
+}
+
+// deflateMessage compresses payload per RFC 7692 (tail stripped).
+func deflateMessage(payload []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	fw := flateWriterPool.Get().(*flate.Writer)
+	defer flateWriterPool.Put(fw)
+	fw.Reset(&buf)
+	if _, err := fw.Write(payload); err != nil {
+		return nil, fmt.Errorf("wsproto: deflating message: %w", err)
+	}
+	if err := fw.Flush(); err != nil {
+		return nil, fmt.Errorf("wsproto: flushing deflate: %w", err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasSuffix(out, deflateTail) {
+		return nil, fmt.Errorf("wsproto: deflate output missing flush tail")
+	}
+	return out[:len(out)-len(deflateTail)], nil
+}
+
+// finalBlock is an empty stored block with BFINAL set; appended after
+// the flush tail so Go's flate reader sees a terminated stream (the
+// wire stream never carries BFINAL under no-context-takeover).
+var finalBlock = []byte{0x01, 0x00, 0x00, 0xff, 0xff}
+
+// inflateMessage decompresses an RFC 7692 message body, enforcing
+// maxSize on the inflated result (0 = unlimited).
+func inflateMessage(payload []byte, maxSize int64) ([]byte, error) {
+	full := make([]byte, 0, len(payload)+len(deflateTail)+len(finalBlock))
+	full = append(full, payload...)
+	full = append(full, deflateTail...)
+	full = append(full, finalBlock...)
+	fr := flate.NewReader(bytes.NewReader(full))
+	defer fr.Close()
+	var limited io.Reader = fr
+	if maxSize > 0 {
+		limited = io.LimitReader(fr, maxSize+1)
+	}
+	out, err := io.ReadAll(limited)
+	if err != nil {
+		return nil, fmt.Errorf("wsproto: inflating message: %w", err)
+	}
+	if maxSize > 0 && int64(len(out)) > maxSize {
+		return nil, ErrFrameTooLarge
+	}
+	return out, nil
+}
+
+// offerExtension is the client's negotiation offer.
+const offerExtension = extensionName + "; client_no_context_takeover; server_no_context_takeover"
+
+// acceptExtension parses a client's Sec-WebSocket-Extensions offers and
+// returns the server's response value and whether permessage-deflate was
+// agreed. Only the no-context-takeover profile is accepted; offers
+// demanding reduced window bits are declined (RFC 7692 allows declining
+// any offer).
+func acceptExtension(offers []string) (response string, ok bool) {
+	for _, header := range offers {
+		for _, offer := range strings.Split(header, ",") {
+			parts := strings.Split(offer, ";")
+			if strings.TrimSpace(parts[0]) != extensionName {
+				continue
+			}
+			acceptable := true
+			for _, p := range parts[1:] {
+				switch key, _, _ := strings.Cut(strings.TrimSpace(p), "="); key {
+				case "client_no_context_takeover", "server_no_context_takeover":
+					// Fine: we operate without context takeover anyway.
+				case "client_max_window_bits":
+					// Offered without value: permission to choose; we
+					// simply do not use it. With value: still fine, we
+					// never compress with a custom window.
+				default:
+					acceptable = false
+				}
+			}
+			if acceptable {
+				// Always pin both no-context-takeover directions; the
+				// server may include them regardless of the offer.
+				return offerExtension, true
+			}
+		}
+	}
+	return "", false
+}
+
+// extensionAgreed checks a server's response for the accepted profile.
+func extensionAgreed(response string) (bool, error) {
+	if response == "" {
+		return false, nil
+	}
+	for _, ext := range strings.Split(response, ",") {
+		parts := strings.Split(ext, ";")
+		if strings.TrimSpace(parts[0]) != extensionName {
+			return false, fmt.Errorf("wsproto: server accepted unknown extension %q", strings.TrimSpace(parts[0]))
+		}
+		for _, p := range parts[1:] {
+			switch key, _, _ := strings.Cut(strings.TrimSpace(p), "="); key {
+			case "client_no_context_takeover", "server_no_context_takeover":
+			default:
+				return false, fmt.Errorf("wsproto: server demanded unsupported parameter %q", strings.TrimSpace(p))
+			}
+		}
+		return true, nil
+	}
+	return false, nil
+}

@@ -1,0 +1,361 @@
+package wsproto
+
+import (
+	"bufio"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+	"unicode/utf8"
+)
+
+// Role says which endpoint of the connection we are; it determines the
+// masking rules (§5.1: client frames MUST be masked, server frames MUST
+// NOT be).
+type Role int
+
+const (
+	// RoleServer is the accepting endpoint.
+	RoleServer Role = iota
+	// RoleClient is the initiating endpoint.
+	RoleClient
+)
+
+// CloseError is returned by read operations after the closing handshake
+// (or an abnormal closure). It carries the peer's status code and reason.
+type CloseError struct {
+	Code   CloseCode
+	Reason string
+}
+
+// Error implements error.
+func (e *CloseError) Error() string {
+	return fmt.Sprintf("wsproto: connection closed with code %d: %s", e.Code, e.Reason)
+}
+
+// ErrWriteAfterClose is returned when writing after the close handshake
+// has started locally.
+var ErrWriteAfterClose = errors.New("wsproto: write after close")
+
+// Conn is an established WebSocket connection. Reads must be confined to
+// one goroutine; writes are internally serialised and may come from
+// multiple goroutines (ReadMessage itself writes pong and close replies).
+type Conn struct {
+	nc   net.Conn
+	br   *bufio.Reader
+	role Role
+
+	// maxMessage bounds the reassembled message size; 0 means unlimited.
+	maxMessage int64
+
+	// compress is true when permessage-deflate (no context takeover)
+	// was negotiated during the opening handshake.
+	compress bool
+
+	writeMu    sync.Mutex
+	wroteClose bool
+
+	readErr error // sticky read error
+
+	// established is when the connection finished its opening handshake.
+	established time.Time
+
+	// pingHandler, if set, observes incoming pings after the automatic
+	// pong reply. pongHandler observes incoming pongs.
+	pingHandler func(payload []byte)
+	pongHandler func(payload []byte)
+}
+
+func newConn(nc net.Conn, br *bufio.Reader, role Role, maxMessage int64) *Conn {
+	if br == nil {
+		br = bufio.NewReader(nc)
+	}
+	return &Conn{
+		nc:          nc,
+		br:          br,
+		role:        role,
+		maxMessage:  maxMessage,
+		established: time.Now(),
+	}
+}
+
+// NetConn returns the underlying transport connection.
+func (c *Conn) NetConn() net.Conn { return c.nc }
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// LocalAddr returns the local address.
+func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
+
+// Established returns when the opening handshake completed.
+func (c *Conn) Established() time.Time { return c.established }
+
+// SetReadDeadline sets the transport read deadline.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
+
+// SetWriteDeadline sets the transport write deadline.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }
+
+// SetPingHandler registers f to observe incoming pings (after the
+// automatic pong reply). Must be called before reads begin.
+func (c *Conn) SetPingHandler(f func(payload []byte)) { c.pingHandler = f }
+
+// SetPongHandler registers f to observe incoming pongs. Must be called
+// before reads begin.
+func (c *Conn) SetPongHandler(f func(payload []byte)) { c.pongHandler = f }
+
+// CompressionEnabled reports whether permessage-deflate was negotiated.
+func (c *Conn) CompressionEnabled() bool { return c.compress }
+
+// WriteMessage sends a complete data message in a single frame. op must
+// be OpText or OpBinary; text payloads must be valid UTF-8. When
+// permessage-deflate is negotiated, payloads above a small threshold
+// are compressed transparently.
+func (c *Conn) WriteMessage(op Opcode, payload []byte) error {
+	if !op.IsData() {
+		return fmt.Errorf("wsproto: WriteMessage with non-data opcode %v", op)
+	}
+	if op == OpText && !utf8.Valid(payload) {
+		return fmt.Errorf("wsproto: text message is not valid UTF-8")
+	}
+	if c.compress && len(payload) >= compressThreshold {
+		compressed, err := deflateMessage(payload)
+		if err != nil {
+			return err
+		}
+		return c.writeFrame(Frame{Fin: true, Rsv1: true, Opcode: op, Payload: compressed})
+	}
+	return c.writeFrame(Frame{Fin: true, Opcode: op, Payload: payload})
+}
+
+// WriteText sends a text message.
+func (c *Conn) WriteText(s string) error { return c.WriteMessage(OpText, []byte(s)) }
+
+// Ping sends a ping control frame.
+func (c *Conn) Ping(payload []byte) error {
+	return c.writeFrame(Frame{Fin: true, Opcode: OpPing, Payload: payload})
+}
+
+// Pong sends an unsolicited pong control frame (§5.5.3 allows these as
+// unidirectional heartbeats).
+func (c *Conn) Pong(payload []byte) error {
+	return c.writeFrame(Frame{Fin: true, Opcode: OpPong, Payload: payload})
+}
+
+func (c *Conn) writeFrame(f Frame) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.wroteClose {
+		return ErrWriteAfterClose
+	}
+	return c.writeFrameLocked(f)
+}
+
+func (c *Conn) writeFrameLocked(f Frame) error {
+	if c.role == RoleClient {
+		f.Masked = true
+		if _, err := rand.Read(f.MaskKey[:]); err != nil {
+			return fmt.Errorf("wsproto: generating mask key: %w", err)
+		}
+	} else {
+		f.Masked = false
+	}
+	return WriteFrame(c.nc, f)
+}
+
+// closeWriteTimeout bounds how long Close waits to flush the close frame
+// to a peer that has stopped reading; the transport is torn down either
+// way.
+const closeWriteTimeout = time.Second
+
+// Close performs the closing handshake: it sends a close frame with the
+// given code and reason (bounded by a short write deadline, so a dead
+// peer cannot stall the close), then closes the transport. It does not
+// wait for the peer's close reply; callers that want a clean handshake
+// should keep reading until ReadMessage returns a *CloseError before
+// calling Close. Close is idempotent at the transport level.
+func (c *Conn) Close(code CloseCode, reason string) error {
+	c.writeMu.Lock()
+	var writeErr error
+	if !c.wroteClose {
+		c.wroteClose = true
+		_ = c.nc.SetWriteDeadline(time.Now().Add(closeWriteTimeout))
+		writeErr = c.writeFrameLocked(Frame{
+			Fin:     true,
+			Opcode:  OpClose,
+			Payload: EncodeClosePayload(code, reason),
+		})
+	}
+	c.writeMu.Unlock()
+	closeErr := c.nc.Close()
+	if writeErr != nil {
+		return writeErr
+	}
+	return closeErr
+}
+
+// ReadMessage returns the next complete data message, transparently
+// handling control frames: pings are answered with pongs, pongs are
+// delivered to the pong handler, and a close frame completes the closing
+// handshake (echoing the code) and surfaces a *CloseError. Fragmented
+// messages are reassembled up to the connection's message size limit.
+func (c *Conn) ReadMessage() (Opcode, []byte, error) {
+	if c.readErr != nil {
+		return 0, nil, c.readErr
+	}
+	op, payload, err := c.readMessage()
+	if err != nil {
+		c.readErr = err
+		// On protocol errors, tell the peer why before dropping.
+		var ce *CloseError
+		if !errors.As(err, &ce) && !errors.Is(err, io.EOF) {
+			code := CloseProtocolError
+			if errors.Is(err, ErrFrameTooLarge) {
+				code = CloseMessageTooBig
+			}
+			_ = c.Close(code, err.Error())
+		}
+	}
+	return op, payload, err
+}
+
+func (c *Conn) readMessage() (Opcode, []byte, error) {
+	var (
+		msgOp      Opcode
+		buf        []byte
+		inProg     bool
+		compressed bool
+	)
+	for {
+		f, err := ReadFrame(c.br, c.frameLimit())
+		if err != nil {
+			return 0, nil, err
+		}
+		// Masking direction rules (§5.1).
+		if c.role == RoleServer && !f.Masked {
+			return 0, nil, fmt.Errorf("wsproto: unmasked frame from client")
+		}
+		if c.role == RoleClient && f.Masked {
+			return 0, nil, fmt.Errorf("wsproto: masked frame from server")
+		}
+		// RSV1 is only meaningful with permessage-deflate, and only on
+		// the first frame of a data message (RFC 7692 §6.1).
+		if f.Rsv1 {
+			if !c.compress || !f.Opcode.IsData() {
+				return 0, nil, fmt.Errorf("wsproto: unexpected RSV1 bit")
+			}
+		}
+
+		switch {
+		case f.Opcode == OpPing:
+			if err := c.writeFrame(Frame{Fin: true, Opcode: OpPong, Payload: f.Payload}); err != nil {
+				return 0, nil, fmt.Errorf("wsproto: replying to ping: %w", err)
+			}
+			if c.pingHandler != nil {
+				c.pingHandler(f.Payload)
+			}
+		case f.Opcode == OpPong:
+			if c.pongHandler != nil {
+				c.pongHandler(f.Payload)
+			}
+		case f.Opcode == OpClose:
+			code, reason, err := DecodeClosePayload(f.Payload)
+			if err != nil {
+				return 0, nil, err
+			}
+			// Echo the close to complete the handshake (§7.1.1), then
+			// drop the transport.
+			echo := CloseNormal
+			if code != CloseNoStatus {
+				echo = code
+			}
+			_ = c.Close(echo, "")
+			return 0, nil, &CloseError{Code: code, Reason: reason}
+		case f.Opcode == OpContinuation:
+			if !inProg {
+				return 0, nil, fmt.Errorf("wsproto: continuation frame without initial frame")
+			}
+			if c.maxMessage > 0 && int64(len(buf))+int64(len(f.Payload)) > c.maxMessage {
+				return 0, nil, ErrFrameTooLarge
+			}
+			buf = append(buf, f.Payload...)
+			if f.Fin {
+				return c.finishMessage(msgOp, buf, compressed)
+			}
+		case f.Opcode.IsData():
+			if inProg {
+				return 0, nil, fmt.Errorf("wsproto: new data frame during fragmented message")
+			}
+			if f.Fin {
+				return c.finishMessage(f.Opcode, f.Payload, f.Rsv1)
+			}
+			msgOp = f.Opcode
+			inProg = true
+			compressed = f.Rsv1
+			buf = append(buf[:0], f.Payload...)
+		}
+	}
+}
+
+// finishMessage applies per-message decompression and text validation.
+func (c *Conn) finishMessage(op Opcode, payload []byte, compressed bool) (Opcode, []byte, error) {
+	if compressed {
+		inflated, err := inflateMessage(payload, c.maxMessage)
+		if err != nil {
+			return 0, nil, err
+		}
+		payload = inflated
+	}
+	if op == OpText && !utf8.Valid(payload) {
+		return 0, nil, &CloseError{Code: CloseInvalidPayload, Reason: "invalid UTF-8"}
+	}
+	return op, payload, nil
+}
+
+func (c *Conn) frameLimit() int64 {
+	return c.maxMessage
+}
+
+// WriteFragmented sends payload as a fragmented message with the given
+// fragment size, exercising §5.4 on the wire. fragSize must be positive.
+// Intended for tests and interoperability checks; production senders use
+// WriteMessage.
+func (c *Conn) WriteFragmented(op Opcode, payload []byte, fragSize int) error {
+	if !op.IsData() {
+		return fmt.Errorf("wsproto: WriteFragmented with non-data opcode %v", op)
+	}
+	if fragSize <= 0 {
+		return fmt.Errorf("wsproto: fragment size must be positive")
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.wroteClose {
+		return ErrWriteAfterClose
+	}
+	first := true
+	for {
+		n := len(payload)
+		if n > fragSize {
+			n = fragSize
+		}
+		frag := payload[:n]
+		payload = payload[n:]
+		f := Frame{Fin: len(payload) == 0, Payload: frag}
+		if first {
+			f.Opcode = op
+			first = false
+		} else {
+			f.Opcode = OpContinuation
+		}
+		if err := c.writeFrameLocked(f); err != nil {
+			return err
+		}
+		if f.Fin {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package wsproto implements the WebSocket protocol (RFC 6455): frame
+// codec, masking, client and server opening handshakes, control-frame
+// handling and the closing handshake. It is the transport the paper's
+// methodology uses between the JavaScript beacon inside the ad iframe
+// and the central collector (§3), reimplemented on the Go standard
+// library alone.
+//
+// The subset implemented is complete for data exchange: text and binary
+// messages, fragmentation and reassembly, ping/pong, close with status
+// codes, payload-size limits and strict masking rules (client-to-server
+// frames MUST be masked, server-to-client MUST NOT be). Extensions
+// (permessage-deflate) and subprotocol negotiation are intentionally not
+// implemented; the beacon payload is a short text frame.
+package wsproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcode identifies a WebSocket frame type.
+type Opcode byte
+
+// RFC 6455 §5.2 opcodes.
+const (
+	OpContinuation Opcode = 0x0
+	OpText         Opcode = 0x1
+	OpBinary       Opcode = 0x2
+	OpClose        Opcode = 0x8
+	OpPing         Opcode = 0x9
+	OpPong         Opcode = 0xA
+)
+
+// IsControl reports whether the opcode is a control opcode (§5.5).
+func (op Opcode) IsControl() bool { return op >= OpClose }
+
+// IsData reports whether the opcode begins a data message.
+func (op Opcode) IsData() bool { return op == OpText || op == OpBinary }
+
+// String returns the opcode name.
+func (op Opcode) String() string {
+	switch op {
+	case OpContinuation:
+		return "continuation"
+	case OpText:
+		return "text"
+	case OpBinary:
+		return "binary"
+	case OpClose:
+		return "close"
+	case OpPing:
+		return "ping"
+	case OpPong:
+		return "pong"
+	default:
+		return fmt.Sprintf("opcode(%#x)", byte(op))
+	}
+}
+
+// Frame is a single WebSocket frame.
+type Frame struct {
+	Fin bool
+	// Rsv1 is the RSV1 bit; with permessage-deflate negotiated it marks
+	// the first frame of a compressed message (RFC 7692 §6). Without a
+	// negotiated extension the connection layer rejects it.
+	Rsv1    bool
+	Opcode  Opcode
+	Masked  bool
+	MaskKey [4]byte
+	Payload []byte
+}
+
+// Protocol violation errors surfaced by the codec.
+var (
+	ErrReservedBits      = errors.New("wsproto: non-zero reserved bits")
+	ErrReservedOpcode    = errors.New("wsproto: reserved opcode")
+	ErrFragmentedControl = errors.New("wsproto: fragmented control frame")
+	ErrControlTooLong    = errors.New("wsproto: control frame payload exceeds 125 bytes")
+	ErrFrameTooLarge     = errors.New("wsproto: frame exceeds size limit")
+	ErrBadPayloadLength  = errors.New("wsproto: non-minimal or invalid payload length encoding")
+)
+
+// maxControlPayload is the RFC 6455 §5.5 limit for control frames.
+const maxControlPayload = 125
+
+// WriteFrame encodes f to w. If f.Masked, the payload is masked with
+// f.MaskKey during writing; f.Payload is not modified.
+func WriteFrame(w io.Writer, f Frame) error {
+	if f.Opcode.IsControl() {
+		if !f.Fin {
+			return ErrFragmentedControl
+		}
+		if len(f.Payload) > maxControlPayload {
+			return ErrControlTooLong
+		}
+	}
+	var hdr [14]byte
+	n := 2
+	b0 := byte(f.Opcode) & 0x0F
+	if f.Fin {
+		b0 |= 0x80
+	}
+	if f.Rsv1 {
+		b0 |= 0x40
+	}
+	hdr[0] = b0
+
+	var b1 byte
+	plen := len(f.Payload)
+	switch {
+	case plen <= 125:
+		b1 = byte(plen)
+	case plen <= 0xFFFF:
+		b1 = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(plen))
+		n += 2
+	default:
+		b1 = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(plen))
+		n += 8
+	}
+	if f.Masked {
+		b1 |= 0x80
+	}
+	hdr[1] = b1
+	if f.Masked {
+		copy(hdr[n:n+4], f.MaskKey[:])
+		n += 4
+	}
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return fmt.Errorf("wsproto: writing frame header: %w", err)
+	}
+	if plen == 0 {
+		return nil
+	}
+	payload := f.Payload
+	if f.Masked {
+		masked := make([]byte, plen)
+		copy(masked, payload)
+		MaskBytes(f.MaskKey, 0, masked)
+		payload = masked
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wsproto: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame decodes one frame from r, enforcing maxPayload (0 means no
+// limit). Masked payloads are unmasked in place before return.
+func ReadFrame(r io.Reader, maxPayload int64) (Frame, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	var f Frame
+	f.Fin = hdr[0]&0x80 != 0
+	f.Rsv1 = hdr[0]&0x40 != 0
+	if hdr[0]&0x30 != 0 {
+		return Frame{}, ErrReservedBits
+	}
+	f.Opcode = Opcode(hdr[0] & 0x0F)
+	if !validOpcode(f.Opcode) {
+		return Frame{}, ErrReservedOpcode
+	}
+	f.Masked = hdr[1]&0x80 != 0
+	plen := int64(hdr[1] & 0x7F)
+
+	switch plen {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return Frame{}, fmt.Errorf("wsproto: reading extended length: %w", err)
+		}
+		plen = int64(binary.BigEndian.Uint16(ext[:]))
+		if plen <= 125 {
+			return Frame{}, ErrBadPayloadLength
+		}
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return Frame{}, fmt.Errorf("wsproto: reading extended length: %w", err)
+		}
+		v := binary.BigEndian.Uint64(ext[:])
+		if v > 1<<62 {
+			return Frame{}, ErrBadPayloadLength
+		}
+		plen = int64(v)
+		if plen <= 0xFFFF {
+			return Frame{}, ErrBadPayloadLength
+		}
+	}
+
+	if f.Opcode.IsControl() {
+		if !f.Fin {
+			return Frame{}, ErrFragmentedControl
+		}
+		if plen > maxControlPayload {
+			return Frame{}, ErrControlTooLong
+		}
+	}
+	if maxPayload > 0 && plen > maxPayload {
+		return Frame{}, ErrFrameTooLarge
+	}
+	if f.Masked {
+		if _, err := io.ReadFull(r, f.MaskKey[:]); err != nil {
+			return Frame{}, fmt.Errorf("wsproto: reading mask key: %w", err)
+		}
+	}
+	if plen > 0 {
+		f.Payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, fmt.Errorf("wsproto: reading payload: %w", err)
+		}
+		if f.Masked {
+			MaskBytes(f.MaskKey, 0, f.Payload)
+		}
+	}
+	return f, nil
+}
+
+func validOpcode(op Opcode) bool {
+	switch op {
+	case OpContinuation, OpText, OpBinary, OpClose, OpPing, OpPong:
+		return true
+	default:
+		return false
+	}
+}
+
+// MaskBytes XORs b with the RFC 6455 masking key starting at position
+// pos within the payload, returning the position after the last byte.
+// Masking is an involution: applying it twice restores the input.
+func MaskBytes(key [4]byte, pos int, b []byte) int {
+	for i := range b {
+		b[i] ^= key[(pos+i)&3]
+	}
+	return pos + len(b)
+}
+
+// CloseCode is a WebSocket close status code (§7.4.1).
+type CloseCode uint16
+
+// Standard close codes.
+const (
+	CloseNormal          CloseCode = 1000
+	CloseGoingAway       CloseCode = 1001
+	CloseProtocolError   CloseCode = 1002
+	CloseUnsupported     CloseCode = 1003
+	CloseNoStatus        CloseCode = 1005
+	CloseAbnormal        CloseCode = 1006
+	CloseInvalidPayload  CloseCode = 1007
+	ClosePolicyViolation CloseCode = 1008
+	CloseMessageTooBig   CloseCode = 1009
+	CloseInternalError   CloseCode = 1011
+)
+
+// EncodeClosePayload builds a close-frame payload from a status code and
+// an optional UTF-8 reason, truncated to fit the 125-byte control limit.
+func EncodeClosePayload(code CloseCode, reason string) []byte {
+	if len(reason) > maxControlPayload-2 {
+		reason = reason[:maxControlPayload-2]
+	}
+	p := make([]byte, 2+len(reason))
+	binary.BigEndian.PutUint16(p, uint16(code))
+	copy(p[2:], reason)
+	return p
+}
+
+// DecodeClosePayload parses a close-frame payload. An empty payload
+// yields CloseNoStatus per §7.1.5. A one-byte payload is a protocol
+// error.
+func DecodeClosePayload(p []byte) (CloseCode, string, error) {
+	switch len(p) {
+	case 0:
+		return CloseNoStatus, "", nil
+	case 1:
+		return 0, "", fmt.Errorf("wsproto: close payload of 1 byte")
+	default:
+		return CloseCode(binary.BigEndian.Uint16(p[:2])), string(p[2:]), nil
+	}
+}

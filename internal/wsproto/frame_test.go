@@ -1,0 +1,263 @@
+package wsproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, f Frame, maxPayload int64) Frame {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	got, err := ReadFrame(&buf, maxPayload)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return got
+}
+
+func TestFrameRoundTripSmall(t *testing.T) {
+	f := Frame{Fin: true, Opcode: OpText, Payload: []byte("hello")}
+	got := roundTrip(t, f, 0)
+	if !got.Fin || got.Opcode != OpText || string(got.Payload) != "hello" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestFrameRoundTripMasked(t *testing.T) {
+	orig := []byte("beacon payload")
+	f := Frame{Fin: true, Opcode: OpText, Masked: true, MaskKey: [4]byte{1, 2, 3, 4}, Payload: orig}
+	got := roundTrip(t, f, 0)
+	if string(got.Payload) != "beacon payload" {
+		t.Fatalf("masked round trip corrupted payload: %q", got.Payload)
+	}
+	if !got.Masked {
+		t.Fatal("mask bit lost")
+	}
+	// WriteFrame must not mutate the caller's payload.
+	if string(orig) != "beacon payload" {
+		t.Fatalf("WriteFrame mutated input payload: %q", orig)
+	}
+}
+
+func TestFrameLengthEncodings(t *testing.T) {
+	for _, n := range []int{0, 1, 125, 126, 127, 1000, 0xFFFF, 0x10000, 1 << 18} {
+		payload := bytes.Repeat([]byte{0xAB}, n)
+		f := Frame{Fin: true, Opcode: OpBinary, Payload: payload}
+		got := roundTrip(t, f, 0)
+		if len(got.Payload) != n {
+			t.Fatalf("length %d: got %d bytes back", n, len(got.Payload))
+		}
+		if n > 0 && !bytes.Equal(got.Payload, payload) {
+			t.Fatalf("length %d: payload corrupted", n)
+		}
+	}
+}
+
+func TestFrameHeaderSizeBoundaries(t *testing.T) {
+	// 125 bytes must use the 1-byte length form; 126 the 2-byte form;
+	// 65536 the 8-byte form.
+	sizes := map[int]int{125: 2 + 125, 126: 4 + 126, 0x10000: 10 + 0x10000}
+	for plen, wire := range sizes {
+		var buf bytes.Buffer
+		err := WriteFrame(&buf, Frame{Fin: true, Opcode: OpBinary, Payload: make([]byte, plen)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != wire {
+			t.Errorf("payload %d: wire size %d, want %d", plen, buf.Len(), wire)
+		}
+	}
+}
+
+func TestReadFrameRejectsNonMinimalLength(t *testing.T) {
+	// 16-bit extended length used for a value <= 125.
+	raw := []byte{0x82, 126, 0, 100}
+	raw = append(raw, make([]byte, 100)...)
+	if _, err := ReadFrame(bytes.NewReader(raw), 0); !errors.Is(err, ErrBadPayloadLength) {
+		t.Fatalf("err = %v, want ErrBadPayloadLength", err)
+	}
+	// 64-bit extended length used for a value <= 0xFFFF.
+	raw = []byte{0x82, 127}
+	var ext [8]byte
+	binary.BigEndian.PutUint64(ext[:], 500)
+	raw = append(raw, ext[:]...)
+	raw = append(raw, make([]byte, 500)...)
+	if _, err := ReadFrame(bytes.NewReader(raw), 0); !errors.Is(err, ErrBadPayloadLength) {
+		t.Fatalf("err = %v, want ErrBadPayloadLength", err)
+	}
+}
+
+func TestReadFrameRejectsHugeLength(t *testing.T) {
+	raw := []byte{0x82, 127}
+	var ext [8]byte
+	binary.BigEndian.PutUint64(ext[:], 1<<63)
+	raw = append(raw, ext[:]...)
+	if _, err := ReadFrame(bytes.NewReader(raw), 0); !errors.Is(err, ErrBadPayloadLength) {
+		t.Fatalf("err = %v, want ErrBadPayloadLength", err)
+	}
+}
+
+func TestReadFrameRejectsReservedBits(t *testing.T) {
+	// RSV2 and RSV3 have no negotiated meaning, ever.
+	for _, bit := range []byte{0x20, 0x10, 0x30} {
+		raw := []byte{0x80 | bit | byte(OpText), 0}
+		if _, err := ReadFrame(bytes.NewReader(raw), 0); !errors.Is(err, ErrReservedBits) {
+			t.Fatalf("rsv %#x: err = %v, want ErrReservedBits", bit, err)
+		}
+	}
+	// RSV1 parses at the frame layer (permessage-deflate owns it); the
+	// connection layer rejects it when no extension was negotiated.
+	raw := []byte{0x80 | 0x40 | byte(OpText), 0}
+	f, err := ReadFrame(bytes.NewReader(raw), 0)
+	if err != nil || !f.Rsv1 {
+		t.Fatalf("rsv1 frame = (%+v, %v)", f, err)
+	}
+}
+
+func TestReadFrameRejectsReservedOpcode(t *testing.T) {
+	for _, op := range []byte{0x3, 0x7, 0xB, 0xF} {
+		raw := []byte{0x80 | op, 0}
+		if _, err := ReadFrame(bytes.NewReader(raw), 0); !errors.Is(err, ErrReservedOpcode) {
+			t.Fatalf("opcode %#x: err = %v, want ErrReservedOpcode", op, err)
+		}
+	}
+}
+
+func TestControlFrameRules(t *testing.T) {
+	// Fragmented control frame rejected on write.
+	err := WriteFrame(io.Discard, Frame{Fin: false, Opcode: OpPing})
+	if !errors.Is(err, ErrFragmentedControl) {
+		t.Fatalf("fragmented ping write: %v", err)
+	}
+	// Oversized control frame rejected on write.
+	err = WriteFrame(io.Discard, Frame{Fin: true, Opcode: OpClose, Payload: make([]byte, 126)})
+	if !errors.Is(err, ErrControlTooLong) {
+		t.Fatalf("oversized close write: %v", err)
+	}
+	// Fragmented control frame rejected on read.
+	raw := []byte{byte(OpPing), 0} // FIN clear
+	if _, err := ReadFrame(bytes.NewReader(raw), 0); !errors.Is(err, ErrFragmentedControl) {
+		t.Fatalf("fragmented ping read: %v", err)
+	}
+}
+
+func TestReadFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Fin: true, Opcode: OpBinary, Payload: make([]byte, 2048)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, 1024); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameShortInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Fin: true, Opcode: OpBinary, Payload: make([]byte, 300)}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{0, 1, 2, 3, 50, len(raw) - 1} {
+		_, err := ReadFrame(bytes.NewReader(raw[:cut]), 0)
+		if err == nil {
+			t.Fatalf("truncated read at %d succeeded", cut)
+		}
+	}
+}
+
+// Property: write/read round trip preserves every field for all data
+// opcodes, payload sizes and mask keys.
+func TestFrameRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(fin bool, opSel uint8, masked bool, key [4]byte, payload []byte) bool {
+		ops := []Opcode{OpText, OpBinary, OpContinuation}
+		f := Frame{
+			Fin:     fin,
+			Opcode:  ops[int(opSel)%len(ops)],
+			Masked:  masked,
+			MaskKey: key,
+			Payload: payload,
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, f); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			return false
+		}
+		if got.Fin != f.Fin || got.Opcode != f.Opcode || got.Masked != f.Masked {
+			return false
+		}
+		return bytes.Equal(got.Payload, f.Payload)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: masking is an involution and position-aware masking over
+// split buffers equals masking the concatenation.
+func TestMaskBytesProperty(t *testing.T) {
+	err := quick.Check(func(key [4]byte, data []byte, splitRaw uint8) bool {
+		whole := append([]byte(nil), data...)
+		MaskBytes(key, 0, whole)
+
+		split := 0
+		if len(data) > 0 {
+			split = int(splitRaw) % (len(data) + 1)
+		}
+		parts := append([]byte(nil), data...)
+		pos := MaskBytes(key, 0, parts[:split])
+		MaskBytes(key, pos, parts[split:])
+		if !bytes.Equal(whole, parts) {
+			return false
+		}
+		// Involution.
+		MaskBytes(key, 0, whole)
+		return bytes.Equal(whole, data)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosePayloadCodec(t *testing.T) {
+	p := EncodeClosePayload(CloseNormal, "bye")
+	code, reason, err := DecodeClosePayload(p)
+	if err != nil || code != CloseNormal || reason != "bye" {
+		t.Fatalf("decode = (%d, %q, %v)", code, reason, err)
+	}
+	if code, _, err := DecodeClosePayload(nil); err != nil || code != CloseNoStatus {
+		t.Fatalf("empty close payload = (%d, %v)", code, err)
+	}
+	if _, _, err := DecodeClosePayload([]byte{1}); err == nil {
+		t.Fatal("1-byte close payload accepted")
+	}
+	// Long reasons are truncated to fit the control limit.
+	long := EncodeClosePayload(CloseNormal, string(bytes.Repeat([]byte("x"), 500)))
+	if len(long) > 125 {
+		t.Fatalf("close payload %d bytes exceeds control limit", len(long))
+	}
+}
+
+func TestOpcodeClassification(t *testing.T) {
+	if !OpClose.IsControl() || !OpPing.IsControl() || !OpPong.IsControl() {
+		t.Fatal("control opcodes misclassified")
+	}
+	if OpText.IsControl() || OpContinuation.IsControl() {
+		t.Fatal("data opcodes classified as control")
+	}
+	if !OpText.IsData() || !OpBinary.IsData() || OpContinuation.IsData() {
+		t.Fatal("IsData misclassification")
+	}
+	if OpText.String() != "text" || Opcode(0x5).String() != "opcode(0x5)" {
+		t.Fatal("opcode string mismatch")
+	}
+}

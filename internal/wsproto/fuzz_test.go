@@ -1,0 +1,70 @@
+package wsproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame decoder: it must
+// never panic, and any frame it accepts must re-encode and re-decode to
+// the same frame.
+func FuzzReadFrame(f *testing.F) {
+	// Seed with valid frames of each shape.
+	seed := func(fr Frame) {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr); err == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	seed(Frame{Fin: true, Opcode: OpText, Payload: []byte("hello")})
+	seed(Frame{Fin: true, Opcode: OpBinary, Masked: true, MaskKey: [4]byte{1, 2, 3, 4}, Payload: make([]byte, 300)})
+	seed(Frame{Fin: false, Opcode: OpBinary, Payload: make([]byte, 70000)})
+	seed(Frame{Fin: true, Opcode: OpClose, Payload: EncodeClosePayload(CloseNormal, "bye")})
+	seed(Frame{Fin: true, Opcode: OpPing})
+	f.Add([]byte{0x81})
+	f.Add([]byte{0xFF, 0xFF})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data), 1<<20)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr); err != nil {
+			t.Fatalf("accepted frame fails to encode: %v", err)
+		}
+		fr2, err := ReadFrame(&buf, 1<<20)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if fr2.Fin != fr.Fin || fr2.Opcode != fr.Opcode || fr2.Masked != fr.Masked ||
+			!bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("round trip drift: %+v vs %+v", fr, fr2)
+		}
+	})
+}
+
+// FuzzDecodeClosePayload checks close-payload parsing never panics and
+// round trips.
+func FuzzDecodeClosePayload(f *testing.F) {
+	f.Add(EncodeClosePayload(CloseNormal, "done"))
+	f.Add([]byte{})
+	f.Add([]byte{0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		code, reason, err := DecodeClosePayload(data)
+		if err != nil {
+			return
+		}
+		if code == CloseNoStatus {
+			return // empty payload has no encoding
+		}
+		c2, r2, err := DecodeClosePayload(EncodeClosePayload(code, reason))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if c2 != code || r2 != reason {
+			t.Fatalf("round trip drift: (%d,%q) vs (%d,%q)", code, reason, c2, r2)
+		}
+	})
+}

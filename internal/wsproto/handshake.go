@@ -1,0 +1,253 @@
+package wsproto
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// websocketGUID is the fixed GUID of RFC 6455 §1.3 used to derive
+// Sec-WebSocket-Accept from Sec-WebSocket-Key.
+const websocketGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// AcceptKey computes the Sec-WebSocket-Accept value for a client key.
+func AcceptKey(clientKey string) string {
+	h := sha1.Sum([]byte(clientKey + websocketGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// generateKey produces a random 16-byte base64 Sec-WebSocket-Key.
+func generateKey() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("wsproto: generating handshake key: %w", err)
+	}
+	return base64.StdEncoding.EncodeToString(b[:]), nil
+}
+
+// Upgrader upgrades HTTP requests to WebSocket connections on the server
+// side.
+type Upgrader struct {
+	// MaxMessageSize bounds reassembled message sizes on the resulting
+	// connection; 0 means unlimited.
+	MaxMessageSize int64
+	// EnableCompression accepts permessage-deflate offers (RFC 7692,
+	// no-context-takeover profile).
+	EnableCompression bool
+	// CheckOrigin, if set, validates the Origin header. When nil all
+	// origins are accepted — appropriate for an ad beacon collector,
+	// which by design receives cross-origin traffic from arbitrary
+	// publisher pages.
+	CheckOrigin func(r *http.Request) bool
+}
+
+// Upgrade performs the server side of the opening handshake. On failure
+// it writes an HTTP error response and returns the reason.
+func (u *Upgrader) Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "websocket: method not GET", http.StatusMethodNotAllowed)
+		return nil, fmt.Errorf("wsproto: handshake method %s", r.Method)
+	}
+	if !headerContainsToken(r.Header, "Connection", "upgrade") {
+		http.Error(w, "websocket: missing Connection: Upgrade", http.StatusBadRequest)
+		return nil, errors.New("wsproto: missing Connection upgrade token")
+	}
+	if !headerContainsToken(r.Header, "Upgrade", "websocket") {
+		http.Error(w, "websocket: missing Upgrade: websocket", http.StatusBadRequest)
+		return nil, errors.New("wsproto: missing Upgrade websocket token")
+	}
+	if v := r.Header.Get("Sec-Websocket-Version"); v != "13" {
+		w.Header().Set("Sec-Websocket-Version", "13")
+		http.Error(w, "websocket: unsupported version", http.StatusUpgradeRequired)
+		return nil, fmt.Errorf("wsproto: unsupported version %q", v)
+	}
+	key := r.Header.Get("Sec-Websocket-Key")
+	if key == "" {
+		http.Error(w, "websocket: missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, errors.New("wsproto: missing Sec-WebSocket-Key")
+	}
+	if raw, err := base64.StdEncoding.DecodeString(key); err != nil || len(raw) != 16 {
+		http.Error(w, "websocket: bad Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, errors.New("wsproto: malformed Sec-WebSocket-Key")
+	}
+	if u.CheckOrigin != nil && !u.CheckOrigin(r) {
+		http.Error(w, "websocket: origin not allowed", http.StatusForbidden)
+		return nil, errors.New("wsproto: origin rejected")
+	}
+
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "websocket: response does not support hijacking", http.StatusInternalServerError)
+		return nil, errors.New("wsproto: ResponseWriter is not a Hijacker")
+	}
+	nc, brw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("wsproto: hijacking connection: %w", err)
+	}
+	compress := false
+	extHeader := ""
+	if u.EnableCompression {
+		if response, ok := acceptExtension(r.Header.Values("Sec-Websocket-Extensions")); ok {
+			compress = true
+			extHeader = "Sec-WebSocket-Extensions: " + response + "\r\n"
+		}
+	}
+
+	// Any buffered bytes the server read beyond the request belong to
+	// the WebSocket stream.
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		extHeader +
+		"Sec-WebSocket-Accept: " + AcceptKey(key) + "\r\n\r\n"
+	if _, err := nc.Write([]byte(resp)); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("wsproto: writing handshake response: %w", err)
+	}
+	conn := newConn(nc, brw.Reader, RoleServer, u.MaxMessageSize)
+	conn.compress = compress
+	return conn, nil
+}
+
+// headerContainsToken reports whether any comma-separated value of the
+// named header equals token case-insensitively.
+func headerContainsToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Dialer establishes client WebSocket connections.
+type Dialer struct {
+	// MaxMessageSize bounds reassembled message sizes on the resulting
+	// connection; 0 means unlimited.
+	MaxMessageSize int64
+	// EnableCompression offers permessage-deflate (RFC 7692,
+	// no-context-takeover profile) during the handshake.
+	EnableCompression bool
+	// NetDial overrides the transport dial, e.g. for tests or custom
+	// source addresses. Defaults to a net.Dialer respecting ctx.
+	NetDial func(ctx context.Context, network, addr string) (net.Conn, error)
+	// Header is sent with the handshake request (e.g. Origin,
+	// User-Agent — the beacon forwards the embedding page's values).
+	Header http.Header
+}
+
+// Dial connects to a ws:// URL and performs the opening handshake.
+// (wss:// is not supported: the collector terminates TLS upstream in
+// deployment, and the simulator runs loopback.)
+func (d *Dialer) Dial(ctx context.Context, rawURL string) (*Conn, *http.Response, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wsproto: parsing url: %w", err)
+	}
+	if u.Scheme != "ws" {
+		return nil, nil, fmt.Errorf("wsproto: unsupported scheme %q", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	dial := d.NetDial
+	if dial == nil {
+		var nd net.Dialer
+		dial = nd.DialContext
+	}
+	nc, err := dial(ctx, "tcp", host)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wsproto: dialing %s: %w", host, err)
+	}
+
+	// Honour context cancellation during the handshake.
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = nc.SetDeadline(deadline)
+	}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			nc.Close()
+		case <-stop:
+		}
+	}()
+	defer close(stop)
+
+	key, err := generateKey()
+	if err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	path := u.RequestURI()
+	if path == "" {
+		path = "/"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "GET %s HTTP/1.1\r\n", path)
+	fmt.Fprintf(&sb, "Host: %s\r\n", u.Host)
+	sb.WriteString("Upgrade: websocket\r\nConnection: Upgrade\r\n")
+	fmt.Fprintf(&sb, "Sec-WebSocket-Key: %s\r\nSec-WebSocket-Version: 13\r\n", key)
+	if d.EnableCompression {
+		fmt.Fprintf(&sb, "Sec-WebSocket-Extensions: %s\r\n", offerExtension)
+	}
+	for name, vals := range d.Header {
+		for _, v := range vals {
+			fmt.Fprintf(&sb, "%s: %s\r\n", name, v)
+		}
+	}
+	sb.WriteString("\r\n")
+	if _, err := nc.Write([]byte(sb.String())); err != nil {
+		nc.Close()
+		return nil, nil, fmt.Errorf("wsproto: writing handshake request: %w", err)
+	}
+
+	br := bufio.NewReader(nc)
+	resp, err := http.ReadResponse(br, &http.Request{Method: http.MethodGet})
+	if err != nil {
+		nc.Close()
+		return nil, nil, fmt.Errorf("wsproto: reading handshake response: %w", err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		nc.Close()
+		return nil, resp, fmt.Errorf("wsproto: handshake rejected with status %d", resp.StatusCode)
+	}
+	if !headerContainsToken(resp.Header, "Upgrade", "websocket") ||
+		!headerContainsToken(resp.Header, "Connection", "upgrade") {
+		nc.Close()
+		return nil, resp, errors.New("wsproto: handshake response missing upgrade headers")
+	}
+	if got := resp.Header.Get("Sec-Websocket-Accept"); got != AcceptKey(key) {
+		nc.Close()
+		return nil, resp, fmt.Errorf("wsproto: bad Sec-WebSocket-Accept %q", got)
+	}
+	compress := false
+	if ext := resp.Header.Get("Sec-Websocket-Extensions"); ext != "" {
+		if !d.EnableCompression {
+			nc.Close()
+			return nil, resp, fmt.Errorf("wsproto: server accepted extension we never offered: %q", ext)
+		}
+		agreed, err := extensionAgreed(ext)
+		if err != nil {
+			nc.Close()
+			return nil, resp, err
+		}
+		compress = agreed
+	}
+	_ = nc.SetDeadline(time.Time{})
+	conn := newConn(nc, br, RoleClient, d.MaxMessageSize)
+	conn.compress = compress
+	return conn, resp, nil
+}

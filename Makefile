@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test check bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: build + vet + tests + race detector over the
+# concurrency-sensitive packages. See scripts/check.sh.
+check:
+	sh scripts/check.sh
+
+# bench runs the telemetry-overhead comparison (instrumented vs
+# uninstrumented ingest) on top of the full check.
+bench:
+	sh scripts/check.sh -bench
+
+clean:
+	$(GO) clean ./...

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	adsim [-seed N] [-publishers N] [-snapshot imps.jsonl] [-csv imps.csv] [-report]
+//	adsim [-seed N] [-publishers N] [-snapshot imps.jsonl] [-csv imps.csv]
+//	      [-metrics metrics.json] [-report]
 package main
 
 import (
@@ -26,16 +27,17 @@ func main() {
 		csvPath     = flag.String("csv", "", "write the impression dataset as CSV to this path")
 		reports     = flag.String("reports", "", "write the vendor reports (JSON) to this path")
 		conversions = flag.String("conversions", "", "write the conversion dataset (JSON lines) to this path")
+		metricsPath = flag.String("metrics", "", "write the run's telemetry (JSON metrics view) to this path")
 		printRep    = flag.Bool("report", true, "print the full audit report (tables 1-4, figures 1-3)")
 	)
 	flag.Parse()
-	if err := run(*seed, *publishers, *snapshot, *csvPath, *reports, *conversions, *printRep); err != nil {
+	if err := run(*seed, *publishers, *snapshot, *csvPath, *reports, *conversions, *metricsPath, *printRep); err != nil {
 		fmt.Fprintln(os.Stderr, "adsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversionsPath string, printRep bool) error {
+func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversionsPath, metricsPath string, printRep bool) error {
 	ws, err := adaudit.NewWorkspace(adaudit.Options{Seed: seed, NumPublishers: publishers})
 	if err != nil {
 		return err
@@ -61,6 +63,15 @@ func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversions
 	if conversionsPath != "" {
 		if err := writeTo(conversionsPath, ws.Store.WriteConversionsSnapshot); err != nil {
 			return fmt.Errorf("writing conversions: %w", err)
+		}
+	}
+	if metricsPath != "" {
+		reg := ws.Collector.Telemetry()
+		if reg == nil {
+			return fmt.Errorf("writing metrics: collector runs without telemetry")
+		}
+		if err := writeTo(metricsPath, reg.WriteJSON); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
 		}
 	}
 	if reportsPath != "" {

@@ -16,9 +16,10 @@ func TestRunWritesAllOutputs(t *testing.T) {
 	csvPath := filepath.Join(dir, "imps.csv")
 	reports := filepath.Join(dir, "reports.json")
 	convs := filepath.Join(dir, "convs.jsonl")
+	metrics := filepath.Join(dir, "metrics.json")
 
 	// Small universe for test speed; -report=false to skip rendering.
-	if err := run(7, 6000, snap, csvPath, reports, convs, false); err != nil {
+	if err := run(7, 6000, snap, csvPath, reports, convs, metrics, false); err != nil {
 		t.Fatal(err)
 	}
 
@@ -73,10 +74,30 @@ func TestRunWritesAllOutputs(t *testing.T) {
 	if fi, err := os.Stat(csvPath); err != nil || fi.Size() == 0 {
 		t.Fatalf("csv missing or empty: %v", err)
 	}
+
+	mf, err := os.Open(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view map[string]json.RawMessage
+	err = json.NewDecoder(mf).Decode(&view)
+	mf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"adaudit_collector_ingested_total",
+		"adaudit_campaign_runs_total",
+		"adaudit_store_inserts_total",
+	} {
+		if _, ok := view[name]; !ok {
+			t.Fatalf("metrics view missing %s; have %d series", name, len(view))
+		}
+	}
 }
 
 func TestRunRejectsBadPath(t *testing.T) {
-	if err := run(1, 6000, "/nonexistent-dir/x.jsonl", "", "", "", false); err == nil {
+	if err := run(1, 6000, "/nonexistent-dir/x.jsonl", "", "", "", "", false); err == nil {
 		t.Fatal("bad snapshot path accepted")
 	}
 }

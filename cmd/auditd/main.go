@@ -9,9 +9,18 @@
 //
 //	auditd [-listen 127.0.0.1:8080] [-snapshot imps.jsonl] [-secret KEY]
 //	       [-flush 30s] [-print-script CAMPAIGN:CREATIVE]
+//	       [-debug-addr 127.0.0.1:6060] [-selfreport 60s]
+//	       [-unhealthy-after 5m]
 //
 // With -print-script the daemon prints the embeddable JavaScript tag
 // for the given campaign/creative pair and the running endpoint.
+//
+// Operational surface: the listen address serves GET /metrics
+// (Prometheus text), /api/metrics (JSON) and /healthz alongside the
+// beacon endpoint; -debug-addr additionally serves net/http/pprof on a
+// separate (ideally loopback-only) listener; -selfreport logs a
+// periodic one-line ingest summary (rate, insert latency quantiles,
+// rejects by class).
 package main
 
 import (
@@ -21,9 +30,14 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -31,32 +45,58 @@ import (
 	"adaudit/internal/collector"
 	"adaudit/internal/ipmeta"
 	"adaudit/internal/store"
+	"adaudit/internal/telemetry"
 )
 
 func main() {
 	var (
-		listen      = flag.String("listen", "127.0.0.1:8080", "host:port for the beacon endpoint")
-		snapshot    = flag.String("snapshot", "impressions.jsonl", "dataset snapshot path")
-		secret      = flag.String("secret", "", "IP anonymisation key (default: random per run)")
-		flush       = flag.Duration("flush", 30*time.Second, "snapshot flush interval (0 disables)")
-		printScript = flag.String("print-script", "", "print the beacon JS for CAMPAIGN:CREATIVE and the endpoint")
+		listen         = flag.String("listen", "127.0.0.1:8080", "host:port for the beacon endpoint")
+		snapshot       = flag.String("snapshot", "impressions.jsonl", "dataset snapshot path")
+		secret         = flag.String("secret", "", "IP anonymisation key (default: random per run)")
+		flush          = flag.Duration("flush", 30*time.Second, "snapshot flush interval (0 disables)")
+		printScript    = flag.String("print-script", "", "print the beacon JS for CAMPAIGN:CREATIVE and the endpoint")
+		debugAddr      = flag.String("debug-addr", "", "host:port for net/http/pprof (empty disables)")
+		selfReport     = flag.Duration("selfreport", 60*time.Second, "self-report log interval (0 disables)")
+		unhealthyAfter = flag.Duration("unhealthy-after", 0, "/healthz flips unhealthy when no record committed for this long (0 disables)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *listen, *snapshot, *secret, *flush, *printScript, os.Stdout); err != nil {
+	opts := daemonOptions{
+		listen:         *listen,
+		snapshotPath:   *snapshot,
+		secret:         *secret,
+		flush:          *flush,
+		printScript:    *printScript,
+		debugAddr:      *debugAddr,
+		selfReport:     *selfReport,
+		unhealthyAfter: *unhealthyAfter,
+	}
+	if err := run(ctx, opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "auditd:", err)
 		os.Exit(1)
 	}
 }
 
+// daemonOptions carries the flag values into run, keeping it testable.
+type daemonOptions struct {
+	listen         string
+	snapshotPath   string
+	secret         string
+	flush          time.Duration
+	printScript    string
+	debugAddr      string
+	selfReport     time.Duration
+	unhealthyAfter time.Duration
+}
+
 // run starts the collector and serves until ctx is cancelled; the final
 // dataset snapshot is written on the way out. Factored from main so the
 // daemon is testable end to end.
-func run(ctx context.Context, listen, snapshotPath, secret string, flush time.Duration, printScript string, out io.Writer) error {
+func run(ctx context.Context, opts daemonOptions, out io.Writer) error {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
-	key := []byte(secret)
+	key := []byte(opts.secret)
 	if len(key) == 0 {
 		key = make([]byte, 32)
 		if _, err := rand.Read(key); err != nil {
@@ -74,16 +114,23 @@ func run(ctx context.Context, listen, snapshotPath, secret string, flush time.Du
 	if err != nil {
 		return err
 	}
-	srv, err := collector.NewServer(coll, listen)
+	srvOpts := []collector.ServerOption{
+		collector.WithHealthCheck("snapshot-dir", snapshotDirWritable(opts.snapshotPath)),
+	}
+	if opts.unhealthyAfter > 0 {
+		srvOpts = append(srvOpts, collector.WithMaxIngestAge(opts.unhealthyAfter))
+	}
+	srv, err := collector.NewServer(coll, opts.listen, srvOpts...)
 	if err != nil {
 		return err
 	}
-	logger.Info("collector listening", "beacon", srv.BeaconURL(), "snapshot", snapshotPath)
+	logger.Info("collector listening", "beacon", srv.BeaconURL(), "snapshot", opts.snapshotPath,
+		"metrics", fmt.Sprintf("http://%s/metrics", srv.Addr()))
 
-	if printScript != "" {
-		campaignID, creativeID, ok := strings.Cut(printScript, ":")
+	if opts.printScript != "" {
+		campaignID, creativeID, ok := strings.Cut(opts.printScript, ":")
 		if !ok {
-			return fmt.Errorf("-print-script wants CAMPAIGN:CREATIVE, got %q", printScript)
+			return fmt.Errorf("-print-script wants CAMPAIGN:CREATIVE, got %q", opts.printScript)
 		}
 		js, err := beacon.Script(beacon.ScriptConfig{
 			CollectorURL: srv.BeaconURL(),
@@ -96,16 +143,34 @@ func run(ctx context.Context, listen, snapshotPath, secret string, flush time.Du
 		fmt.Fprintln(out, js)
 	}
 
-	if flush > 0 {
+	if opts.debugAddr != "" {
+		debugSrv, err := newDebugServer(opts.debugAddr, coll.Telemetry())
+		if err != nil {
+			return err
+		}
+		defer debugSrv.Close()
 		go func() {
-			t := time.NewTicker(flush)
+			logger.Info("debug server listening", "pprof", fmt.Sprintf("http://%s/debug/pprof/", opts.debugAddr))
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug server failed", "err", err)
+			}
+		}()
+	}
+
+	// All snapshot writes — periodic flush and the final write — go
+	// through one snapshotter so two writers can never race the rename
+	// to the same path.
+	snap := &snapshotter{st: st, path: opts.snapshotPath, logger: logger}
+	if opts.flush > 0 {
+		go func() {
+			t := time.NewTicker(opts.flush)
 			defer t.Stop()
 			for {
 				select {
 				case <-ctx.Done():
 					return
 				case <-t.C:
-					if err := writeSnapshot(st, snapshotPath); err != nil {
+					if err := snap.tryWrite(); err != nil {
 						logger.Error("periodic snapshot failed", "err", err)
 					}
 				}
@@ -113,13 +178,134 @@ func run(ctx context.Context, listen, snapshotPath, secret string, flush time.Du
 		}()
 	}
 
+	if opts.selfReport > 0 {
+		go selfReportLoop(ctx, coll, opts.selfReport, logger)
+	}
+
 	err = srv.Serve(ctx)
 	logger.Info("shutting down", "ingested", coll.Metrics.Ingested.Load(),
 		"rejected", coll.Metrics.Rejected.Load())
-	if werr := writeSnapshot(st, snapshotPath); werr != nil {
+	if werr := snap.write(); werr != nil {
 		return fmt.Errorf("final snapshot: %w", werr)
 	}
 	return err
+}
+
+// newDebugServer builds the -debug-addr sidecar: net/http/pprof plus a
+// copy of the metrics endpoints, so profiling and scraping can be kept
+// off the public listener entirely.
+func newDebugServer(addr string, reg *telemetry.Registry) (*http.Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/api/metrics", reg.JSONHandler())
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}, nil
+}
+
+// snapshotDirWritable is the /healthz check that the snapshot can still
+// be persisted: it probes the target directory with a create+remove.
+func snapshotDirWritable(path string) func() error {
+	return func() error {
+		probe := filepath.Join(filepath.Dir(path), ".auditd-health-probe")
+		f, err := os.Create(probe)
+		if err != nil {
+			return fmt.Errorf("snapshot dir not writable: %w", err)
+		}
+		f.Close()
+		return os.Remove(probe)
+	}
+}
+
+// selfReportLoop logs a periodic one-line operational summary: ingest
+// rate over the interval, store insert latency quantiles, live
+// sessions, and rejects by class — the glanceable "is the measurement
+// apparatus healthy" line the paper's methodology depends on.
+func selfReportLoop(ctx context.Context, coll *collector.Collector, interval time.Duration, logger *slog.Logger) {
+	reg := coll.Telemetry()
+	if reg == nil {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	lastIngested := coll.Metrics.Ingested.Load()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			ingested := coll.Metrics.Ingested.Load()
+			rate := float64(ingested-lastIngested) / interval.Seconds()
+			lastIngested = ingested
+			args := []any{
+				"ingest_rate_per_s", fmt.Sprintf("%.1f", rate),
+				"ingested_total", ingested,
+				"sessions", coll.SessionCount(),
+			}
+			if s, ok := reg.Find("adaudit_store_insert_seconds", nil); ok && s.Hist != nil {
+				args = append(args,
+					"insert_p50_us", fmt.Sprintf("%.1f", s.Hist.Quantile(0.50)*1e6),
+					"insert_p99_us", fmt.Sprintf("%.1f", s.Hist.Quantile(0.99)*1e6),
+				)
+			}
+			if rejects := rejectsByClass(reg); rejects != "" {
+				args = append(args, "rejects", rejects)
+			}
+			logger.Info("self-report", args...)
+		}
+	}
+}
+
+// rejectsByClass renders the per-class reject counters as
+// "class=count,class=count" (empty when nothing was rejected).
+func rejectsByClass(reg *telemetry.Registry) string {
+	parts := []string{}
+	for _, s := range reg.Snapshot() {
+		if s.Name != "adaudit_collector_rejects_total" || s.Value == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%d", s.Labels["class"], int64(s.Value)))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// snapshotter serializes snapshot writes: the periodic flusher and the
+// final shutdown write used to race each other renaming to the same
+// path, which could publish a stale snapshot over a fresher one.
+type snapshotter struct {
+	mu     sync.Mutex
+	st     *store.Store
+	path   string
+	logger *slog.Logger
+}
+
+// write blocks until the snapshot is written (the shutdown path: the
+// final dataset must land).
+func (s *snapshotter) write() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return writeSnapshot(s.st, s.path)
+}
+
+// tryWrite skips (and logs) when another write is already in flight —
+// a slow disk must not queue up overlapping periodic flushes.
+func (s *snapshotter) tryWrite() error {
+	if !s.mu.TryLock() {
+		s.logger.Info("snapshot write already in flight; skipping periodic flush", "path", s.path)
+		return nil
+	}
+	defer s.mu.Unlock()
+	return writeSnapshot(s.st, s.path)
 }
 
 func writeSnapshot(st *store.Store, path string) error {

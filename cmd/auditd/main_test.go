@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -73,6 +75,55 @@ func TestWriteSnapshotBadDir(t *testing.T) {
 	}
 }
 
+func TestSnapshotterSerializesWrites(t *testing.T) {
+	dir := t.TempDir()
+	st := store.New()
+	if _, err := st.Insert(store.Impression{
+		CampaignID: "c", Publisher: "p.es", PageURL: "http://p.es/",
+		UserKey: "u", Timestamp: time.Now(), Exposure: time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := &snapshotter{
+		st:     st,
+		path:   filepath.Join(dir, "imps.jsonl"),
+		logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+	// Hold the lock as a slow in-flight write would: the periodic flush
+	// must skip without blocking or racing, while the shutdown write
+	// blocks until the writer is done.
+	snap.mu.Lock()
+	if err := snap.tryWrite(); err != nil {
+		t.Fatalf("tryWrite under contention: %v", err)
+	}
+	if _, err := os.Stat(snap.path); !os.IsNotExist(err) {
+		t.Fatal("skipped flush still produced a snapshot")
+	}
+	done := make(chan error, 1)
+	go func() { done <- snap.write() }()
+	select {
+	case <-done:
+		t.Fatal("final write completed while another write held the lock")
+	case <-time.After(20 * time.Millisecond):
+	}
+	snap.mu.Unlock()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(snap.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	restored, err := store.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 1 {
+		t.Fatalf("final snapshot has %d records", restored.Len())
+	}
+}
+
 func TestDaemonEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	snap := filepath.Join(dir, "imps.jsonl")
@@ -81,7 +132,12 @@ func TestDaemonEndToEnd(t *testing.T) {
 	out := &syncBuffer{}
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, "127.0.0.1:0", snap, "test-secret", 0, "demo:creative-1", out)
+		done <- run(ctx, daemonOptions{
+			listen:       "127.0.0.1:0",
+			snapshotPath: snap,
+			secret:       "test-secret",
+			printScript:  "demo:creative-1",
+		}, out)
 	}()
 
 	// The daemon prints the beacon script once the listener is up; poll

@@ -22,6 +22,7 @@ import (
 	"adaudit/internal/beacon"
 	"adaudit/internal/collector"
 	"adaudit/internal/stats"
+	"adaudit/internal/telemetry"
 )
 
 // LossModel is the paper's §3.1 error model: reasons an ad impression
@@ -51,6 +52,49 @@ type Driver struct {
 	Loss LossModel
 	// Seed drives the loss draws.
 	Seed int64
+
+	telOnce sync.Once
+	tel     driverTelemetry
+}
+
+// driverTelemetry measures replay throughput: how fast campaigns move
+// through the beacon-replay funnel and where impressions are lost.
+type driverTelemetry struct {
+	runs        *telemetry.Counter
+	deliveries  *telemetry.Counter
+	logged      *telemetry.Counter
+	lost        *telemetry.CounterVec
+	conversions *telemetry.Counter
+	runSeconds  *telemetry.Histogram
+}
+
+// telemetry lazily registers the driver's instruments on the
+// collector's registry, so a driver shares the exposition surface of
+// the collector it feeds. With telemetry disabled on the collector the
+// instruments stay nil (all methods are nil-safe no-ops).
+func (d *Driver) telemetry() *driverTelemetry {
+	d.telOnce.Do(func() {
+		reg := d.Collector.Telemetry()
+		if reg == nil {
+			return
+		}
+		d.tel = driverTelemetry{
+			runs: reg.Counter("adaudit_campaign_runs_total",
+				"Campaign executions completed.", nil),
+			deliveries: reg.Counter("adaudit_campaign_deliveries_total",
+				"Network-side ad deliveries produced.", nil),
+			logged: reg.Counter("adaudit_campaign_logged_total",
+				"Deliveries that reached the collector as impressions.", nil),
+			lost: reg.CounterVec("adaudit_campaign_lost_total",
+				"Deliveries lost before the collector, by reason.", "reason"),
+			conversions: reg.Counter("adaudit_campaign_conversions_total",
+				"Conversion records replayed into the collector.", nil),
+			runSeconds: reg.Histogram("adaudit_campaign_run_seconds",
+				"Wall time per campaign execution (delivery + replay).",
+				telemetry.LatencyBuckets(), nil),
+		}
+	})
+	return &d.tel
 }
 
 // CampaignOutcome summarises one campaign's run.
@@ -97,10 +141,13 @@ func (d *Driver) Run(c adnet.Campaign) (*CampaignOutcome, error) {
 	if d.Network == nil || d.Collector == nil {
 		return nil, fmt.Errorf("campaign: driver requires a network and a collector")
 	}
+	tel := d.telemetry()
+	runStart := time.Now()
 	res, err := d.Network.Run(c)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: running %s: %w", c.ID, err)
 	}
+	tel.deliveries.Add(int64(len(res.Deliveries)))
 	rng := stats.NewRNG(d.Seed).Fork("loss/" + c.ID)
 	out := &CampaignOutcome{Result: res}
 	for i := range res.Deliveries {
@@ -140,6 +187,12 @@ func (d *Driver) Run(c adnet.Campaign) (*CampaignOutcome, error) {
 			out.Conversions++
 		}
 	}
+	tel.logged.Add(int64(out.Logged))
+	tel.lost.With("blocked").Add(int64(out.LostBlocked))
+	tel.lost.With("connection").Add(int64(out.LostConnection))
+	tel.conversions.Add(int64(out.Conversions))
+	tel.runs.Inc()
+	tel.runSeconds.ObserveDuration(time.Since(runStart))
 	return out, nil
 }
 

@@ -12,17 +12,18 @@ import (
 	"adaudit/internal/store"
 )
 
-func benchCollector(b *testing.B) *Collector {
+func benchCollector(b *testing.B, disableTelemetry bool) *Collector {
 	b.Helper()
 	uni, err := ipmeta.NewUniverse(ipmeta.UniverseConfig{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
 	c, err := New(Config{
-		Store:      store.New(),
-		IPDB:       uni.DB,
-		Classifier: &ipmeta.Classifier{DB: uni.DB, DenyList: uni.DenyList, ManualVerify: uni.ManualVerify},
-		Anonymizer: ipmeta.NewAnonymizer([]byte("bench")),
+		Store:            store.New(),
+		IPDB:             uni.DB,
+		Classifier:       &ipmeta.Classifier{DB: uni.DB, DenyList: uni.DenyList, ManualVerify: uni.ManualVerify},
+		Anonymizer:       ipmeta.NewAnonymizer([]byte("bench")),
+		DisableTelemetry: disableTelemetry,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -30,12 +31,11 @@ func benchCollector(b *testing.B) *Collector {
 	return c
 }
 
-// BenchmarkIngest measures the direct ingest funnel: payload →
-// enrichment (LPM lookup, classification, pseudonymisation) → store.
-func BenchmarkIngest(b *testing.B) {
-	c := benchCollector(b)
+func benchIngest(b *testing.B, c *Collector) {
+	b.Helper()
 	base := time.Date(2016, 3, 29, 0, 0, 0, 0, time.UTC)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		obs := Observation{
 			Payload: beacon.Payload{
@@ -54,11 +54,31 @@ func BenchmarkIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkCollectorIngest measures the instrumented ingest funnel —
+// the production configuration, telemetry on. Compare against
+// BenchmarkCollectorIngestUninstrumented to see the observability
+// overhead; the budget is <5%.
+func BenchmarkCollectorIngest(b *testing.B) {
+	benchIngest(b, benchCollector(b, false))
+}
+
+// BenchmarkCollectorIngestUninstrumented is the same funnel with
+// DisableTelemetry set: no registry, no histograms, no clock reads.
+func BenchmarkCollectorIngestUninstrumented(b *testing.B) {
+	benchIngest(b, benchCollector(b, true))
+}
+
+// BenchmarkIngest measures the direct ingest funnel: payload →
+// enrichment (LPM lookup, classification, pseudonymisation) → store.
+func BenchmarkIngest(b *testing.B) {
+	benchIngest(b, benchCollector(b, false))
+}
+
 // BenchmarkWebSocketSession measures the full network path: dial,
 // handshake, payload frame, disconnect, commit — one real impression
 // per iteration.
 func BenchmarkWebSocketSession(b *testing.B) {
-	c := benchCollector(b)
+	c := benchCollector(b, false)
 	srv, err := NewServer(c, "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)

@@ -10,20 +10,30 @@
 // Ingest, which the campaign simulator uses to replay large synthetic
 // workloads on a virtual clock; the WebSocket path and the direct path
 // converge on identical store records.
+//
+// The collector is self-measuring: every ingest stage (upgrade, payload
+// decode, ipmeta enrichment, store insert) reports its latency to an
+// internal/telemetry registry, sessions report lifecycle events
+// (concurrent count, close reasons, keepalive failures, exposure
+// distribution), and rejects are classified by failure class. The
+// registry is exposed over /metrics and /api/metrics by Server.
 package collector
 
 import (
+	"errors"
 	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
 	"net/netip"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"adaudit/internal/beacon"
 	"adaudit/internal/ipmeta"
 	"adaudit/internal/store"
+	"adaudit/internal/telemetry"
 	"adaudit/internal/wsproto"
 )
 
@@ -57,21 +67,89 @@ type Config struct {
 	KeepAliveInterval time.Duration
 	// Logger receives operational events; defaults to slog.Default().
 	Logger *slog.Logger
+	// Telemetry is the metrics registry the collector registers its
+	// instruments on (and instruments its store with). Nil creates a
+	// private registry, so metrics always work; share one registry
+	// across components to get a single exposition.
+	Telemetry *telemetry.Registry
+	// DisableTelemetry turns off all instrumentation, including the
+	// per-stage clock reads. The Metrics field API keeps working
+	// (backed by unregistered counters). Intended for overhead
+	// benchmarking and minimal embeddings.
+	DisableTelemetry bool
 }
 
-// Metrics are the collector's liveness counters, all updated atomically.
+// Metrics are the collector's liveness counters. Historically these
+// were bespoke atomics; they are now thin handles onto registry-backed
+// counters, so `c.Metrics.Ingested.Load()` and the Prometheus series
+// `adaudit_collector_ingested_total` read the same cell.
 type Metrics struct {
 	// Connections counts accepted WebSocket connections.
-	Connections atomic.Int64
+	Connections *telemetry.Counter
 	// Ingested counts impressions committed to the store.
-	Ingested atomic.Int64
-	// Rejected counts connections dropped before a valid payload
-	// (decode failures, timeouts, invalid records).
-	Rejected atomic.Int64
+	Ingested *telemetry.Counter
+	// Rejected counts all rejects regardless of class: connections
+	// dropped before a valid payload, store-insert failures, bad
+	// conversions. Per-class counts are on the registry under
+	// adaudit_collector_rejects_total{class=...}.
+	Rejected *telemetry.Counter
 	// Events counts interaction updates received.
-	Events atomic.Int64
+	Events *telemetry.Counter
 	// Conversions counts conversion-pixel records committed.
-	Conversions atomic.Int64
+	Conversions *telemetry.Counter
+}
+
+// Reject classes used for adaudit_collector_rejects_total{class=...}.
+// Decode/handshake failures and store-insert failures are different
+// operational signals: the former blames the peer (or the network), the
+// latter blames the collector's own pipeline.
+const (
+	RejectHandshake     = "handshake"      // first message missing, late, or non-text
+	RejectDecode        = "decode"         // payload failed to parse
+	RejectPayload       = "payload"        // payload parsed but unusable (bad page URL)
+	RejectInsert        = "insert"         // store refused the record
+	RejectPeerAddr      = "peer-addr"      // unresolvable remote address
+	RejectUpgrade       = "upgrade"        // HTTP → WebSocket upgrade failed
+	RejectConvDecode    = "conv-decode"    // conversion query string failed to parse
+	RejectConvValidate  = "conv-validate"  // conversion payload incomplete
+	RejectConvInsert    = "conv-insert"    // store refused the conversion
+	RejectConvPeerAddr  = "conv-peer-addr" // unresolvable pixel peer address
+)
+
+// Session close reasons used for
+// adaudit_collector_sessions_closed_total{reason=...}.
+const (
+	ClosePeer         = "peer-close"        // clean WebSocket close from the beacon
+	CloseError        = "error"             // read error / TCP reset
+	CloseExposureCap  = "exposure-cap"      // MaxExposure fired
+	CloseKeepAlive    = "keepalive-timeout" // peer stopped answering pings
+	CloseDrain        = "drain"             // collector shutdown drained the session
+)
+
+// sampleInterval is the stage-timing sampling rate on the direct ingest
+// path (power of two): a clock read costs tens of nanoseconds, so
+// timing every enrich stage would dominate the telemetry budget at the
+// paper's 160K-impression replay rate. Ticks 1, 1+sampleInterval, ...
+// are measured — the first ingest always lands in the histogram.
+// Counters are never sampled; only stage latency is. The per-session
+// timings (upgrade, decode) stay unsampled: they are amortised over a
+// whole WebSocket connection.
+const sampleInterval = 8
+
+// collectorTelemetry bundles the registry-backed instruments beyond the
+// legacy Metrics counters. All fields are nil-safe; enabled gates the
+// clock reads so DisableTelemetry removes the hot-path cost entirely.
+type collectorTelemetry struct {
+	enabled         bool
+	rejects         *telemetry.CounterVec
+	sessionsActive  *telemetry.Gauge
+	sessionsClosed  *telemetry.CounterVec
+	droppedShutdown *telemetry.Counter
+	pingFailures    *telemetry.Counter
+	exposure        *telemetry.Histogram
+	upgrade         *telemetry.Histogram
+	decode          *telemetry.Histogram
+	enrich          *telemetry.Histogram
 }
 
 // Collector terminates beacon traffic and writes impression records.
@@ -80,6 +158,24 @@ type Collector struct {
 	upgrader wsproto.Upgrader
 	// Metrics exposes ingest counters for health checks and tests.
 	Metrics Metrics
+
+	reg *telemetry.Registry
+	tel collectorTelemetry
+
+	// lastIngest is the unix-nano time of the last committed record
+	// (impression or conversion); /healthz alarms on its age.
+	lastIngest atomic.Int64
+
+	// sampleTick selects which ingests get enrich-stage timing; see
+	// sampleInterval.
+	sampleTick atomic.Uint64
+
+	// Session bookkeeping: every runSession goroutine is tracked so
+	// shutdown can drain in-flight impressions instead of losing them.
+	sessMu    sync.Mutex
+	sessConns map[*wsproto.Conn]struct{}
+	sessWG    sync.WaitGroup
+	draining  atomic.Bool
 }
 
 // New validates cfg and returns a Collector.
@@ -108,7 +204,13 @@ func New(cfg Config) (*Collector, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
-	return &Collector{
+	reg := cfg.Telemetry
+	if cfg.DisableTelemetry {
+		reg = nil
+	} else if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	c := &Collector{
 		cfg: cfg,
 		upgrader: wsproto.Upgrader{
 			MaxMessageSize: cfg.MaxMessageSize,
@@ -120,7 +222,80 @@ func New(cfg Config) (*Collector, error) {
 			// many interaction updates benefit.
 			EnableCompression: true,
 		},
-	}, nil
+		reg:       reg,
+		sessConns: map[*wsproto.Conn]struct{}{},
+	}
+	// With a nil registry these come back unregistered but functional,
+	// so the Metrics field API never breaks.
+	c.Metrics = Metrics{
+		Connections: reg.Counter("adaudit_collector_connections_total",
+			"WebSocket beacon connections accepted.", nil),
+		Ingested: reg.Counter("adaudit_collector_ingested_total",
+			"Impressions committed to the store.", nil),
+		Rejected: reg.Counter("adaudit_collector_rejected_total",
+			"Rejects across all classes (see adaudit_collector_rejects_total).", nil),
+		Events: reg.Counter("adaudit_collector_events_total",
+			"Interaction updates received.", nil),
+		Conversions: reg.Counter("adaudit_collector_conversions_total",
+			"Conversion-pixel records committed.", nil),
+	}
+	if reg != nil {
+		c.tel = collectorTelemetry{
+			enabled: true,
+			rejects: reg.CounterVec("adaudit_collector_rejects_total",
+				"Rejects by failure class.", "class"),
+			sessionsActive: reg.Gauge("adaudit_collector_sessions_active",
+				"Beacon sessions currently open.", nil),
+			sessionsClosed: reg.CounterVec("adaudit_collector_sessions_closed_total",
+				"Beacon sessions ended, by close reason.", "reason"),
+			droppedShutdown: reg.Counter("adaudit_collector_sessions_dropped_shutdown_total",
+				"Sessions still open when the shutdown grace period expired.", nil),
+			pingFailures: reg.Counter("adaudit_collector_keepalive_failures_total",
+				"Keepalive pings that could not be written.", nil),
+			exposure: reg.Histogram("adaudit_collector_exposure_seconds",
+				"Measured ad-exposure durations (connection lifetimes).",
+				telemetry.ExposureBuckets(), nil),
+			upgrade: reg.Histogram("adaudit_collector_upgrade_seconds",
+				"HTTP → WebSocket upgrade latency.",
+				telemetry.LatencyBuckets(), nil),
+			decode: reg.Histogram("adaudit_collector_decode_seconds",
+				"Beacon payload decode latency.",
+				telemetry.LatencyBuckets(), nil),
+			enrich: reg.Histogram("adaudit_collector_enrich_seconds",
+				"IP metadata enrichment latency (LPM lookup, fraud cascade, pseudonymisation).",
+				telemetry.LatencyBuckets(), nil),
+		}
+		cfg.Store.Instrument(reg)
+	}
+	return c, nil
+}
+
+// Telemetry returns the collector's metrics registry (nil when built
+// with DisableTelemetry).
+func (c *Collector) Telemetry() *telemetry.Registry { return c.reg }
+
+// LastIngest returns the commit time of the most recent record, or the
+// zero time if nothing has been ingested yet.
+func (c *Collector) LastIngest() time.Time {
+	n := c.lastIngest.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// SessionCount returns the number of live beacon sessions.
+func (c *Collector) SessionCount() int {
+	c.sessMu.Lock()
+	defer c.sessMu.Unlock()
+	return len(c.sessConns)
+}
+
+// reject records one reject of the given class on both the legacy
+// aggregate counter and the per-class series.
+func (c *Collector) reject(class string) {
+	c.Metrics.Rejected.Add(1)
+	c.tel.rejects.With(class).Inc()
 }
 
 // Observation is one impression as seen at the network edge, before
@@ -141,7 +316,7 @@ type Observation struct {
 func (c *Collector) Ingest(obs Observation) (int64, error) {
 	pub, err := obs.Payload.Publisher()
 	if err != nil {
-		c.Metrics.Rejected.Add(1)
+		c.reject(RejectPayload)
 		return 0, fmt.Errorf("collector: extracting publisher: %w", err)
 	}
 	if obs.Exposure < 0 {
@@ -151,6 +326,11 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 		obs.Exposure = c.cfg.MaxExposure
 	}
 
+	var enrichStart time.Time
+	sampled := c.tel.enabled && c.sampleTick.Add(1)&(sampleInterval-1) == 1
+	if sampled {
+		enrichStart = time.Now()
+	}
 	var isp, country string
 	if c.cfg.IPDB != nil {
 		if rec, ok := c.cfg.IPDB.Lookup(obs.RemoteIP); ok {
@@ -162,6 +342,9 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 		verdict = c.cfg.Classifier.Classify(obs.RemoteIP)
 	}
 	pseud := c.cfg.Anonymizer.Pseudonym(obs.RemoteIP)
+	if sampled {
+		c.tel.enrich.ObserveDuration(time.Since(enrichStart))
+	}
 
 	moves, clicks := 0, 0
 	visMeasured := false
@@ -201,10 +384,17 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 	}
 	id, err := c.cfg.Store.Insert(im)
 	if err != nil {
-		c.Metrics.Rejected.Add(1)
+		c.reject(RejectInsert)
 		return 0, fmt.Errorf("collector: storing impression: %w", err)
 	}
 	c.Metrics.Ingested.Add(1)
+	if sampled {
+		// Reusing enrichStart keeps the unsampled path free of clock
+		// reads; the server's health probe covers the gap between
+		// samples by watching the ingest counters change (see
+		// Server.lastIngestAge).
+		c.lastIngest.Store(enrichStart.UnixNano())
+	}
 	return id, nil
 }
 
@@ -214,13 +404,83 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 // lifetime measures exposure. The impression is committed when the
 // connection ends (or the exposure cap fires).
 func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var upgradeStart time.Time
+	if c.tel.enabled {
+		upgradeStart = time.Now()
+	}
 	conn, err := c.upgrader.Upgrade(w, r)
 	if err != nil {
+		c.tel.rejects.With(RejectUpgrade).Inc()
 		c.cfg.Logger.Debug("collector: handshake rejected", "err", err, "remote", r.RemoteAddr)
 		return
 	}
+	if c.tel.enabled {
+		c.tel.upgrade.ObserveDuration(time.Since(upgradeStart))
+	}
 	c.Metrics.Connections.Add(1)
-	go c.runSession(conn)
+	if c.draining.Load() {
+		// The listener is gone; an upgrade that raced shutdown gets a
+		// clean going-away close instead of a half-tracked session.
+		_ = conn.Close(wsproto.CloseGoingAway, "collector shutting down")
+		return
+	}
+	c.trackSession(conn)
+	go func() {
+		defer c.untrackSession(conn)
+		c.runSession(conn)
+	}()
+}
+
+func (c *Collector) trackSession(conn *wsproto.Conn) {
+	c.sessWG.Add(1)
+	c.sessMu.Lock()
+	c.sessConns[conn] = struct{}{}
+	c.sessMu.Unlock()
+	c.tel.sessionsActive.Add(1)
+}
+
+func (c *Collector) untrackSession(conn *wsproto.Conn) {
+	c.sessMu.Lock()
+	delete(c.sessConns, conn)
+	c.sessMu.Unlock()
+	c.tel.sessionsActive.Add(-1)
+	c.sessWG.Done()
+}
+
+// Drain asks every live session to commit now — each connection's read
+// deadline is forced to the past, which makes its session loop fall
+// through to the normal commit path — and waits up to grace for them to
+// finish. It returns the number of sessions still running when the
+// grace period expired (also recorded on
+// adaudit_collector_sessions_dropped_shutdown_total); those
+// impressions die with the process, the paper's §3.1 loss model.
+func (c *Collector) Drain(grace time.Duration) int {
+	c.draining.Store(true)
+	c.sessMu.Lock()
+	for conn := range c.sessConns {
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	c.sessMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		c.sessWG.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(grace)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return 0
+	case <-timer.C:
+		dropped := c.SessionCount()
+		if dropped > 0 {
+			c.tel.droppedShutdown.Add(int64(dropped))
+			c.cfg.Logger.Warn("collector: shutdown grace expired with sessions still open",
+				"dropped", dropped, "grace", grace)
+		}
+		return dropped
+	}
 }
 
 func (c *Collector) runSession(conn *wsproto.Conn) {
@@ -228,7 +488,7 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 
 	remote, err := remoteAddr(conn.RemoteAddr())
 	if err != nil {
-		c.Metrics.Rejected.Add(1)
+		c.reject(RejectPeerAddr)
 		c.cfg.Logger.Warn("collector: unresolvable peer address", "err", err)
 		return
 	}
@@ -238,12 +498,19 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 	_ = conn.SetReadDeadline(connectedAt.Add(c.cfg.HandshakeTimeout))
 	op, msg, err := conn.ReadMessage()
 	if err != nil || op != wsproto.OpText {
-		c.Metrics.Rejected.Add(1)
+		c.reject(RejectHandshake)
 		return
 	}
+	var decodeStart time.Time
+	if c.tel.enabled {
+		decodeStart = time.Now()
+	}
 	payload, err := beacon.Decode(string(msg))
+	if c.tel.enabled {
+		c.tel.decode.ObserveDuration(time.Since(decodeStart))
+	}
 	if err != nil {
-		c.Metrics.Rejected.Add(1)
+		c.reject(RejectDecode)
 		c.cfg.Logger.Debug("collector: bad payload", "err", err, "remote", remote)
 		_ = conn.Close(wsproto.ClosePolicyViolation, "bad payload")
 		return
@@ -255,6 +522,11 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 	// socket until the exposure cap.
 	hardStop := connectedAt.Add(c.cfg.MaxExposure)
 	renewDeadline := func() {
+		if c.draining.Load() {
+			// Drain forced the deadline to the past; a racing pong must
+			// not push it back out.
+			return
+		}
 		d := hardStop
 		if ka := c.cfg.KeepAliveInterval; ka > 0 {
 			if soft := time.Now().Add(2 * ka); soft.Before(d) {
@@ -277,15 +549,18 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 					return
 				case <-t.C:
 					if err := conn.Ping(nil); err != nil {
+						c.tel.pingFailures.Inc()
 						return
 					}
 				}
 			}
 		}()
 	}
+	closeReason := CloseError
 	for {
 		_, msg, err := conn.ReadMessage()
 		if err != nil {
+			closeReason = c.classifyClose(err, hardStop)
 			break
 		}
 		renewDeadline()
@@ -299,8 +574,10 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 			payload.Events = append(payload.Events, e)
 		}
 	}
+	c.tel.sessionsClosed.With(closeReason).Inc()
 
 	exposure := time.Since(connectedAt)
+	c.tel.exposure.ObserveDuration(exposure)
 	if _, err := c.Ingest(Observation{
 		Payload:     payload,
 		RemoteIP:    remote,
@@ -309,6 +586,30 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 	}); err != nil {
 		c.cfg.Logger.Warn("collector: ingest failed", "err", err, "remote", remote)
 	}
+}
+
+// classifyClose maps a session-ending read error onto a close-reason
+// label.
+func (c *Collector) classifyClose(err error, hardStop time.Time) string {
+	var ce *wsproto.CloseError
+	if errors.As(err, &ce) {
+		return ClosePeer
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		switch {
+		case c.draining.Load():
+			return CloseDrain
+		case !time.Now().Before(hardStop):
+			return CloseExposureCap
+		default:
+			return CloseKeepAlive
+		}
+	}
+	if c.draining.Load() {
+		return CloseDrain
+	}
+	return CloseError
 }
 
 func remoteAddr(a net.Addr) (netip.Addr, error) {

@@ -26,7 +26,7 @@ type ConversionObservation struct {
 // IngestConversion enriches obs and commits it to the store.
 func (c *Collector) IngestConversion(obs ConversionObservation) (int64, error) {
 	if err := obs.Conversion.Validate(); err != nil {
-		c.Metrics.Rejected.Add(1)
+		c.reject(RejectConvValidate)
 		return 0, err
 	}
 	pseud := c.cfg.Anonymizer.Pseudonym(obs.RemoteIP)
@@ -38,10 +38,13 @@ func (c *Collector) IngestConversion(obs ConversionObservation) (int64, error) {
 		Timestamp:  obs.At,
 	})
 	if err != nil {
-		c.Metrics.Rejected.Add(1)
+		c.reject(RejectConvInsert)
 		return 0, fmt.Errorf("collector: storing conversion: %w", err)
 	}
 	c.Metrics.Conversions.Add(1)
+	if c.tel.enabled {
+		c.lastIngest.Store(time.Now().UnixNano())
+	}
 	return id, nil
 }
 
@@ -71,14 +74,14 @@ func (c *Collector) ServeConversionPixel(w http.ResponseWriter, r *http.Request)
 	}
 	conv, err := beacon.DecodeConversion(r.URL.RawQuery)
 	if err != nil {
-		c.Metrics.Rejected.Add(1)
+		c.reject(RejectConvDecode)
 		c.cfg.Logger.Debug("collector: bad conversion pixel", "err", err, "remote", r.RemoteAddr)
 		serve()
 		return
 	}
 	ap, err := netip.ParseAddrPort(r.RemoteAddr)
 	if err != nil {
-		c.Metrics.Rejected.Add(1)
+		c.reject(RejectConvPeerAddr)
 		serve()
 		return
 	}

@@ -2,38 +2,125 @@ package collector
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 )
 
+// serverOptions collects the tunables NewServer accepts as options, so
+// existing NewServer(c, addr) call sites keep working unchanged.
+type serverOptions struct {
+	shutdownGrace time.Duration
+	maxIngestAge  time.Duration
+	checks        map[string]func() error
+}
+
+// ServerOption customises a Server.
+type ServerOption func(*serverOptions)
+
+// WithShutdownGrace bounds how long Serve waits for in-flight beacon
+// sessions to commit their impressions on shutdown (default 5 s).
+func WithShutdownGrace(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.shutdownGrace = d }
+}
+
+// WithMaxIngestAge makes /healthz report unhealthy (503) when no record
+// has been committed for longer than d. Zero (the default) disables the
+// check — correct for a collector that legitimately idles.
+func WithMaxIngestAge(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.maxIngestAge = d }
+}
+
+// WithHealthCheck adds a named check to /healthz; a non-nil error marks
+// the server unhealthy and the message appears in the response. Used
+// e.g. by cmd/auditd to verify the snapshot directory stays writable.
+func WithHealthCheck(name string, fn func() error) ServerOption {
+	return func(o *serverOptions) {
+		if o.checks == nil {
+			o.checks = map[string]func() error{}
+		}
+		o.checks[name] = fn
+	}
+}
+
 // Server runs a Collector behind an HTTP listener with an operational
-// sidecar: the beacon endpoint, a health endpoint and a metrics
-// endpoint. It owns listener lifecycle and graceful shutdown, so
-// cmd/auditd and the examples share one hardened serving path.
+// sidecar: the beacon endpoint, the advertiser query API, and the
+// telemetry surface — GET /metrics (Prometheus text), GET /api/metrics
+// (JSON), GET /healthz (uptime, last-ingest age, custom checks). It
+// owns listener lifecycle and graceful shutdown — in-flight beacon
+// sessions are drained (bounded by the shutdown grace) so their
+// impressions commit instead of dying with the process — so cmd/auditd
+// and the examples share one hardened serving path.
 type Server struct {
 	collector *Collector
 	httpSrv   *http.Server
 	ln        net.Listener
+	opts      serverOptions
+	start     time.Time
+
+	// Ingest-age probe: the collector timestamps only sampled ingests
+	// (its hot path avoids clock reads), so between samples the server
+	// detects activity by watching the ingest counters move between
+	// health/metrics reads.
+	probeMu         sync.Mutex
+	probeCount      int64
+	probeLastChange time.Time
+}
+
+// HealthStatus is the /healthz response body.
+type HealthStatus struct {
+	Status string `json:"status"` // "ok" or "unhealthy"
+	// UptimeSeconds is time since the server started.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// LastIngestAgeSeconds is time since the last committed record;
+	// counted from server start while nothing has been ingested yet.
+	// -1 when the collector runs without telemetry.
+	LastIngestAgeSeconds float64 `json:"last_ingest_age_seconds"`
+	// StoreRecords is the impression count, proving the store readable.
+	StoreRecords int `json:"store_records"`
+	// SessionsActive is the number of live beacon sessions.
+	SessionsActive int `json:"sessions_active"`
+	// Checks maps check name to "ok" or the failure message.
+	Checks map[string]string `json:"checks,omitempty"`
 }
 
 // NewServer wraps c in a Server listening on addr (host:port; port 0
 // picks a free port).
-func NewServer(c *Collector, addr string) (*Server, error) {
+func NewServer(c *Collector, addr string, opts ...ServerOption) (*Server, error) {
+	o := serverOptions{shutdownGrace: 5 * time.Second}
+	for _, opt := range opts {
+		opt(&o)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("collector: listening on %s: %w", addr, err)
+	}
+	s := &Server{
+		collector: c,
+		ln:        ln,
+		opts:      o,
+		start:     time.Now(),
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/beacon", c)
 	mux.HandleFunc("/conv", c.ServeConversionPixel)
 	(&queryAPI{st: c.cfg.Store}).register(mux)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.serveHealthz)
+	if reg := c.Telemetry(); reg != nil {
+		reg.GaugeFunc("adaudit_collector_uptime_seconds",
+			"Time since the collector server started.", nil,
+			func() float64 { return time.Since(s.start).Seconds() })
+		reg.GaugeFunc("adaudit_collector_last_ingest_age_seconds",
+			"Time since the last committed record (since start while idle).", nil,
+			func() float64 { return s.lastIngestAge().Seconds() })
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/api/metrics", reg.JSONHandler())
+	}
+	// Legacy plain-counter view, kept for existing scrapers/scripts.
 	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "connections %d\n", c.Metrics.Connections.Load())
@@ -42,14 +129,76 @@ func NewServer(c *Collector, addr string) (*Server, error) {
 		fmt.Fprintf(w, "events %d\n", c.Metrics.Events.Load())
 		fmt.Fprintf(w, "conversions %d\n", c.Metrics.Conversions.Load())
 	})
-	return &Server{
-		collector: c,
-		httpSrv: &http.Server{
-			Handler:           mux,
-			ReadHeaderTimeout: 10 * time.Second,
-		},
-		ln: ln,
-	}, nil
+	s.httpSrv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s, nil
+}
+
+// lastIngestAge measures idle time: since the last committed record, or
+// since server start while nothing has been ingested yet. The estimate
+// combines the collector's sampled ingest timestamps with a
+// counter-change probe, so its error is bounded by the probe-read
+// interval (the health/metrics scrape cadence), not the sampling rate.
+func (s *Server) lastIngestAge() time.Duration {
+	now := time.Now()
+	s.probeMu.Lock()
+	count := s.collector.Metrics.Ingested.Load() + s.collector.Metrics.Conversions.Load()
+	if count != s.probeCount {
+		s.probeCount = count
+		s.probeLastChange = now
+	}
+	probed := s.probeLastChange
+	s.probeMu.Unlock()
+	last := s.collector.LastIngest()
+	if probed.After(last) {
+		last = probed
+	}
+	if last.IsZero() {
+		last = s.start
+	}
+	return now.Sub(last)
+}
+
+func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	st := HealthStatus{
+		Status:         "ok",
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		StoreRecords:   s.collector.cfg.Store.Len(),
+		SessionsActive: s.collector.SessionCount(),
+	}
+	if s.collector.Telemetry() != nil {
+		age := s.lastIngestAge()
+		st.LastIngestAgeSeconds = age.Seconds()
+		if s.opts.maxIngestAge > 0 && age > s.opts.maxIngestAge {
+			st.Status = "unhealthy"
+		}
+	} else {
+		st.LastIngestAgeSeconds = -1
+	}
+	for name, fn := range s.opts.checks {
+		if st.Checks == nil {
+			st.Checks = map[string]string{}
+		}
+		if err := fn(); err != nil {
+			st.Checks[name] = err.Error()
+			st.Status = "unhealthy"
+		} else {
+			st.Checks[name] = "ok"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if st.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(st)
 }
 
 // Addr returns the bound listen address.
@@ -60,10 +209,11 @@ func (s *Server) BeaconURL() string {
 	return fmt.Sprintf("ws://%s/beacon", s.ln.Addr().String())
 }
 
-// Serve blocks serving requests until ctx is cancelled, then shuts the
-// listener down gracefully (in-flight WebSocket sessions are summarily
-// closed: their sockets die with the process, exactly like a real
-// collector restart — the paper's §3.1 loss model).
+// Serve blocks serving requests until ctx is cancelled, then shuts down
+// gracefully: the listener closes, in-flight beacon sessions are asked
+// to commit and drained for up to the shutdown grace (sessions still
+// open after that are counted as dropped — the paper's §3.1 loss
+// model), and only then does the process-side teardown finish.
 func (s *Server) Serve(ctx context.Context) error {
 	errCh := make(chan error, 1)
 	go func() {
@@ -74,6 +224,7 @@ func (s *Server) Serve(ctx context.Context) error {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = s.httpSrv.Shutdown(shutdownCtx)
+		s.collector.Drain(s.opts.shutdownGrace)
 		_ = s.httpSrv.Close()
 		<-errCh
 		return nil

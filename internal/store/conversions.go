@@ -67,6 +67,7 @@ func (l *conversionLog) init() {
 // InsertConversion validates c, assigns it the next ID and appends it.
 func (s *Store) InsertConversion(c Conversion) (int64, error) {
 	if err := c.Validate(); err != nil {
+		s.tel.convFailures.Inc()
 		return 0, err
 	}
 	l := &s.conversions
@@ -78,6 +79,7 @@ func (s *Store) InsertConversion(c Conversion) (int64, error) {
 	l.recs = append(l.recs, c)
 	l.byCampaign[c.CampaignID] = append(l.byCampaign[c.CampaignID], idx)
 	l.byUser[c.UserKey] = append(l.byUser[c.UserKey], idx)
+	s.tel.convInserts.Inc()
 	return c.ID, nil
 }
 

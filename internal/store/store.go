@@ -90,6 +90,8 @@ type Store struct {
 	byUser      map[string][]int
 
 	conversions conversionLog
+
+	tel storeTelemetry
 }
 
 // New returns an empty store.
@@ -104,17 +106,23 @@ func New() *Store {
 // Insert validates im, assigns it the next ID and appends it. The
 // returned ID is 1-based.
 func (s *Store) Insert(im Impression) (int64, error) {
+	var start time.Time
+	if s.tel.sampleTiming() {
+		start = time.Now()
+	}
 	if err := im.Validate(); err != nil {
+		s.tel.insertFailures.Inc()
 		return 0, err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	idx := len(s.recs)
 	im.ID = int64(idx + 1)
 	s.recs = append(s.recs, im)
 	s.byCampaign[im.CampaignID] = append(s.byCampaign[im.CampaignID], idx)
 	s.byPublisher[im.Publisher] = append(s.byPublisher[im.Publisher], idx)
 	s.byUser[im.UserKey] = append(s.byUser[im.UserKey], idx)
+	s.mu.Unlock()
+	s.observeInsert(start)
 	return im.ID, nil
 }
 

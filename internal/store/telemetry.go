@@ -1,0 +1,103 @@
+package store
+
+import (
+	"sync/atomic"
+	"time"
+
+	"adaudit/internal/telemetry"
+)
+
+// storeTelemetry holds the store's instruments. The zero value is a
+// fully disabled set: the enabled flag gates the clock reads so an
+// uninstrumented store pays nothing on the insert hot path.
+//
+// Insert-latency timing is sampled (1 in sampleInterval inserts, the
+// first always included) because two clock reads per insert would cost
+// more than the insert itself at paper scale; the insert counters stay
+// exact. tick picks the samples.
+type storeTelemetry struct {
+	enabled        bool
+	tick           atomic.Uint64
+	insertLatency  *telemetry.Histogram
+	inserts        *telemetry.Counter
+	insertFailures *telemetry.Counter
+	convInserts    *telemetry.Counter
+	convFailures   *telemetry.Counter
+}
+
+// sampleInterval is the stage-timing sampling rate (power of two; the
+// collector's stage histograms use the same value).
+const sampleInterval = 8
+
+// sampleTiming reports whether this insert's latency should be
+// measured: ticks 1, 1+sampleInterval, ... are sampled, so the first
+// insert always produces a latency observation.
+func (t *storeTelemetry) sampleTiming() bool {
+	return t.enabled && t.tick.Add(1)&(sampleInterval-1) == 1
+}
+
+// Instrument registers the store's instruments on reg: insert latency,
+// insert/failure counters, and gauges for record and index-key counts
+// (computed at scrape time, so growth is visible without polling the
+// store from outside). Safe to call once per store; a nil registry
+// leaves the store uninstrumented.
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.tel = storeTelemetry{
+		enabled: true,
+		insertLatency: reg.Histogram("adaudit_store_insert_seconds",
+			"Impression insert latency (validate, lock, append, index).",
+			telemetry.LatencyBuckets(), nil),
+		inserts: reg.Counter("adaudit_store_inserts_total",
+			"Impressions appended to the store.", nil),
+		insertFailures: reg.Counter("adaudit_store_insert_failures_total",
+			"Impression inserts rejected by validation.", nil),
+		convInserts: reg.Counter("adaudit_store_conversion_inserts_total",
+			"Conversions appended to the store.", nil),
+		convFailures: reg.Counter("adaudit_store_conversion_insert_failures_total",
+			"Conversion inserts rejected by validation.", nil),
+	}
+	reg.GaugeFunc("adaudit_store_records",
+		"Impression records held.", nil,
+		func() float64 { return float64(s.Len()) })
+	reg.GaugeFunc("adaudit_store_conversions",
+		"Conversion records held.", nil,
+		func() float64 { return float64(s.NumConversions()) })
+	for _, idx := range []string{"campaign", "publisher", "user"} {
+		idx := idx
+		reg.GaugeFunc("adaudit_store_index_keys",
+			"Distinct keys per secondary index.",
+			map[string]string{"index": idx},
+			func() float64 {
+				c, p, u := s.indexKeys()
+				switch idx {
+				case "campaign":
+					return float64(c)
+				case "publisher":
+					return float64(p)
+				default:
+					return float64(u)
+				}
+			})
+	}
+}
+
+func (s *Store) indexKeys() (campaigns, publishers, users int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byCampaign), len(s.byPublisher), len(s.byUser)
+}
+
+// observeInsert records one successful insert; start is the zero time
+// on unsampled (or untimed) inserts, where only the counter moves.
+func (s *Store) observeInsert(start time.Time) {
+	if !s.tel.enabled {
+		return
+	}
+	if !start.IsZero() {
+		s.tel.insertLatency.ObserveDuration(time.Since(start))
+	}
+	s.tel.inserts.Inc()
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in the Prometheus
+// text exposition format (version 0.0.4): one HELP/TYPE header per
+// family, histogram series expanded into cumulative _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snaps := r.Snapshot()
+	// Group by family name, preserving first-registration order.
+	order := []string{}
+	families := map[string][]SeriesSnapshot{}
+	for _, s := range snaps {
+		if _, ok := families[s.Name]; !ok {
+			order = append(order, s.Name)
+		}
+		families[s.Name] = append(families[s.Name], s)
+	}
+	for _, name := range order {
+		fam := families[name]
+		if fam[0].Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(fam[0].Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, fam[0].Kind); err != nil {
+			return err
+		}
+		for _, s := range fam {
+			if err := writePromSeries(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromSeries(w io.Writer, s SeriesSnapshot) error {
+	if s.Hist == nil {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, promLabels(s.Labels, "", ""), formatValue(s.Value))
+		return err
+	}
+	cum := uint64(0)
+	for i, c := range s.Hist.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Hist.Bounds) {
+			le = formatValue(s.Hist.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, promLabels(s.Labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, promLabels(s.Labels, "", ""), formatValue(s.Hist.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels, "", ""), s.Hist.Count)
+	return err
+}
+
+// promLabels renders a label set, optionally appending one extra pair
+// (the histogram le label). Returns "" for an empty set.
+func promLabels(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// WriteJSON renders the expvar-style JSON view: an object keyed by
+// canonical series identity. Histogram entries carry count, sum, mean
+// and the p50/p90/p99 estimates alongside the raw buckets, so a
+// dashboard can plot latency without re-deriving quantiles.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	type histJSON struct {
+		Count  uint64    `json:"count"`
+		Sum    float64   `json:"sum"`
+		Mean   float64   `json:"mean"`
+		P50    float64   `json:"p50"`
+		P90    float64   `json:"p90"`
+		P99    float64   `json:"p99"`
+		Bounds []float64 `json:"bounds"`
+		Counts []uint64  `json:"counts"`
+	}
+	out := map[string]any{}
+	for _, s := range r.Snapshot() {
+		if s.Hist != nil {
+			out[s.Key()] = histJSON{
+				Count:  s.Hist.Count,
+				Sum:    s.Hist.Sum,
+				Mean:   s.Hist.Mean(),
+				P50:    s.Hist.Quantile(0.50),
+				P90:    s.Hist.Quantile(0.90),
+				P99:    s.Hist.Quantile(0.99),
+				Bounds: s.Hist.Bounds,
+				Counts: s.Hist.Counts,
+			}
+			continue
+		}
+		out[s.Key()] = s.Value
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Handler serves the Prometheus text format (GET only).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the JSON view (GET only).
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}

@@ -1,0 +1,488 @@
+// Package telemetry is the system's observability substrate: a
+// dependency-free metrics registry with counters, gauges and
+// fixed-bucket histograms, designed so the ingest hot path pays only
+// atomic adds — no locks, no allocations — while exposition (Prometheus
+// text format, expvar-style JSON) walks a consistent snapshot.
+//
+// The paper's methodology (§3) depends on the collector faithfully
+// measuring timestamps and exposure under load; this package is how the
+// measurement apparatus itself is measured. Instruments are registered
+// once (registration takes a lock and may allocate) and then updated
+// from any goroutine. All instrument methods are nil-receiver-safe so
+// uninstrumented components can share the same code path at zero cost.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates instrument types in snapshots and exposition.
+type Kind string
+
+const (
+	KindCounter Kind = "counter"
+	KindGauge   Kind = "gauge"
+	KindHist    Kind = "histogram"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (d < 0 is ignored: counters only go
+// up). Nil-safe.
+func (c *Counter) Add(d int64) {
+	if c == nil || d < 0 {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value. Nil-safe (returns 0).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value. Nil-safe.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by d (negative allowed). Nil-safe.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Load returns the current value. Nil-safe (returns 0).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets. Values are seconds
+// (the Prometheus base-unit convention); the sum is tracked at
+// nanosecond resolution so the hot path is a pair of atomic adds rather
+// than a compare-and-swap loop on float bits.
+type Histogram struct {
+	// bounds are the inclusive upper bounds of each bucket, strictly
+	// increasing; an implicit +Inf bucket follows.
+	bounds []float64
+	// nanoBounds mirror bounds in integer nanoseconds for the duration
+	// fast path.
+	nanoBounds []int64
+	counts     []atomic.Uint64 // len(bounds)+1
+	sumNanos   atomic.Int64
+}
+
+func newHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("telemetry: histogram bounds not strictly increasing at %d (%g <= %g)", i, bounds[i], bounds[i-1])
+		}
+	}
+	h := &Histogram{
+		bounds:     append([]float64(nil), bounds...),
+		nanoBounds: make([]int64, len(bounds)),
+		counts:     make([]atomic.Uint64, len(bounds)+1),
+	}
+	for i, b := range h.bounds {
+		h.nanoBounds[i] = int64(b * 1e9)
+	}
+	return h, nil
+}
+
+// Observe records a value in seconds. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.observeNanos(int64(v * 1e9))
+}
+
+// ObserveDuration records a duration — the hot-path entry point used by
+// the ingest pipeline. Nil-safe.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	n := int64(d)
+	if n < 0 {
+		n = 0
+	}
+	h.observeNanos(n)
+}
+
+func (h *Histogram) observeNanos(n int64) {
+	// Buckets are few (tens); linear scan beats binary search on such
+	// small sorted slices and is branch-predictor friendly because most
+	// observations land in the low buckets.
+	i := 0
+	for i < len(h.nanoBounds) && n > h.nanoBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNanos.Add(n)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds in seconds (exclusive of the
+	// implicit +Inf bucket).
+	Bounds []float64 `json:"bounds"`
+	// Counts are per-bucket (non-cumulative) observation counts;
+	// Counts[len(Bounds)] is the +Inf bucket.
+	Counts []uint64 `json:"counts"`
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+	// Sum is the sum of observed values in seconds.
+	Sum float64 `json:"sum"`
+}
+
+// Snapshot copies the histogram state. Nil-safe (returns zero snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = float64(h.sumNanos.Load()) / 1e9
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in seconds by linear
+// interpolation within the bucket holding the target rank. Returns 0
+// when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := lo
+			if i < len(s.Bounds) {
+				hi = s.Bounds[i]
+			}
+			if c == 0 || hi == lo {
+				return hi
+			}
+			frac := (rank - float64(prev)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns the average observed value in seconds (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// LatencyBuckets are the default bounds for operation latencies,
+// spanning 1 µs to 2.5 s in a 1-2.5-5 progression — store inserts sit
+// in the microseconds, full WebSocket sessions in the milliseconds.
+func LatencyBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5,
+	}
+}
+
+// ExposureBuckets are bounds for ad-exposure durations: the paper's
+// viewability threshold is 1 s and the session horizon 30 minutes.
+func ExposureBuckets() []float64 {
+	return []float64{0.1, 0.25, 0.5, 1, 2, 5, 10, 30, 60, 120, 300, 600, 1800}
+}
+
+// series is one registered instrument plus its identity.
+type series struct {
+	name   string
+	help   string
+	kind   Kind
+	labels map[string]string
+	key    string
+
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// Registry holds registered instruments. Registration is mutexed;
+// instrument updates never touch the registry again.
+type Registry struct {
+	mu      sync.Mutex
+	series  map[string]*series
+	ordered []*series
+	// kinds pins each family name to one kind and help string.
+	kinds map[string]Kind
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		series: map[string]*series{},
+		kinds:  map[string]Kind{},
+	}
+}
+
+// seriesKey builds the canonical identity "name{k1=v1,k2=v2}".
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("telemetry: empty metric name")
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("telemetry: invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+// register returns the existing series for key or inserts s. It panics
+// on a kind conflict for the same family name: that is a programming
+// error, not a runtime condition.
+func (r *Registry) register(name, help string, kind Kind, labels map[string]string, build func() *series) *series {
+	if err := validName(name); err != nil {
+		panic(err)
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.series[key]; ok {
+		if existing.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)", key, kind, existing.kind))
+		}
+		return existing
+	}
+	if k, ok := r.kinds[name]; ok && k != kind {
+		panic(fmt.Sprintf("telemetry: family %s re-registered as %s (was %s)", name, kind, k))
+	}
+	s := build()
+	s.name, s.help, s.kind, s.key = name, help, kind, key
+	if len(labels) > 0 {
+		s.labels = make(map[string]string, len(labels))
+		for k, v := range labels {
+			s.labels[k] = v
+		}
+	}
+	r.series[key] = s
+	r.ordered = append(r.ordered, s)
+	r.kinds[name] = kind
+	return s
+}
+
+// Counter registers (or finds) a counter series. labels may be nil.
+// Nil-registry-safe: returns an unregistered but functional counter.
+func (r *Registry) Counter(name, help string, labels map[string]string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	return r.register(name, help, KindCounter, labels, func() *series {
+		return &series{counter: &Counter{}}
+	}).counter
+}
+
+// Gauge registers (or finds) a gauge series. Nil-registry-safe.
+func (r *Registry) Gauge(name, help string, labels map[string]string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	return r.register(name, help, KindGauge, labels, func() *series {
+		return &series{gauge: &Gauge{}}
+	}).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// exposition time — for values already maintained elsewhere (store
+// record counts, uptime). fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, labels map[string]string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, KindGauge, labels, func() *series {
+		return &series{gaugeFn: fn}
+	})
+}
+
+// Histogram registers (or finds) a histogram with the given bucket
+// upper bounds (seconds, strictly increasing; +Inf is implicit).
+// Nil-registry-safe: returns an unregistered but functional histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels map[string]string) *Histogram {
+	h, err := newHistogram(bounds)
+	if err != nil {
+		panic(err)
+	}
+	if r == nil {
+		return h
+	}
+	return r.register(name, help, KindHist, labels, func() *series {
+		return &series{hist: h}
+	}).hist
+}
+
+// CounterVec is a family of counters distinguished by one label whose
+// values appear at runtime (reject class, close reason). With is a
+// lock-free sync.Map hit after first use of a value.
+type CounterVec struct {
+	reg   *Registry
+	name  string
+	help  string
+	label string
+	m     sync.Map // label value -> *Counter
+}
+
+// CounterVec registers a labelled counter family. Nil-registry-safe.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{reg: r, name: name, help: help, label: label}
+}
+
+// With returns the counter for one label value, creating and
+// registering it on first use. Nil-safe.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	if c, ok := v.m.Load(value); ok {
+		return c.(*Counter)
+	}
+	c := v.reg.Counter(v.name, v.help, map[string]string{v.label: value})
+	actual, _ := v.m.LoadOrStore(value, c)
+	return actual.(*Counter)
+}
+
+// SeriesSnapshot is one series at a point in time.
+type SeriesSnapshot struct {
+	Name   string            `json:"name"`
+	Kind   Kind              `json:"kind"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value holds counter and gauge readings.
+	Value float64 `json:"value"`
+	// Hist is set for histograms.
+	Hist *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Key returns the canonical series identity.
+func (s SeriesSnapshot) Key() string { return seriesKey(s.Name, s.Labels) }
+
+// Snapshot reads every series in registration order. Nil-safe.
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ordered := append([]*series(nil), r.ordered...)
+	r.mu.Unlock()
+	out := make([]SeriesSnapshot, 0, len(ordered))
+	for _, s := range ordered {
+		ss := SeriesSnapshot{Name: s.name, Kind: s.kind, Help: s.help, Labels: s.labels}
+		switch {
+		case s.counter != nil:
+			ss.Value = float64(s.counter.Load())
+		case s.gauge != nil:
+			ss.Value = float64(s.gauge.Load())
+		case s.gaugeFn != nil:
+			ss.Value = s.gaugeFn()
+		case s.hist != nil:
+			h := s.hist.Snapshot()
+			ss.Hist = &h
+			ss.Value = h.Sum
+		}
+		if math.IsNaN(ss.Value) || math.IsInf(ss.Value, 0) {
+			ss.Value = 0
+		}
+		out = append(out, ss)
+	}
+	return out
+}
+
+// Find returns the snapshot of one series by name and exact labels
+// (nil labels match the unlabelled series), or false.
+func (r *Registry) Find(name string, labels map[string]string) (SeriesSnapshot, bool) {
+	key := seriesKey(name, labels)
+	for _, s := range r.Snapshot() {
+		if s.Key() == key {
+			return s, true
+		}
+	}
+	return SeriesSnapshot{}, false
+}

@@ -1,0 +1,267 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterAndGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("adaudit_test_total", "a counter", nil)
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // counters never decrease
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := reg.Gauge("adaudit_test_active", "a gauge", nil)
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	// Re-registration returns the same instrument.
+	if reg.Counter("adaudit_test_total", "a counter", nil) != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var v *CounterVec
+	c.Add(1)
+	c.Inc()
+	g.Set(2)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	v.With("x").Inc()
+	if c.Load() != 0 || g.Load() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil instruments reported values")
+	}
+	var reg *Registry
+	reg.Counter("adaudit_x_total", "", nil).Inc() // must not panic
+	if reg.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+}
+
+func TestCounterVecLabelsSeries(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.CounterVec("adaudit_rejects_total", "rejects by class", "class")
+	vec.With("decode").Add(2)
+	vec.With("insert").Inc()
+	vec.With("decode").Inc()
+	s, ok := reg.Find("adaudit_rejects_total", map[string]string{"class": "decode"})
+	if !ok || s.Value != 3 {
+		t.Fatalf("decode series = %+v ok=%v, want 3", s, ok)
+	}
+	s, ok = reg.Find("adaudit_rejects_total", map[string]string{"class": "insert"})
+	if !ok || s.Value != 1 {
+		t.Fatalf("insert series = %+v ok=%v, want 1", s, ok)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("adaudit_test_seconds", "latency", []float64{0.01, 0.1, 1}, nil)
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // third bucket
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if p50 := s.Quantile(0.5); p50 <= 0 || p50 > 0.01 {
+		t.Fatalf("p50 = %g, want within first bucket", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 <= 0.1 || p99 > 1 {
+		t.Fatalf("p99 = %g, want within (0.1, 1]", p99)
+	}
+	if mean := s.Mean(); math.Abs(mean-(90*0.005+10*0.5)/100) > 1e-6 {
+		t.Fatalf("mean = %g", mean)
+	}
+}
+
+// TestHistogramBucketsMonotone is the property test: for any batch of
+// observations, cumulative bucket counts are non-decreasing, the +Inf
+// bucket equals the total count, and the sum matches the observations.
+func TestHistogramBucketsMonotone(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		h, err := newHistogram(LatencyBuckets())
+		if err != nil {
+			return false
+		}
+		var want float64
+		for _, r := range raw {
+			// Map the random word onto (0, ~42s): exercises every
+			// bucket including +Inf.
+			v := float64(r) / 1e8
+			want += v
+			h.Observe(v)
+		}
+		s := h.Snapshot()
+		if s.Count != uint64(len(raw)) {
+			return false
+		}
+		cum := uint64(0)
+		prev := uint64(0)
+		for _, c := range s.Counts {
+			cum += c
+			if cum < prev {
+				return false
+			}
+			prev = cum
+		}
+		if cum != s.Count {
+			return false
+		}
+		// Sum tracked at nanosecond resolution: allow that much slack.
+		return math.Abs(s.Sum-want) <= 1e-9*float64(len(raw)+1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h, err := newHistogram([]float64{0.001, 0.01, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveDuration(time.Duration(g*i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+}
+
+// promLineRe matches a sample line of the text exposition format.
+var promLineRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \S+$`)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("adaudit_ingested_total", "impressions committed", nil).Add(42)
+	reg.Gauge("adaudit_sessions_active", "open sessions", nil).Set(3)
+	reg.GaugeFunc("adaudit_uptime_seconds", "uptime", nil, func() float64 { return 1.5 })
+	h := reg.Histogram("adaudit_insert_seconds", "insert latency", []float64{0.001, 0.01}, nil)
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+	vec := reg.CounterVec("adaudit_rejects_total", "rejects", "class")
+	vec.With("decode").Inc()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	helpCount := strings.Count(text, "# HELP adaudit_insert_seconds ")
+	typeCount := strings.Count(text, "# TYPE adaudit_insert_seconds ")
+	if helpCount != 1 || typeCount != 1 {
+		t.Fatalf("HELP/TYPE emitted %d/%d times:\n%s", helpCount, typeCount, text)
+	}
+	for _, want := range []string{
+		"adaudit_ingested_total 42",
+		"adaudit_sessions_active 3",
+		"adaudit_uptime_seconds 1.5",
+		`adaudit_insert_seconds_bucket{le="0.001"} 1`,
+		`adaudit_insert_seconds_bucket{le="0.01"} 2`,
+		`adaudit_insert_seconds_bucket{le="+Inf"} 3`,
+		"adaudit_insert_seconds_count 3",
+		`adaudit_rejects_total{class="decode"} 1`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Every non-comment line parses as a sample.
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLineRe.MatchString(line) {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+	}
+}
+
+func TestWriteJSONView(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("adaudit_ingested_total", "", nil).Add(7)
+	h := reg.Histogram("adaudit_insert_seconds", "", []float64{0.001, 0.01}, nil)
+	h.Observe(0.0005)
+	var b strings.Builder
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("JSON view does not parse: %v\n%s", err, b.String())
+	}
+	if _, ok := out["adaudit_ingested_total"]; !ok {
+		t.Fatalf("counter missing from JSON view: %s", b.String())
+	}
+	var hist struct {
+		Count uint64  `json:"count"`
+		P50   float64 `json:"p50"`
+	}
+	if err := json.Unmarshal(out["adaudit_insert_seconds"], &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Count != 1 {
+		t.Fatalf("histogram count = %d", hist.Count)
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("adaudit_thing_total", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	reg.Gauge("adaudit_thing_total", "", nil)
+}
+
+func TestSeriesKeyStable(t *testing.T) {
+	a := seriesKey("m", map[string]string{"b": "2", "a": "1"})
+	b := seriesKey("m", map[string]string{"a": "1", "b": "2"})
+	if a != b {
+		t.Fatalf("label order changed key: %q vs %q", a, b)
+	}
+	if a != `m{a="1",b="2"}` {
+		t.Fatalf("key = %q", a)
+	}
+}

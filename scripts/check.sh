@@ -1,0 +1,32 @@
+#!/bin/sh
+# check.sh — the repo's CI gate. Builds everything, vets everything,
+# runs the full test suite, and re-runs the concurrency-sensitive
+# packages (collector, wsproto, store, telemetry) under the race
+# detector. Usage:
+#
+#   scripts/check.sh          # vet + tests + race
+#   scripts/check.sh -bench   # also run the telemetry-overhead benchmarks
+set -eu
+cd "$(dirname "$0")/.."
+
+RACE_PKGS="./internal/collector/ ./internal/wsproto/ ./internal/store/ ./internal/telemetry/"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race $RACE_PKGS"
+go test -race $RACE_PKGS
+
+if [ "${1:-}" = "-bench" ]; then
+    echo "==> telemetry overhead: BenchmarkCollectorIngest vs Uninstrumented"
+    go test -run '^$' -bench 'BenchmarkCollectorIngest' -benchmem -count 3 \
+        ./internal/collector/
+fi
+
+echo "==> ok"

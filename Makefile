@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench clean
+.PHONY: build test check bench chaos clean
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,12 @@ check:
 # uninstrumented ingest) on top of the full check.
 bench:
 	sh scripts/check.sh -bench
+
+# chaos runs the fault-injection suite under the race detector: the
+# faultnet layer's own tests plus the end-to-end chaos campaign
+# (proxy-injected kills/resets, beacon reconnects, WAL crash recovery).
+chaos:
+	sh scripts/check.sh -chaos
 
 clean:
 	$(GO) clean ./...

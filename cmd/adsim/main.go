@@ -75,18 +75,13 @@ func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversions
 		}
 	}
 	if reportsPath != "" {
-		f, err := os.Create(reportsPath)
+		err := writeTo(reportsPath, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(run.Outcome.Reports())
+		})
 		if err != nil {
-			return err
-		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(run.Outcome.Reports()); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
+			return fmt.Errorf("writing reports: %w", err)
 		}
 	}
 	if printRep {
@@ -99,14 +94,24 @@ func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversions
 	return nil
 }
 
+// writeTo publishes an output file atomically: the content streams to a
+// sibling temp file which is renamed into place only once fully written
+// and closed, so a crashed or killed run can never leave a torn dataset
+// where a previous complete one stood.
 func writeTo(path string, write func(w io.Writer) error) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := write(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

@@ -10,7 +10,15 @@
 //	auditd [-listen 127.0.0.1:8080] [-snapshot imps.jsonl] [-secret KEY]
 //	       [-flush 30s] [-print-script CAMPAIGN:CREATIVE]
 //	       [-debug-addr 127.0.0.1:6060] [-selfreport 60s]
-//	       [-unhealthy-after 5m]
+//	       [-unhealthy-after 5m] [-wal journal.wal] [-wal-sync os]
+//
+// With -wal every acknowledged impression is journaled to a write-ahead
+// log before it enters the in-memory store: at boot the daemon loads the
+// last snapshot (if any), replays the journal over it, and resumes —
+// a crash loses nothing the collector acknowledged. Snapshots compact
+// the journal. -wal-sync picks the fsync policy: os (default; survives
+// process crashes), always (fsync per impression; survives power loss),
+// or interval (fsync on a 100ms timer).
 //
 // With -print-script the daemon prints the embeddable JavaScript tag
 // for the given campaign/creative pair and the running endpoint.
@@ -58,6 +66,8 @@ func main() {
 		debugAddr      = flag.String("debug-addr", "", "host:port for net/http/pprof (empty disables)")
 		selfReport     = flag.Duration("selfreport", 60*time.Second, "self-report log interval (0 disables)")
 		unhealthyAfter = flag.Duration("unhealthy-after", 0, "/healthz flips unhealthy when no record committed for this long (0 disables)")
+		walPath        = flag.String("wal", "", "write-ahead log path (empty disables the journal)")
+		walSync        = flag.String("wal-sync", "os", "WAL fsync policy: os, always or interval")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -71,6 +81,8 @@ func main() {
 		debugAddr:      *debugAddr,
 		selfReport:     *selfReport,
 		unhealthyAfter: *unhealthyAfter,
+		walPath:        *walPath,
+		walSync:        *walSync,
 	}
 	if err := run(ctx, opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "auditd:", err)
@@ -88,6 +100,8 @@ type daemonOptions struct {
 	debugAddr      string
 	selfReport     time.Duration
 	unhealthyAfter time.Duration
+	walPath        string
+	walSync        string
 }
 
 // run starts the collector and serves until ctx is cancelled; the final
@@ -105,7 +119,13 @@ func run(ctx context.Context, opts daemonOptions, out io.Writer) error {
 		logger.Info("generated ephemeral anonymisation key; pseudonyms will not be comparable across runs")
 	}
 
-	st := store.New()
+	st, wal, err := openStore(opts, logger)
+	if err != nil {
+		return err
+	}
+	if wal != nil {
+		defer wal.Close()
+	}
 	coll, err := collector.New(collector.Config{
 		Store:      st,
 		Anonymizer: ipmeta.NewAnonymizer(key),
@@ -189,6 +209,46 @@ func run(ctx context.Context, opts daemonOptions, out io.Writer) error {
 		return fmt.Errorf("final snapshot: %w", werr)
 	}
 	return err
+}
+
+// openStore builds the daemon's store. Without -wal it starts empty
+// (the historical behaviour: the snapshot is an output, not a boot
+// input). With -wal it recovers: last snapshot, then journal replay,
+// then a journal attached for everything that follows — so the store
+// resumes exactly where the previous process died.
+func openStore(opts daemonOptions, logger *slog.Logger) (*store.Store, *store.WAL, error) {
+	if opts.walPath == "" {
+		return store.New(), nil, nil
+	}
+	policy, err := store.ParseSyncPolicy(opts.walSync)
+	if err != nil {
+		return nil, nil, err
+	}
+	var base *store.Store
+	if f, err := os.Open(opts.snapshotPath); err == nil {
+		base, err = store.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("loading snapshot %s: %w", opts.snapshotPath, err)
+		}
+		logger.Info("loaded snapshot", "path", opts.snapshotPath, "records", base.Len())
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("opening snapshot %s: %w", opts.snapshotPath, err)
+	}
+	st, applied, err := store.RecoverWAL(opts.walPath, base, logger)
+	if err != nil {
+		return nil, nil, fmt.Errorf("recovering wal %s: %w", opts.walPath, err)
+	}
+	if applied > 0 {
+		logger.Info("replayed write-ahead log", "path", opts.walPath,
+			"entries", applied, "records", st.Len())
+	}
+	wal, err := store.OpenWAL(opts.walPath, store.WALOptions{Policy: policy})
+	if err != nil {
+		return nil, nil, err
+	}
+	st.AttachWAL(wal)
+	return st, wal, nil
 }
 
 // newDebugServer builds the -debug-addr sidecar: net/http/pprof plus a
@@ -308,20 +368,27 @@ func (s *snapshotter) tryWrite() error {
 	return writeSnapshot(s.st, s.path)
 }
 
+// writeSnapshot publishes the dataset with the temp-file + rename
+// discipline and, when a WAL is attached, compacts the journal the
+// moment the snapshot is durably in place (SnapshotCompact holds the
+// store lock across both, so no acknowledged impression can fall
+// between snapshot and journal).
 func writeSnapshot(st *store.Store, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := st.WriteSnapshot(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return st.SnapshotCompact(func(write func(io.Writer) error) error {
+		tmp := path + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		return os.Rename(tmp, path)
+	})
 }

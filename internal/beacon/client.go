@@ -2,12 +2,21 @@ package beacon
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
 	"fmt"
+	mathrand "math/rand"
 	"net/http"
 	"time"
 
 	"adaudit/internal/wsproto"
 )
+
+// ErrSessionDead is returned by session operations after the underlying
+// connection failed. A Report in flight treats it as a signal to
+// reconnect and resume the impression under the same nonce.
+var ErrSessionDead = errors.New("beacon: session connection died")
 
 // Client replays the beacon's network behaviour from Go: it opens a
 // WebSocket to the collector, sends the impression payload as a text
@@ -15,25 +24,113 @@ import (
 // connection open for the exposure duration — exactly the traffic the
 // injected JavaScript generates, so the collector cannot tell them
 // apart. Used by the simulator's device fleet and by integration tests.
+//
+// Real beacon links fail — mobile radios drop, NATs time out, pages are
+// killed mid-exposure — so the client carries the retry discipline the
+// paper's §4.1 loss model prices in: dials retry with capped
+// exponential backoff plus jitter, and Report reconnects a session that
+// dies mid-exposure, resuming the exposure clock under the same
+// impression nonce so the collector deduplicates instead of
+// double-counting. The zero value keeps the historical single-attempt
+// behaviour.
 type Client struct {
 	// CollectorURL is the ws:// endpoint of the collector.
 	CollectorURL string
 	// Dialer customises the underlying WebSocket dial (e.g. NetDial for
-	// tests). The zero value works.
+	// tests, WrapConn for fault injection). The zero value works.
 	Dialer wsproto.Dialer
+	// MaxAttempts bounds connection attempts per impression — the
+	// initial dial plus retries after dial or mid-session failures.
+	// 0 or 1 means a single attempt (no retry).
+	MaxAttempts int
+	// RetryBackoff is the base delay before the first retry; each
+	// further retry doubles it up to RetryBackoffMax. Defaults: 100ms
+	// base, 5s cap. Every delay is jittered to half-to-full of its
+	// nominal value so a fleet of reconnecting beacons does not
+	// stampede the collector.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// Jitter overrides the jitter draw (a func returning [0,1)); nil
+	// uses math/rand. Tests pin it for determinism.
+	Jitter func() float64
+}
+
+// NewNonce returns a fresh impression nonce: 16 random bytes, hex.
+func NewNonce() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for the process anyway;
+		// fall back to the time so the beacon still reports.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// attempts normalises MaxAttempts.
+func (c *Client) attempts() int {
+	if c.MaxAttempts < 1 {
+		return 1
+	}
+	return c.MaxAttempts
+}
+
+// backoff returns the jittered delay before retry number retry (0 = the
+// first retry).
+func (c *Client) backoff(retry int) time.Duration {
+	base := c.RetryBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := c.RetryBackoffMax
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < retry && d < maxd; i++ {
+		d *= 2
+	}
+	if d > maxd {
+		d = maxd
+	}
+	// Equal jitter: [d/2, d).
+	j := c.Jitter
+	if j == nil {
+		j = mathrand.Float64
+	}
+	return d/2 + time.Duration(j()*float64(d/2))
+}
+
+// sleepBackoff waits out the retry delay, respecting ctx.
+func (c *Client) sleepBackoff(ctx context.Context, retry int) error {
+	t := time.NewTimer(c.backoff(retry))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Session is a live beacon connection for one ad impression.
 type Session struct {
 	conn *wsproto.Conn
+	// dead closes when the connection's read side fails — the earliest
+	// client-side signal that the collector is gone.
+	dead chan struct{}
 }
+
+// Done returns a channel closed when the session's connection has died.
+func (s *Session) Done() <-chan struct{} { return s.dead }
 
 // serviceControlFrames keeps a reader on the connection so protocol
 // control traffic is handled for the session's lifetime — in particular
 // the collector's keep-alive pings get their automatic pongs, exactly
 // as a browser's WebSocket implementation pongs beneath the page's
-// JavaScript. It exits when the connection dies.
+// JavaScript. It exits (closing the dead channel) when the connection
+// dies.
 func (s *Session) serviceControlFrames() {
+	defer close(s.dead)
 	for {
 		if _, _, err := s.conn.ReadMessage(); err != nil {
 			return
@@ -42,12 +139,34 @@ func (s *Session) serviceControlFrames() {
 }
 
 // Open connects to the collector and transmits the initial impression
-// payload. The returned session keeps the connection (and therefore the
-// collector's exposure clock) running until Close.
+// payload, retrying failed dials and sends up to the client's attempt
+// budget with capped exponential backoff. The returned session keeps
+// the connection (and therefore the collector's exposure clock) running
+// until Close.
 func (c *Client) Open(ctx context.Context, p Payload) (*Session, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	var lastErr error
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		if attempt > 0 {
+			if err := c.sleepBackoff(ctx, attempt-1); err != nil {
+				return nil, err
+			}
+		}
+		sess, err := c.openOnce(ctx, p)
+		if err == nil {
+			return sess, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) openOnce(ctx context.Context, p Payload) (*Session, error) {
 	d := c.Dialer
 	if d.Header == nil {
 		d.Header = http.Header{}
@@ -65,7 +184,7 @@ func (c *Client) Open(ctx context.Context, p Payload) (*Session, error) {
 		conn.Close(wsproto.CloseInternalError, "write failed")
 		return nil, fmt.Errorf("beacon: sending impression: %w", err)
 	}
-	sess := &Session{conn: conn}
+	sess := &Session{conn: conn, dead: make(chan struct{})}
 	go sess.serviceControlFrames()
 	return sess, nil
 }
@@ -73,17 +192,24 @@ func (c *Client) Open(ctx context.Context, p Payload) (*Session, error) {
 // SendEvent streams an interaction update on the open session.
 func (s *Session) SendEvent(e Event) error {
 	if err := s.conn.WriteText(EncodeEventUpdate(e)); err != nil {
-		return fmt.Errorf("beacon: sending event: %w", err)
+		return fmt.Errorf("beacon: sending event: %w: %w", ErrSessionDead, err)
 	}
 	return nil
 }
 
 // Hold keeps the session open for d (simulating the user staying on the
-// page), respecting ctx cancellation.
+// page), respecting ctx cancellation. It returns ErrSessionDead as soon
+// as the connection fails — a browser notices its socket dying the same
+// way — so callers can reconnect instead of sleeping through a dead
+// link.
 func (s *Session) Hold(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
 	select {
-	case <-time.After(d):
+	case <-t.C:
 		return nil
+	case <-s.dead:
+		return ErrSessionDead
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -96,20 +222,62 @@ func (s *Session) Close() error {
 }
 
 // Report is a convenience helper: open, hold for the exposure duration,
-// send the given events at their offsets (best effort), and close.
-func (c *Client) Report(ctx context.Context, p Payload, exposure time.Duration) error {
+// send the given events at their offsets (best effort), and close. A
+// close-frame failure on the success path is reported (the collector
+// will have recorded an abnormal close), so callers see the session as
+// the collector saw it.
+//
+// With MaxAttempts > 1 a session that dies mid-exposure is reopened
+// under the same nonce (generated if the payload has none) and the
+// exposure clock resumes where it left off: time already spent exposed
+// counts, events already delivered are not resent, and the collector
+// merges the resumed connection into the original impression.
+func (c *Client) Report(ctx context.Context, p Payload, exposure time.Duration) (err error) {
 	events := p.Events
 	p.Events = nil
-	sess, err := c.Open(ctx, p)
-	if err != nil {
-		return err
+	if p.Nonce == "" && c.attempts() > 1 {
+		// Reconnects need an identity to dedup under; single-attempt
+		// clients keep the historical nonce-free wire format.
+		p.Nonce = NewNonce()
 	}
-	defer sess.Close()
 
 	start := time.Now()
-	for _, e := range events {
-		wait := e.At - time.Since(start)
-		if wait > 0 {
+	sent := 0 // events already delivered on a previous connection
+	reconnects := 0
+	for {
+		sess, err := c.Open(ctx, p)
+		if err != nil {
+			return err
+		}
+		err = c.runExposure(ctx, sess, events, &sent, start, exposure)
+		if err == nil {
+			// Success path: a failed close frame means the collector
+			// recorded an abnormal close — report it, don't mask it.
+			return sess.Close()
+		}
+		_ = sess.Close()
+		if ctx.Err() != nil {
+			return err
+		}
+		reconnects++
+		if reconnects >= c.attempts() {
+			return err
+		}
+		if serr := c.sleepBackoff(ctx, reconnects-1); serr != nil {
+			return serr
+		}
+	}
+}
+
+// runExposure drives one connection's share of the impression: events
+// still pending at their offsets, then the remaining exposure time.
+// Offsets and the remaining hold are measured against start — the first
+// connection's open — so a reconnect resumes the clock rather than
+// restarting it.
+func (c *Client) runExposure(ctx context.Context, sess *Session, events []Event, sent *int, start time.Time, exposure time.Duration) error {
+	for *sent < len(events) {
+		e := events[*sent]
+		if wait := e.At - time.Since(start); wait > 0 {
 			if err := sess.Hold(ctx, wait); err != nil {
 				return err
 			}
@@ -117,12 +285,10 @@ func (c *Client) Report(ctx context.Context, p Payload, exposure time.Duration) 
 		if err := sess.SendEvent(e); err != nil {
 			return err
 		}
+		*sent++
 	}
-	remaining := exposure - time.Since(start)
-	if remaining > 0 {
-		if err := sess.Hold(ctx, remaining); err != nil {
-			return err
-		}
+	if remaining := exposure - time.Since(start); remaining > 0 {
+		return sess.Hold(ctx, remaining)
 	}
 	return nil
 }

@@ -60,6 +60,13 @@ type Payload struct {
 	PageURL string
 	// UserAgent is the browser's navigator.userAgent.
 	UserAgent string
+	// Nonce is a client-generated impression identifier. A beacon that
+	// reconnects after a network failure resends its payload with the
+	// same nonce, and the collector folds the resumed session into the
+	// original record instead of double-counting the impression.
+	// Optional: an empty nonce opts out of deduplication (the original
+	// paper's JavaScript predates it).
+	Nonce string
 	// Events are user interactions observed so far.
 	Events []Event
 }
@@ -106,6 +113,9 @@ func (p Payload) Encode() string {
 	v.Set("crid", p.CreativeID)
 	v.Set("url", p.PageURL)
 	v.Set("ua", p.UserAgent)
+	if p.Nonce != "" {
+		v.Set("n", p.Nonce)
+	}
 	if len(p.Events) > 0 {
 		evs := make([]string, len(p.Events))
 		for i, e := range p.Events {
@@ -173,6 +183,7 @@ func Decode(s string) (Payload, error) {
 		CreativeID: v.Get("crid"),
 		PageURL:    v.Get("url"),
 		UserAgent:  v.Get("ua"),
+		Nonce:      v.Get("n"),
 	}
 	if raw := v.Get("ev"); raw != "" {
 		for _, part := range strings.Split(raw, ",") {

@@ -26,6 +26,7 @@ import (
 	"net"
 	"net/http"
 	"net/netip"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +66,12 @@ type Config struct {
 	// inflates its exposure measurement — until MaxExposure fires.
 	// Default 30 s; negative disables.
 	KeepAliveInterval time.Duration
+	// MaxSessions caps concurrent beacon sessions. At the cap new
+	// beacon requests are shed with a fast HTTP 503 (plus a Retry-After
+	// hint) before the WebSocket upgrade spends any further resources —
+	// an overloaded collector degrades into bounded, retryable refusals
+	// instead of collapsing under its own sockets. 0 disables the cap.
+	MaxSessions int
 	// Logger receives operational events; defaults to slog.Default().
 	Logger *slog.Logger
 	// Telemetry is the metrics registry the collector registers its
@@ -126,6 +133,15 @@ const (
 	CloseDrain        = "drain"             // collector shutdown drained the session
 )
 
+// pingWriteTimeout bounds a keepalive ping's write so a stalled peer
+// cannot park the ping goroutine on a full TCP window.
+const pingWriteTimeout = 5 * time.Second
+
+// testSessionHook, when non-nil, runs inside runSession right after the
+// payload decodes — the seam session-panic tests use to blow up a live
+// session deterministically.
+var testSessionHook func(p beacon.Payload)
+
 // sampleInterval is the stage-timing sampling rate on the direct ingest
 // path (power of two): a clock read costs tens of nanoseconds, so
 // timing every enrich stage would dominate the telemetry budget at the
@@ -146,6 +162,10 @@ type collectorTelemetry struct {
 	sessionsClosed  *telemetry.CounterVec
 	droppedShutdown *telemetry.Counter
 	pingFailures    *telemetry.Counter
+	sheds           *telemetry.Counter
+	panics          *telemetry.Counter
+	dedupHits       *telemetry.Counter
+	partialCommits  *telemetry.Counter
 	exposure        *telemetry.Histogram
 	upgrade         *telemetry.Histogram
 	decode          *telemetry.Histogram
@@ -176,7 +196,21 @@ type Collector struct {
 	sessConns map[*wsproto.Conn]struct{}
 	sessWG    sync.WaitGroup
 	draining  atomic.Bool
+
+	// Nonce dedup: impression nonce → store record ID, so a beacon that
+	// reconnects mid-exposure merges into its original record instead of
+	// double-counting. Two generations bound the memory: when the
+	// current map fills, it becomes the previous one and lookups consult
+	// both — a nonce is forgotten only after a full generation of other
+	// traffic, far longer than any retry window.
+	nonceMu   sync.Mutex
+	nonceCur  map[string]int64
+	noncePrev map[string]int64
 }
+
+// nonceCacheLimit is the per-generation nonce map size; two generations
+// are live, so at most 2x this many nonces are remembered.
+const nonceCacheLimit = 1 << 16
 
 // New validates cfg and returns a Collector.
 func New(cfg Config) (*Collector, error) {
@@ -211,7 +245,8 @@ func New(cfg Config) (*Collector, error) {
 		reg = telemetry.NewRegistry()
 	}
 	c := &Collector{
-		cfg: cfg,
+		cfg:      cfg,
+		nonceCur: map[string]int64{},
 		upgrader: wsproto.Upgrader{
 			MaxMessageSize: cfg.MaxMessageSize,
 			// Ad beacons are cross-origin by design: the iframe origin
@@ -252,6 +287,14 @@ func New(cfg Config) (*Collector, error) {
 				"Sessions still open when the shutdown grace period expired.", nil),
 			pingFailures: reg.Counter("adaudit_collector_keepalive_failures_total",
 				"Keepalive pings that could not be written.", nil),
+			sheds: reg.Counter("adaudit_collector_sheds_total",
+				"Beacon requests refused with 503 at the session cap.", nil),
+			panics: reg.Counter("adaudit_collector_session_panics_total",
+				"Beacon session goroutines recovered from a panic.", nil),
+			dedupHits: reg.Counter("adaudit_collector_dedup_hits_total",
+				"Reconnected sessions merged into their original impression by nonce.", nil),
+			partialCommits: reg.Counter("adaudit_collector_partial_commits_total",
+				"Impressions committed from sessions that ended abnormally.", nil),
 			exposure: reg.Histogram("adaudit_collector_exposure_seconds",
 				"Measured ad-exposure durations (connection lifetimes).",
 				telemetry.ExposureBuckets(), nil),
@@ -267,7 +310,38 @@ func New(cfg Config) (*Collector, error) {
 		}
 		cfg.Store.Instrument(reg)
 	}
+	// A store recovered from a snapshot + WAL may already hold nonced
+	// impressions whose beacons could still be retrying; remember them so
+	// a post-restart reconnect merges instead of duplicating.
+	cfg.Store.ForEach(func(im store.Impression) bool {
+		if im.Nonce != "" {
+			c.nonceRecord(im.Nonce, im.ID)
+		}
+		return true
+	})
 	return c, nil
+}
+
+// nonceLookup returns the store ID previously recorded for nonce.
+func (c *Collector) nonceLookup(nonce string) (int64, bool) {
+	c.nonceMu.Lock()
+	defer c.nonceMu.Unlock()
+	if id, ok := c.nonceCur[nonce]; ok {
+		return id, true
+	}
+	id, ok := c.noncePrev[nonce]
+	return id, ok
+}
+
+// nonceRecord remembers nonce → id, rotating generations at the cap.
+func (c *Collector) nonceRecord(nonce string, id int64) {
+	c.nonceMu.Lock()
+	defer c.nonceMu.Unlock()
+	if len(c.nonceCur) >= nonceCacheLimit {
+		c.noncePrev = c.nonceCur
+		c.nonceCur = make(map[string]int64, nonceCacheLimit/4)
+	}
+	c.nonceCur[nonce] = id
 }
 
 // Telemetry returns the collector's metrics registry (nil when built
@@ -326,6 +400,46 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 		obs.Exposure = c.cfg.MaxExposure
 	}
 
+	moves, clicks := 0, 0
+	visMeasured := false
+	maxVis := 0.0
+	for _, e := range obs.Payload.Events {
+		switch e.Kind {
+		case beacon.EventMouseMove:
+			moves++
+		case beacon.EventClick:
+			clicks++
+		case beacon.EventVisibility:
+			visMeasured = true
+			if e.Fraction > maxVis {
+				maxVis = e.Fraction
+			}
+		}
+	}
+
+	// A reconnected beacon resends its payload under the original nonce;
+	// fold the resumed connection into the existing record (the paper
+	// measures exposure as total connection time) instead of counting a
+	// second impression. Enrichment is skipped: the record already
+	// carries the ISP/country/fraud verdict from the first connection.
+	if nonce := obs.Payload.Nonce; nonce != "" {
+		if id, ok := c.nonceLookup(nonce); ok {
+			err := c.cfg.Store.Merge(id, store.Continuation{
+				Exposure:           obs.Exposure,
+				MouseMoves:         moves,
+				Clicks:             clicks,
+				VisibilityMeasured: visMeasured,
+				MaxVisibleFraction: maxVis,
+			})
+			if err != nil {
+				c.reject(RejectInsert)
+				return 0, fmt.Errorf("collector: merging resumed impression: %w", err)
+			}
+			c.tel.dedupHits.Inc()
+			return id, nil
+		}
+	}
+
 	var enrichStart time.Time
 	sampled := c.tel.enabled && c.sampleTick.Add(1)&(sampleInterval-1) == 1
 	if sampled {
@@ -346,23 +460,6 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 		c.tel.enrich.ObserveDuration(time.Since(enrichStart))
 	}
 
-	moves, clicks := 0, 0
-	visMeasured := false
-	maxVis := 0.0
-	for _, e := range obs.Payload.Events {
-		switch e.Kind {
-		case beacon.EventMouseMove:
-			moves++
-		case beacon.EventClick:
-			clicks++
-		case beacon.EventVisibility:
-			visMeasured = true
-			if e.Fraction > maxVis {
-				maxVis = e.Fraction
-			}
-		}
-	}
-
 	im := store.Impression{
 		CampaignID:  obs.Payload.CampaignID,
 		CreativeID:  obs.Payload.CreativeID,
@@ -374,6 +471,7 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 		ISP:         isp,
 		Country:     country,
 		DataCenter:  verdict.String(),
+		Nonce:       obs.Payload.Nonce,
 		Timestamp:   obs.ConnectedAt,
 		Exposure:    obs.Exposure,
 		MouseMoves:  moves,
@@ -388,6 +486,9 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 		return 0, fmt.Errorf("collector: storing impression: %w", err)
 	}
 	c.Metrics.Ingested.Add(1)
+	if im.Nonce != "" {
+		c.nonceRecord(im.Nonce, id)
+	}
 	if sampled {
 		// Reusing enrichStart keeps the unsampled path free of clock
 		// reads; the server's health probe covers the gap between
@@ -404,6 +505,15 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 // lifetime measures exposure. The impression is committed when the
 // connection ends (or the exposure cap fires).
 func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if max := c.cfg.MaxSessions; max > 0 && c.SessionCount() >= max {
+		// Shed before the upgrade: a plain 503 costs a few hundred bytes
+		// and no goroutine, and a well-behaved beacon retries with
+		// backoff — bounded refusals instead of unbounded sockets.
+		c.tel.sheds.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "collector at session capacity", http.StatusServiceUnavailable)
+		return
+	}
 	var upgradeStart time.Time
 	if c.tel.enabled {
 		upgradeStart = time.Now()
@@ -427,6 +537,18 @@ func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	c.trackSession(conn)
 	go func() {
 		defer c.untrackSession(conn)
+		// A panic in one session — a malformed frame tripping a bug, a
+		// store failure mode — must cost exactly that session, not the
+		// collector. The impression is lost (the paper's loss model
+		// covers it); every other live session keeps measuring.
+		defer func() {
+			if r := recover(); r != nil {
+				c.tel.panics.Inc()
+				c.cfg.Logger.Error("collector: session panicked",
+					"panic", r, "stack", string(debug.Stack()))
+				_ = conn.Close(wsproto.CloseInternalError, "internal error")
+			}
+		}()
 		c.runSession(conn)
 	}()
 }
@@ -515,6 +637,9 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 		_ = conn.Close(wsproto.ClosePolicyViolation, "bad payload")
 		return
 	}
+	if testSessionHook != nil {
+		testSessionHook(payload)
+	}
 
 	// Stream interaction updates until disconnect or exposure cap. With
 	// keep-alive enabled the read deadline renews on every pong, so a
@@ -548,7 +673,13 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 				case <-stopPings:
 					return
 				case <-t.C:
-					if err := conn.Ping(nil); err != nil {
+					// Bound the write so a peer with a full TCP window
+					// (dead radio, zero-window attack) cannot park this
+					// goroutine; the missed pong tears the session down.
+					_ = conn.SetWriteDeadline(time.Now().Add(pingWriteTimeout))
+					err := conn.Ping(nil)
+					_ = conn.SetWriteDeadline(time.Time{})
+					if err != nil {
 						c.tel.pingFailures.Inc()
 						return
 					}
@@ -585,6 +716,12 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 		Exposure:    exposure,
 	}); err != nil {
 		c.cfg.Logger.Warn("collector: ingest failed", "err", err, "remote", remote)
+	} else if closeReason != ClosePeer {
+		// The session ended abnormally (reset, keepalive timeout,
+		// exposure cap, drain) but its exposure up to that moment still
+		// committed — the measurement the paper derives server-side
+		// precisely so a dying client cannot lose it.
+		c.tel.partialCommits.Inc()
 	}
 }
 

@@ -1,0 +1,278 @@
+package collector
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"adaudit/internal/beacon"
+	"adaudit/internal/wsproto"
+)
+
+// newHardenedServer boots a full Server around a testCollector with the
+// given config tweaks applied.
+func newHardenedServer(t *testing.T, tweak func(*Config)) (*Server, *Collector) {
+	t.Helper()
+	c, _ := testCollector(t)
+	if tweak != nil {
+		cfg := c.cfg
+		tweak(&cfg)
+		c.cfg = cfg
+	}
+	srv, err := NewServer(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not shut down")
+		}
+	})
+	return srv, c
+}
+
+func TestSessionCapShedsWith503(t *testing.T) {
+	srv, c := newHardenedServer(t, func(cfg *Config) { cfg.MaxSessions = 2 })
+
+	// Fill the cap with two held-open sessions.
+	cl := &beacon.Client{CollectorURL: srv.BeaconURL()}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		p := samplePayload()
+		p.CreativeID = fmt.Sprintf("cr-%d", i)
+		sess, err := cl.Open(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+	}
+	waitFor(t, func() bool { return c.SessionCount() == 2 })
+
+	// The third beacon is shed before the upgrade.
+	httpURL := "http" + strings.TrimPrefix(srv.BeaconURL(), "ws")
+	resp, err := http.Get(httpURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap request got %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After hint")
+	}
+	if got := c.tel.sheds.Load(); got != 1 {
+		t.Fatalf("sheds counter = %d, want 1", got)
+	}
+	// A WebSocket attempt is refused the same way and surfaces the 503
+	// to the dialer.
+	if _, err := cl.Open(ctx, samplePayload()); err == nil {
+		t.Fatal("over-cap Open succeeded")
+	} else if !strings.Contains(err.Error(), "503") {
+		t.Fatalf("over-cap Open failed with %v, want a 503 rejection", err)
+	}
+}
+
+func TestSessionPanicIsRecoveredAndIsolated(t *testing.T) {
+	srv, c := newHardenedServer(t, nil)
+	testSessionHook = func(p beacon.Payload) {
+		if p.CreativeID == "boom" {
+			panic("injected session failure")
+		}
+	}
+	defer func() { testSessionHook = nil }()
+
+	cl := &beacon.Client{CollectorURL: srv.BeaconURL()}
+	ctx := context.Background()
+
+	// A healthy session opened before the panic...
+	healthy, err := cl.Open(ctx, samplePayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ...survives a sibling session blowing up.
+	bad := samplePayload()
+	bad.CreativeID = "boom"
+	sess, err := cl.Open(ctx, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return c.tel.panics.Load() == 1 })
+	_ = sess.Close()
+
+	select {
+	case <-healthy.Done():
+		t.Fatal("healthy session died with the panicked one")
+	default:
+	}
+	// The panicked session was untracked; the healthy one still is.
+	waitFor(t, func() bool { return c.SessionCount() == 1 })
+
+	// The collector still ingests normally after the panic.
+	if err := healthy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return c.Metrics.Ingested.Load() == 1 })
+}
+
+func TestIngestDedupsByNonce(t *testing.T) {
+	c, st := testCollector(t)
+	obs := testObservation(t, c)
+	obs.Payload.Nonce = "imp-nonce-1"
+	id, err := c.Ingest(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The beacon reconnects: same nonce, the second connection's share
+	// of the exposure and fresh interactions.
+	resumed := obs
+	resumed.Payload.Events = []beacon.Event{{Kind: beacon.EventClick, At: time.Second}}
+	resumed.Exposure = 1500 * time.Millisecond
+	id2, err := c.Ingest(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id {
+		t.Fatalf("resumed ingest returned id %d, want original %d", id2, id)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d records, want 1 (deduplicated)", st.Len())
+	}
+	im, _ := st.Get(id)
+	if im.Exposure != 4000*time.Millisecond {
+		t.Fatalf("merged exposure = %v, want 4s (2.5s + 1.5s)", im.Exposure)
+	}
+	if im.MouseMoves != 2 || im.Clicks != 2 {
+		t.Fatalf("merged interactions = %d moves, %d clicks; want 2/2", im.MouseMoves, im.Clicks)
+	}
+	if got := c.tel.dedupHits.Load(); got != 1 {
+		t.Fatalf("dedup hits = %d, want 1", got)
+	}
+	if got := c.Metrics.Ingested.Load(); got != 1 {
+		t.Fatalf("ingested = %d, want 1 (merge is not a new impression)", got)
+	}
+
+	// A different nonce is a different impression.
+	other := obs
+	other.Payload.Nonce = "imp-nonce-2"
+	if _, err := c.Ingest(other); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("store holds %d records, want 2", st.Len())
+	}
+}
+
+func TestNonceSeededFromRecoveredStore(t *testing.T) {
+	// A collector built over a store that already holds a nonced record
+	// (recovered from snapshot + WAL after a restart) must merge a
+	// late-retrying beacon instead of double-counting it.
+	c, st := testCollector(t)
+	obs := testObservation(t, c)
+	obs.Payload.Nonce = "pre-restart-nonce"
+	id, err := c.Ingest(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(Config{
+		Store:      st,
+		Anonymizer: c.cfg.Anonymizer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := c2.Ingest(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id || st.Len() != 1 {
+		t.Fatalf("post-restart ingest: id=%d len=%d, want id=%d len=1", id2, st.Len(), id)
+	}
+}
+
+func TestNonceCacheRotatesGenerations(t *testing.T) {
+	c, _ := testCollector(t)
+	for i := 0; i < nonceCacheLimit+10; i++ {
+		c.nonceRecord(fmt.Sprintf("n-%d", i), int64(i+1))
+	}
+	c.nonceMu.Lock()
+	cur, prev := len(c.nonceCur), len(c.noncePrev)
+	c.nonceMu.Unlock()
+	if prev != nonceCacheLimit || cur != 10 {
+		t.Fatalf("generations cur=%d prev=%d, want 10/%d", cur, prev, nonceCacheLimit)
+	}
+	// Entries in BOTH generations resolve.
+	if _, ok := c.nonceLookup("n-0"); !ok {
+		t.Fatal("previous-generation nonce forgotten")
+	}
+	if _, ok := c.nonceLookup(fmt.Sprintf("n-%d", nonceCacheLimit+5)); !ok {
+		t.Fatal("current-generation nonce missing")
+	}
+}
+
+func TestAbnormalCloseStillCommitsPartialExposure(t *testing.T) {
+	srv, c := newHardenedServer(t, nil)
+
+	// Dial raw so the transport can be killed with no close frame — a
+	// crashed browser, a NAT binding expiring.
+	d := &wsproto.Dialer{}
+	conn, _, err := d.Dial(context.Background(), srv.BeaconURL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.WriteText(samplePayload().Encode()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return c.SessionCount() == 1 })
+	_ = conn.NetConn().Close()
+	waitFor(t, func() bool { return c.Metrics.Ingested.Load() == 1 })
+	if got := c.tel.partialCommits.Load(); got != 1 {
+		t.Fatalf("partial commits = %d, want 1", got)
+	}
+	// A clean close is NOT a partial commit.
+	cl := &beacon.Client{CollectorURL: srv.BeaconURL()}
+	if err := cl.Report(context.Background(), samplePayload(), 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return c.Metrics.Ingested.Load() == 2 })
+	if got := c.tel.partialCommits.Load(); got != 1 {
+		t.Fatalf("partial commits after clean close = %d, want still 1", got)
+	}
+}
+
+// waitFor polls cond for up to 5 s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}
+
+func samplePayload() beacon.Payload {
+	return beacon.Payload{
+		CampaignID: "Research-010",
+		CreativeID: "cr1",
+		PageURL:    "http://www.ciencia123.es/articulo",
+		UserAgent:  "Mozilla/5.0 Chrome/49.0",
+	}
+}

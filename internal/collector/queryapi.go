@@ -208,9 +208,14 @@ func (q *queryAPI) handlePublishers(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
+	recs := q.st.ByCampaign(id)
+	if len(recs) == 0 {
+		http.Error(w, "unknown campaign", http.StatusNotFound)
+		return
+	}
 	type agg struct{ imps, clicks int }
 	counts := map[string]*agg{}
-	for _, im := range q.st.ByCampaign(id) {
+	for _, im := range recs {
 		a := counts[im.Publisher]
 		if a == nil {
 			a = &agg{}

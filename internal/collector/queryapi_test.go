@@ -133,10 +133,35 @@ func TestAPIPublishers(t *testing.T) {
 	}
 }
 
+func TestAPIPublishersErrors(t *testing.T) {
+	_, _, base, cancel := queryFixture(t)
+	defer cancel()
+	var rows []PublisherRow
+	if code := getJSON(t, base+"/api/publishers?campaign=nope", &rows); code != http.StatusNotFound {
+		t.Fatalf("unknown campaign status %d", code)
+	}
+	for _, limit := range []string{"abc", "-3", "10001"} {
+		if code := getJSON(t, base+"/api/publishers?campaign=camp-a&limit="+limit, &rows); code != http.StatusBadRequest {
+			t.Fatalf("limit=%s status %d, want 400", limit, code)
+		}
+	}
+}
+
+func TestAPITimeseriesBadBucketSyntax(t *testing.T) {
+	_, _, base, cancel := queryFixture(t)
+	defer cancel()
+	var points []TimeseriesPoint
+	for _, bucket := range []string{"xyz", "-1h", "30d", "0"} {
+		if code := getJSON(t, base+"/api/timeseries?campaign=camp-a&bucket="+bucket, &points); code != http.StatusBadRequest {
+			t.Fatalf("bucket=%s status %d, want 400", bucket, code)
+		}
+	}
+}
+
 func TestAPIRejectsNonGET(t *testing.T) {
 	_, _, base, cancel := queryFixture(t)
 	defer cancel()
-	for _, path := range []string{"/api/campaigns", "/api/summary", "/api/publishers"} {
+	for _, path := range []string{"/api/campaigns", "/api/summary", "/api/publishers", "/api/timeseries"} {
 		resp, err := http.Post(base+path, "text/plain", nil)
 		if err != nil {
 			t.Fatal(err)

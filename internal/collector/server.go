@@ -17,6 +17,7 @@ type serverOptions struct {
 	shutdownGrace time.Duration
 	maxIngestAge  time.Duration
 	checks        map[string]func() error
+	listener      net.Listener
 }
 
 // ServerOption customises a Server.
@@ -88,6 +89,14 @@ type HealthStatus struct {
 	Checks map[string]string `json:"checks,omitempty"`
 }
 
+// WithListener serves on ln instead of opening a fresh TCP listener
+// (addr is then ignored) — the hook fault-injection tests use to put an
+// impaired accept path (internal/faultnet.Plan.Listen) under the
+// collector.
+func WithListener(ln net.Listener) ServerOption {
+	return func(o *serverOptions) { o.listener = ln }
+}
+
 // NewServer wraps c in a Server listening on addr (host:port; port 0
 // picks a free port).
 func NewServer(c *Collector, addr string, opts ...ServerOption) (*Server, error) {
@@ -95,9 +104,13 @@ func NewServer(c *Collector, addr string, opts ...ServerOption) (*Server, error)
 	for _, opt := range opts {
 		opt(&o)
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("collector: listening on %s: %w", addr, err)
+	ln := o.listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("collector: listening on %s: %w", addr, err)
+		}
 	}
 	s := &Server{
 		collector: c,

@@ -1,0 +1,122 @@
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy is a chaos TCP proxy: it accepts client connections, applies a
+// fault Plan to the client side, and relays bytes to a fixed upstream
+// address. Parking one between a beacon fleet and the collector makes
+// an entire campaign flow through injected kills, resets and torn
+// writes without either endpoint knowing — both just see a misbehaving
+// network, which is the point.
+type Proxy struct {
+	plan     *Plan
+	upstream string
+	ln       net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy listens on listenAddr (host:port; port 0 picks a free port)
+// and relays every connection to upstream through plan's faults. The
+// proxy serves until Close.
+func NewProxy(listenAddr, upstream string, plan *Plan) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: proxy listening on %s: %w", listenAddr, err)
+	}
+	p := &Proxy{
+		plan:     plan,
+		upstream: upstream,
+		ln:       ln,
+		conns:    map[net.Conn]struct{}{},
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() net.Addr { return p.ln.Addr() }
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		nc, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		client := p.plan.Wrap(nc)
+		server, err := net.Dial("tcp", p.upstream)
+		if err != nil {
+			_ = client.Close()
+			continue
+		}
+		if !p.track(client, server) {
+			_ = client.Close()
+			_ = server.Close()
+			return
+		}
+		p.wg.Add(1)
+		go p.relay(client, server)
+	}
+}
+
+func (p *Proxy) track(cs ...net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	for _, c := range cs {
+		p.conns[c] = struct{}{}
+	}
+	return true
+}
+
+func (p *Proxy) untrack(cs ...net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range cs {
+		delete(p.conns, c)
+	}
+}
+
+// relay copies both directions until either side dies, then tears both
+// down — a fault on the client leg severs the upstream leg too, so the
+// collector sees the abnormal close the fault simulates.
+func (p *Proxy) relay(client, server net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(client, server)
+	done := make(chan struct{}, 2)
+	pipe := func(dst, src net.Conn) {
+		_, _ = io.Copy(dst, src)
+		done <- struct{}{}
+	}
+	go pipe(server, client)
+	go pipe(client, server)
+	<-done
+	_ = client.Close()
+	_ = server.Close()
+	<-done
+}
+
+// Close stops accepting and severs every in-flight relay.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}

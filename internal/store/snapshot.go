@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"strconv"
 	"time"
 )
@@ -13,18 +15,20 @@ import (
 // WriteSnapshot streams the store as JSON lines (one impression per
 // line), the dataset format cmd/adsim writes and cmd/auditctl reads.
 func (s *Store) WriteSnapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.writeSnapshotLocked(w)
+}
+
+// writeSnapshotLocked streams every record; callers hold at least a
+// read lock (WriteSnapshot, SnapshotCompact).
+func (s *Store) writeSnapshotLocked(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	var encodeErr error
-	s.ForEach(func(im Impression) bool {
-		if err := enc.Encode(im); err != nil {
-			encodeErr = fmt.Errorf("store: encoding snapshot record %d: %w", im.ID, err)
-			return false
+	for i := range s.recs {
+		if err := enc.Encode(&s.recs[i]); err != nil {
+			return fmt.Errorf("store: encoding snapshot record %d: %w", s.recs[i].ID, err)
 		}
-		return true
-	})
-	if encodeErr != nil {
-		return encodeErr
 	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("store: flushing snapshot: %w", err)
@@ -33,15 +37,26 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 }
 
 // ReadSnapshot loads JSON-lines records into a fresh store. IDs are
-// reassigned in file order; indexes are rebuilt.
+// reassigned in file order; indexes are rebuilt. A truncated final
+// record — the signature of a writer that crashed mid-snapshot — is
+// dropped with a logged warning rather than failing the whole load,
+// matching the WAL's torn-tail replay semantics; corruption anywhere
+// else still fails.
 func ReadSnapshot(r io.Reader) (*Store, error) {
 	s := New()
 	dec := json.NewDecoder(bufio.NewReader(r))
 	for line := 1; ; line++ {
 		var im Impression
-		if err := dec.Decode(&im); err == io.EOF {
+		err := dec.Decode(&im)
+		if err == io.EOF {
 			break
-		} else if err != nil {
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			slog.Warn("store: snapshot ends in a truncated record; dropping it",
+				"records_kept", s.Len())
+			break
+		}
+		if err != nil {
 			return nil, fmt.Errorf("store: decoding snapshot record %d: %w", line, err)
 		}
 		if _, err := s.Insert(im); err != nil {

@@ -1,0 +1,104 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failingWriter accepts limit bytes and then fails every write — an
+// in-memory stand-in for a disk filling up mid-snapshot.
+type failingWriter struct {
+	limit int
+	buf   bytes.Buffer
+}
+
+var errWriterDead = errors.New("disk full")
+
+func (f *failingWriter) Write(b []byte) (int, error) {
+	if f.buf.Len()+len(b) > f.limit {
+		room := f.limit - f.buf.Len()
+		if room > 0 {
+			f.buf.Write(b[:room])
+		}
+		return room, errWriterDead
+	}
+	return f.buf.Write(b)
+}
+
+func TestWriteSnapshotPropagatesWriterFailure(t *testing.T) {
+	s := New()
+	for i := 0; i < 50; i++ {
+		if _, err := s.Insert(walImpression("c1", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fw := &failingWriter{limit: 300}
+	if err := s.WriteSnapshot(fw); !errors.Is(err, errWriterDead) {
+		t.Fatalf("WriteSnapshot over a failing writer returned %v, want the writer's error", err)
+	}
+	// The failure is the writer's problem, not the store's: it still
+	// serves reads and snapshots cleanly afterwards.
+	if s.Len() != 50 {
+		t.Fatalf("store mutated by failed snapshot: %d records", s.Len())
+	}
+	var ok bytes.Buffer
+	if err := s.WriteSnapshot(&ok); err != nil {
+		t.Fatalf("snapshot after failed snapshot: %v", err)
+	}
+	got, err := ReadSnapshot(&ok)
+	if err != nil || got.Len() != 50 {
+		t.Fatalf("retry round-trip: len=%d err=%v", got.Len(), err)
+	}
+}
+
+func TestReadSnapshotToleratesTruncatedFinalRecord(t *testing.T) {
+	s := New()
+	for i := 0; i < 3; i++ {
+		if _, err := s.Insert(walImpression("c1", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	// Chop mid-way through the last record — a writer that died between
+	// write(2) calls.
+	lines := strings.SplitAfter(strings.TrimSuffix(full, "\n"), "\n")
+	torn := strings.Join(lines[:2], "") + lines[2][:len(lines[2])/2]
+
+	got, err := ReadSnapshot(strings.NewReader(torn))
+	if err != nil {
+		t.Fatalf("truncated final record must not fail the load: %v", err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("kept %d records, want the 2 intact ones", got.Len())
+	}
+	for id := int64(1); id <= 2; id++ {
+		want, _ := s.Get(id)
+		if g, ok := got.Get(id); !ok || g != want {
+			t.Fatalf("record %d mismatch after truncated load", id)
+		}
+	}
+	// Corruption that is NOT a truncated tail still fails.
+	corrupt := lines[0] + "###garbage###\n" + lines[2]
+	if _, err := ReadSnapshot(strings.NewReader(corrupt)); err == nil {
+		t.Fatal("mid-file corruption silently accepted")
+	}
+}
+
+func TestWriteCSVPropagatesWriterFailure(t *testing.T) {
+	s := New()
+	for i := 0; i < 50; i++ {
+		if _, err := s.Insert(walImpression("c1", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fw := &failingWriter{limit: 200}
+	if err := s.WriteCSV(fw); !errors.Is(err, errWriterDead) {
+		t.Fatalf("WriteCSV over a failing writer returned %v, want the writer's error", err)
+	}
+}

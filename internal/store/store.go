@@ -60,6 +60,10 @@ type Impression struct {
 	// MaxVisibleFraction is the peak visible-pixel fraction observed,
 	// meaningful only when VisibilityMeasured.
 	MaxVisibleFraction float64 `json:"max_visible_fraction,omitempty"`
+	// Nonce is the client-generated impression nonce the collector
+	// deduplicates beacon reconnects by; empty when the beacon never
+	// sent one.
+	Nonce string `json:"nonce,omitempty"`
 }
 
 // Validate checks the record is complete enough to insert.
@@ -91,6 +95,10 @@ type Store struct {
 
 	conversions conversionLog
 
+	// wal, when attached, journals every insert and merge before the
+	// in-memory mutation (see wal.go).
+	wal *WAL
+
 	tel storeTelemetry
 }
 
@@ -104,7 +112,9 @@ func New() *Store {
 }
 
 // Insert validates im, assigns it the next ID and appends it. The
-// returned ID is 1-based.
+// returned ID is 1-based. With a WAL attached the record is journaled
+// before the in-memory store mutates, so an insert that returned
+// survives a crash.
 func (s *Store) Insert(im Impression) (int64, error) {
 	var start time.Time
 	if s.tel.sampleTiming() {
@@ -117,6 +127,16 @@ func (s *Store) Insert(im Impression) (int64, error) {
 	s.mu.Lock()
 	idx := len(s.recs)
 	im.ID = int64(idx + 1)
+	if s.wal != nil {
+		// Journal a branch-local copy: taking &im directly would make the
+		// parameter escape and cost a heap allocation even with no WAL.
+		w := im
+		if err := s.wal.append(walEntry{Op: "ins", Im: &w}); err != nil {
+			s.mu.Unlock()
+			s.tel.insertFailures.Inc()
+			return 0, err
+		}
+	}
 	s.recs = append(s.recs, im)
 	s.byCampaign[im.CampaignID] = append(s.byCampaign[im.CampaignID], idx)
 	s.byPublisher[im.Publisher] = append(s.byPublisher[im.Publisher], idx)

@@ -1,0 +1,418 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+	"time"
+)
+
+// The write-ahead log makes acknowledged impressions survive a
+// collector crash. Every Insert and Merge appends one JSON line to the
+// journal *before* the in-memory store mutates, so a daemon killed at
+// any instant recovers, at boot, every record it ever acknowledged —
+// closing the gap the periodic snapshot leaves (a crash used to lose
+// everything since the last flush).
+//
+// Design points:
+//
+//   - One entry per line, written in a single write(2) call including
+//     the trailing newline. A torn final line therefore always means a
+//     crash mid-append, never a corrupt middle; replay tolerates it by
+//     truncating the tail and logging a warning.
+//   - Merge entries carry the absolute post-merge values (not deltas),
+//     so replaying a WAL over a snapshot that already contains any
+//     prefix of it is idempotent. That makes the compaction race
+//     windows (crash between snapshot rename and journal reset) safe.
+//   - Durability is a policy: SyncAlways fsyncs per append (every
+//     acknowledged impression survives power loss), SyncInterval
+//     fsyncs on a timer (bounded loss under power failure, none under
+//     process crash), SyncOS leaves flushing to the kernel (process
+//     crashes still lose nothing — entries reach the page cache in the
+//     append call itself).
+
+// SyncPolicy says when the WAL calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncOS never fsyncs explicitly: every append still reaches the
+	// kernel synchronously (surviving a process crash), and the OS
+	// flushes to disk on its own schedule. The default.
+	SyncOS SyncPolicy = iota
+	// SyncAlways fsyncs after every append.
+	SyncAlways
+	// SyncInterval fsyncs on a background timer (WALOptions.Interval).
+	SyncInterval
+)
+
+// ParseSyncPolicy maps the -wal-sync flag values onto a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "os", "":
+		return SyncOS, nil
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	}
+	return 0, fmt.Errorf("store: unknown wal sync policy %q (want os, always or interval)", s)
+}
+
+// WALOptions tune the journal.
+type WALOptions struct {
+	// Policy is the fsync policy (default SyncOS).
+	Policy SyncPolicy
+	// Interval is the SyncInterval flush period (default 100ms).
+	Interval time.Duration
+}
+
+// WAL is an append-only JSON-lines journal of store mutations. Attach
+// one with Store.AttachWAL; open an existing journal at boot with
+// RecoverWAL first.
+type WAL struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	policy SyncPolicy
+	dirty  bool // appended since last fsync (SyncInterval bookkeeping)
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// walEntry is one journal line. Insert entries carry the full record
+// (including its assigned ID); merge entries carry the absolute
+// post-merge values so replay is idempotent.
+type walEntry struct {
+	Op string      `json:"op"` // "ins" | "mrg"
+	Im *Impression `json:"im,omitempty"`
+
+	ID          int64   `json:"id,omitempty"`
+	ExposureNS  int64   `json:"exp,omitempty"`
+	MouseMoves  int     `json:"moves,omitempty"`
+	Clicks      int     `json:"clicks,omitempty"`
+	VisMeasured bool    `json:"vis,omitempty"`
+	MaxVis      float64 `json:"maxvis,omitempty"`
+}
+
+// OpenWAL opens (creating if missing) the journal at path for
+// appending. Call RecoverWAL first when the file may hold entries from
+// a previous run — OpenWAL does not replay.
+func OpenWAL(path string, opts WALOptions) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening wal %s: %w", path, err)
+	}
+	w := &WAL{
+		f:      f,
+		path:   path,
+		policy: opts.Policy,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if w.policy == SyncInterval {
+		interval := opts.Interval
+		if interval <= 0 {
+			interval = 100 * time.Millisecond
+		}
+		go w.flushLoop(interval)
+	} else {
+		close(w.done)
+	}
+	return w, nil
+}
+
+// Path returns the journal's file path.
+func (w *WAL) Path() string { return w.path }
+
+func (w *WAL) flushLoop(interval time.Duration) {
+	defer close(w.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if w.dirty {
+				_ = w.f.Sync()
+				w.dirty = false
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// append writes one entry as a single line in a single write call; the
+// fsync policy decides whether the entry is also forced to disk before
+// the append returns.
+func (w *WAL) append(e walEntry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: encoding wal entry: %w", err)
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("store: appending wal entry: %w", err)
+	}
+	switch w.policy {
+	case SyncAlways:
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("store: syncing wal: %w", err)
+		}
+	case SyncInterval:
+		w.dirty = true
+	}
+	return nil
+}
+
+// Sync forces buffered journal bytes to disk regardless of policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.dirty = false
+	return w.f.Sync()
+}
+
+// Reset truncates the journal to empty — called after a snapshot has
+// been durably published, which supersedes every journaled entry.
+// Callers must ensure no append can race the reset (Store holds its
+// write-excluding lock across SnapshotCompact for exactly this reason).
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: rewinding wal: %w", err)
+	}
+	w.dirty = false
+	return w.f.Sync()
+}
+
+// Close flushes and closes the journal.
+func (w *WAL) Close() error {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_ = w.f.Sync()
+	return w.f.Close()
+}
+
+// AttachWAL makes every subsequent Insert and Merge journal itself to w
+// before mutating the store. Attach before the store starts taking
+// traffic; a nil w detaches.
+func (s *Store) AttachWAL(w *WAL) {
+	s.mu.Lock()
+	s.wal = w
+	s.mu.Unlock()
+}
+
+// RecoverWAL replays the journal at path into base (nil starts an empty
+// store) and returns the recovered store plus the number of entries
+// applied. base is typically the last published snapshot; insert
+// entries the snapshot already contains are skipped and merge entries
+// re-apply idempotently, so any prefix overlap between snapshot and
+// journal is harmless. A torn final line — the signature of a crash
+// mid-append — is logged, dropped, and truncated away so the journal is
+// append-clean afterwards; corruption anywhere else fails the recovery.
+func RecoverWAL(path string, base *Store, logger *slog.Logger) (*Store, int, error) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s := base
+	if s == nil {
+		s = New()
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return s, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: opening wal %s: %w", path, err)
+	}
+	defer f.Close()
+
+	br := bufio.NewReader(f)
+	applied := 0
+	var goodOffset int64 // end of the last intact, newline-terminated entry
+	for lineNo := 1; ; lineNo++ {
+		line, err := br.ReadString('\n')
+		if err == io.EOF {
+			if len(line) > 0 {
+				// Data after the last newline: a torn append. Drop it.
+				logger.Warn("store: wal ends in a torn entry; dropping tail",
+					"path", path, "line", lineNo, "bytes", len(line))
+				if err := truncateAt(path, goodOffset); err != nil {
+					return nil, 0, err
+				}
+			}
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: reading wal %s: %w", path, err)
+		}
+		var e walEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			// A newline-terminated line that does not parse is real
+			// corruption, not a crash artifact: appends write the whole
+			// line atomically.
+			return nil, 0, fmt.Errorf("store: wal %s entry %d corrupt: %w", path, lineNo, err)
+		}
+		ok, err := s.applyWALEntry(e)
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: wal %s entry %d: %w", path, lineNo, err)
+		}
+		if ok {
+			applied++
+		}
+		goodOffset += int64(len(line))
+	}
+	return s, applied, nil
+}
+
+// applyWALEntry replays one journal entry; ok reports whether it
+// changed the store (snapshot-covered inserts are skipped).
+func (s *Store) applyWALEntry(e walEntry) (ok bool, err error) {
+	switch e.Op {
+	case "ins":
+		if e.Im == nil {
+			return false, fmt.Errorf("insert entry missing record")
+		}
+		s.mu.Lock()
+		have := int64(len(s.recs))
+		s.mu.Unlock()
+		if e.Im.ID <= have {
+			// Already covered by the snapshot the journal was replayed
+			// over (crash landed between snapshot publish and reset).
+			return false, nil
+		}
+		if e.Im.ID != have+1 {
+			return false, fmt.Errorf("insert id %d does not follow store length %d", e.Im.ID, have)
+		}
+		if _, err := s.Insert(*e.Im); err != nil {
+			return false, err
+		}
+		return true, nil
+	case "mrg":
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if e.ID < 1 || e.ID > int64(len(s.recs)) {
+			return false, fmt.Errorf("merge id %d out of range (store length %d)", e.ID, len(s.recs))
+		}
+		im := &s.recs[e.ID-1]
+		im.Exposure = time.Duration(e.ExposureNS)
+		im.MouseMoves = e.MouseMoves
+		im.Clicks = e.Clicks
+		im.VisibilityMeasured = e.VisMeasured
+		im.MaxVisibleFraction = e.MaxVis
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown op %q", e.Op)
+}
+
+// truncateAt chops the file to size off, removing a torn tail.
+func truncateAt(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("store: reopening wal for truncation: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(off); err != nil {
+		return fmt.Errorf("store: truncating torn wal tail: %w", err)
+	}
+	return f.Sync()
+}
+
+// Continuation is the contribution of a reconnected beacon session to
+// an impression it resumes: the extra connection time and the
+// interactions observed on the new connection. Store.Merge folds it
+// into the original record instead of double-counting the impression.
+type Continuation struct {
+	// Exposure is the resumed connection's duration, added to the
+	// record's exposure (the paper measures exposure as total
+	// connection time, however the connections end).
+	Exposure time.Duration
+	// MouseMoves and Clicks are interaction counts from the resumed
+	// session, added to the record's counts.
+	MouseMoves int
+	Clicks     int
+	// VisibilityMeasured / MaxVisibleFraction extend the record's
+	// visibility measurement (logical-or / max).
+	VisibilityMeasured bool
+	MaxVisibleFraction float64
+}
+
+// Merge folds cont into the impression with the given ID — the
+// collector's dedup path for a beacon that reconnected mid-exposure
+// with the same nonce. The journal entry (when a WAL is attached)
+// records the absolute post-merge values, keeping replay idempotent.
+func (s *Store) Merge(id int64, cont Continuation) error {
+	if cont.Exposure < 0 {
+		return fmt.Errorf("store: negative continuation exposure %v", cont.Exposure)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 1 || id > int64(len(s.recs)) {
+		return fmt.Errorf("store: merge target %d out of range (store length %d)", id, len(s.recs))
+	}
+	im := &s.recs[id-1]
+	exp := im.Exposure + cont.Exposure
+	moves := im.MouseMoves + cont.MouseMoves
+	clicks := im.Clicks + cont.Clicks
+	vis := im.VisibilityMeasured || cont.VisibilityMeasured
+	maxVis := im.MaxVisibleFraction
+	if cont.MaxVisibleFraction > maxVis {
+		maxVis = cont.MaxVisibleFraction
+	}
+	if s.wal != nil {
+		err := s.wal.append(walEntry{
+			Op: "mrg", ID: id,
+			ExposureNS:  int64(exp),
+			MouseMoves:  moves,
+			Clicks:      clicks,
+			VisMeasured: vis,
+			MaxVis:      maxVis,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	im.Exposure = exp
+	im.MouseMoves = moves
+	im.Clicks = clicks
+	im.VisibilityMeasured = vis
+	im.MaxVisibleFraction = maxVis
+	return nil
+}
+
+// SnapshotCompact writes a consistent snapshot through persist and,
+// when persist succeeds, resets the attached WAL (no-op without one).
+// persist receives a write function that streams the snapshot to any
+// writer; it should only return nil once the snapshot is durably
+// published (e.g. temp-file + rename). The store's writer-excluding
+// lock is held across both steps, so no insert can land between the
+// snapshot scan and the journal truncation — the invariant that makes
+// crash recovery (snapshot + journal replay) lossless.
+func (s *Store) SnapshotCompact(persist func(write func(io.Writer) error) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := persist(func(w io.Writer) error { return s.writeSnapshotLocked(w) }); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		return s.wal.Reset()
+	}
+	return nil
+}

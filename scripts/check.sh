@@ -6,10 +6,11 @@
 #
 #   scripts/check.sh          # vet + tests + race
 #   scripts/check.sh -bench   # also run the telemetry-overhead benchmarks
+#   scripts/check.sh -chaos   # also run the fault-injection suite under -race
 set -eu
 cd "$(dirname "$0")/.."
 
-RACE_PKGS="./internal/collector/ ./internal/wsproto/ ./internal/store/ ./internal/telemetry/"
+RACE_PKGS="./internal/collector/ ./internal/wsproto/ ./internal/store/ ./internal/telemetry/ ./internal/faultnet/ ./internal/beacon/"
 
 echo "==> go build ./..."
 go build ./...
@@ -27,6 +28,15 @@ if [ "${1:-}" = "-bench" ]; then
     echo "==> telemetry overhead: BenchmarkCollectorIngest vs Uninstrumented"
     go test -run '^$' -bench 'BenchmarkCollectorIngest' -benchmem -count 3 \
         ./internal/collector/
+fi
+
+if [ "${1:-}" = "-chaos" ]; then
+    # The chaos campaign needs real time for kills and reconnects, so it
+    # skips itself under -short; this is the explicit full-fat run.
+    echo "==> chaos suite (fault injection + WAL crash recovery, -race)"
+    go test -race -count 1 ./internal/faultnet/
+    go test -race -count 1 -run 'TestChaos|TestReportReconnects|TestWAL' \
+        ./internal/collector/ ./internal/beacon/ ./internal/store/ -v
 fi
 
 echo "==> ok"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench chaos clean
+.PHONY: build test check bench bench-compare chaos clean
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,13 @@ check:
 # uninstrumented ingest) on top of the full check.
 bench:
 	sh scripts/check.sh -bench
+
+# bench-compare runs the audit-engine performance gate: serial vs
+# parallel FullAudit plus the Table 2 context benchmark, summarised
+# into BENCH_audit.json, failing on a >10% allocs/op regression in
+# BenchmarkTable2Context. See scripts/bench_compare.sh.
+bench-compare:
+	sh scripts/bench_compare.sh
 
 # chaos runs the fault-injection suite under the race detector: the
 # faultnet layer's own tests plus the end-to-end chaos campaign

@@ -141,9 +141,17 @@ func (ws *Workspace) Run(cs []adnet.Campaign) (*Run, error) {
 
 // Auditor returns an auditor over the workspace's dataset, using the
 // publisher universe as the metadata source (the stand-in for the
-// AdWords placement tool + Alexa lookups the paper performs).
+// AdWords placement tool + Alexa lookups the paper performs). Its
+// stage-latency histograms and audit counters land in the collector's
+// telemetry registry, so `adsim -metrics` captures the analysis side
+// of a run alongside ingest.
 func (ws *Workspace) Auditor() (*audit.Auditor, error) {
-	return audit.New(ws.Store, audit.UniverseMetadata{Universe: ws.Publishers})
+	a, err := audit.New(ws.Store, audit.UniverseMetadata{Universe: ws.Publishers})
+	if err != nil {
+		return nil, err
+	}
+	a.Instrument(ws.Collector.Telemetry())
+	return a, nil
 }
 
 // Run is a completed campaign-set execution.

@@ -19,6 +19,7 @@ package adaudit
 
 import (
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -191,6 +192,37 @@ func BenchmarkTable4Fraud(b *testing.B) {
 	}
 	b.ReportMetric(100*f010.PctDataCenterImpressions(), "football010-dc-imps-pct") // paper: 8.6
 	b.ReportMetric(100*f010.PctPublishersServingDC(), "football010-dc-pubs-pct")   // paper: 23.55
+}
+
+// BenchmarkFullAuditSerial measures the complete audit on one
+// goroutine — the pre-parallelism baseline bench-compare pits the pool
+// against.
+func BenchmarkFullAuditSerial(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.auditor.FullAuditSerial(s.inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1, "workers")
+}
+
+// BenchmarkFullAuditParallel measures the fanned-out audit at
+// GOMAXPROCS workers. On a multi-core machine this is where the
+// speedup shows; on one core it documents the pool's overhead is
+// negligible.
+func BenchmarkFullAuditParallel(b *testing.B) {
+	s := benchSetup(b)
+	par := *s.auditor // don't leave Parallelism set on the shared auditor
+	par.Parallelism = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := par.FullAudit(s.inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
 // BenchmarkFullAuditReport measures the complete audit plus rendering of

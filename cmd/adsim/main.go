@@ -65,15 +65,6 @@ func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversions
 			return fmt.Errorf("writing conversions: %w", err)
 		}
 	}
-	if metricsPath != "" {
-		reg := ws.Collector.Telemetry()
-		if reg == nil {
-			return fmt.Errorf("writing metrics: collector runs without telemetry")
-		}
-		if err := writeTo(metricsPath, reg.WriteJSON); err != nil {
-			return fmt.Errorf("writing metrics: %w", err)
-		}
-	}
 	if reportsPath != "" {
 		err := writeTo(reportsPath, func(w io.Writer) error {
 			enc := json.NewEncoder(w)
@@ -89,7 +80,20 @@ func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversions
 		if err != nil {
 			return err
 		}
-		return run.WriteReport(os.Stdout, rep)
+		if err := run.WriteReport(os.Stdout, rep); err != nil {
+			return err
+		}
+	}
+	// Metrics are written last so the telemetry view covers the audit
+	// stages (when -report ran one), not just ingest.
+	if metricsPath != "" {
+		reg := ws.Collector.Telemetry()
+		if reg == nil {
+			return fmt.Errorf("writing metrics: collector runs without telemetry")
+		}
+		if err := writeTo(metricsPath, reg.WriteJSON); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
 	}
 	return nil
 }

@@ -39,15 +39,16 @@ func main() {
 		keywords    = flag.String("keywords", "", "comma-separated campaign keywords for the context analysis (fallback when no reports metadata)")
 		seed        = flag.Int64("seed", 1, "seed of the synthetic metadata universe (must match the dataset's)")
 		pubs        = flag.Int("publishers", 150000, "size of the synthetic metadata universe")
+		parallelism = flag.Int("parallelism", 0, "audit worker-pool size: 0 = one worker per CPU, 1 = serial (output is identical at every setting)")
 	)
 	flag.Parse()
-	if err := run(*snapshot, *conversions, *reports, *placements, *analysis, *keywords, *seed, *pubs); err != nil {
+	if err := run(*snapshot, *conversions, *reports, *placements, *analysis, *keywords, *seed, *pubs, *parallelism); err != nil {
 		fmt.Fprintln(os.Stderr, "auditctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(snapshotPath, conversionsPath, reportsPath, placementsSpec, analysis, keywordsCSV string, seed int64, numPubs int) error {
+func run(snapshotPath, conversionsPath, reportsPath, placementsSpec, analysis, keywordsCSV string, seed int64, numPubs, parallelism int) error {
 	if snapshotPath == "" {
 		return fmt.Errorf("-snapshot is required")
 	}
@@ -84,6 +85,7 @@ func run(snapshotPath, conversionsPath, reportsPath, placementsSpec, analysis, k
 	if err != nil {
 		return err
 	}
+	auditor.Parallelism = parallelism
 
 	var vendorReports map[string]*adnet.VendorReport
 	if reportsPath != "" {

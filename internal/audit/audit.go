@@ -68,11 +68,18 @@ type Auditor struct {
 	// Store is the beacon dataset. Required.
 	Store *store.Store
 	// Meta resolves publisher metadata. Required for the context and
-	// popularity analyses.
+	// popularity analyses. Implementations must be safe for concurrent
+	// lookups: FullAudit fans analyses out across a worker pool.
 	Meta MetadataSource
 	// Matcher decides contextual relevance. Required for the context
 	// analysis.
 	Matcher *semsim.Matcher
+	// Parallelism bounds the worker pool FullAudit fans per-campaign,
+	// per-dimension analysis tasks across. 0 uses GOMAXPROCS; 1 runs
+	// serially. The report is identical at every setting.
+	Parallelism int
+
+	tel auditTelemetry
 }
 
 // New returns an Auditor over st with the given metadata source and the
@@ -88,16 +95,26 @@ func New(st *store.Store, meta MetadataSource) (*Auditor, error) {
 	}, nil
 }
 
-// campaignImpressions returns the impressions of one campaign, or all
-// impressions when campaignID is empty.
-func (a *Auditor) campaignImpressions(campaignID string) []store.Impression {
+// visitImpressions streams the impressions of one campaign — or every
+// impression when campaignID is empty — through fn without
+// materializing a copy of the dataset. It replaces the old
+// campaignImpressions helper, which built a full []store.Impression
+// per analysis call (and, for the all-campaigns case, re-walked the
+// whole store copying record by record): every analysis now reads
+// straight off the store's index via the zero-copy visit path.
+func (a *Auditor) visitImpressions(campaignID string, fn func(*store.Impression) bool) {
 	if campaignID == "" {
-		out := make([]store.Impression, 0, a.Store.Len())
-		a.Store.ForEach(func(im store.Impression) bool {
-			out = append(out, im)
-			return true
-		})
-		return out
+		a.Store.Visit(fn)
+		return
 	}
-	return a.Store.ByCampaign(campaignID)
+	a.Store.VisitCampaign(campaignID, fn)
+}
+
+// impressionCount returns how many impressions visitImpressions will
+// stream — known up front from the index, for exact preallocation.
+func (a *Auditor) impressionCount(campaignID string) int {
+	if campaignID == "" {
+		return a.Store.Len()
+	}
+	return a.Store.CampaignCursor(campaignID).Len()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"adaudit/internal/adnet"
+	"adaudit/internal/store"
 )
 
 // ContextResult is the Table 2 analysis: the fraction of impressions
@@ -53,27 +54,28 @@ func (a *Auditor) Context(campaignID string, keywords []string, report *adnet.Ve
 	res := ContextResult{CampaignID: campaignID}
 
 	// Publisher relevance is a property of the publisher, not the
-	// impression: resolve each distinct publisher once.
+	// impression: resolve each distinct publisher once, against the
+	// campaign keywords compiled once (not re-normalized per publisher).
+	query := a.Matcher.Compile(keywords)
 	relevant := map[string]bool{}
 	for _, pub := range a.Store.Publishers(campaignID) {
 		meta, ok := a.Meta.PublisherMeta(pub)
 		if !ok {
 			continue
 		}
-		relevant[pub] = a.Matcher.Relevant(keywords, meta.Keywords, meta.Topics)
+		relevant[pub] = query.Relevant(meta.Keywords, meta.Topics)
 	}
 
-	for _, im := range a.campaignImpressions(campaignID) {
+	a.visitImpressions(campaignID, func(im *store.Impression) bool {
 		res.AuditImpressions++
 		rel, known := relevant[im.Publisher]
 		if !known {
 			res.UnknownMeta++
-			continue
-		}
-		if rel {
+		} else if rel {
 			res.MeaningfulImpressions++
 		}
-	}
+		return true
+	})
 	if report != nil {
 		res.VendorClaimed = report.ContextualImpressions
 		res.VendorTotal = report.TotalImpressionsCharged + report.RefundedImpressions

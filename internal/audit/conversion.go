@@ -2,6 +2,8 @@ package audit
 
 import (
 	"sort"
+
+	"adaudit/internal/store"
 )
 
 // ConversionResult is the conversion-ratio analysis the paper defines
@@ -90,28 +92,26 @@ func (a *Auditor) Conversions(campaignID string) ConversionResult {
 	users := map[string]*userStats{} // campaign|user -> stats
 	key := func(camp, user string) string { return camp + "|" + user }
 
-	for _, im := range a.campaignImpressions(campaignID) {
+	// One streaming pass builds both the per-user exposure stats and
+	// the DC-user set (the old code materialized the campaign's
+	// impressions twice to do this).
+	dcUsers := map[string]bool{}
+	a.visitImpressions(campaignID, func(im *store.Impression) bool {
 		res.Impressions++
 		res.Clicks += im.Clicks
 		isDC := im.DataCenter != "" && im.DataCenter != "not-data-center" && im.DataCenter != "vpn-exception"
+		k := key(im.CampaignID, im.UserKey)
 		if isDC {
 			res.DataCenterImpressions++
 			res.DataCenterClicks += im.Clicks
+			dcUsers[k] = true
 		}
-		k := key(im.CampaignID, im.UserKey)
 		if users[k] == nil {
 			users[k] = &userStats{}
 		}
 		users[k].exposures++
-	}
-
-	dcUsers := map[string]bool{}
-	for _, im := range a.campaignImpressions(campaignID) {
-		isDC := im.DataCenter != "" && im.DataCenter != "not-data-center" && im.DataCenter != "vpn-exception"
-		if isDC {
-			dcUsers[key(im.CampaignID, im.UserKey)] = true
-		}
-	}
+		return true
+	})
 
 	for _, conv := range a.Store.Conversions(campaignID) {
 		res.Conversions++

@@ -2,6 +2,8 @@ package audit
 
 import (
 	"sort"
+
+	"adaudit/internal/store"
 )
 
 // FraudResult is the Table 4 analysis: how much of a campaign's traffic
@@ -64,7 +66,7 @@ func (a *Auditor) Fraud(campaignID string) FraudResult {
 	pubSeen := map[string]bool{} // publisher -> servedDC
 	dcPerPub := map[string]int{}
 
-	for _, im := range a.campaignImpressions(campaignID) {
+	a.visitImpressions(campaignID, func(im *store.Impression) bool {
 		res.Impressions++
 		isDC := im.DataCenter != "" && im.DataCenter != "not-data-center" && im.DataCenter != "vpn-exception"
 		if isDC {
@@ -74,7 +76,8 @@ func (a *Auditor) Fraud(campaignID string) FraudResult {
 		}
 		ipSeen[im.IPPseudonym] = ipSeen[im.IPPseudonym] || isDC
 		pubSeen[im.Publisher] = pubSeen[im.Publisher] || isDC
-	}
+		return true
+	})
 	res.DistinctIPs = len(ipSeen)
 	res.Publishers = len(pubSeen)
 	for _, dc := range ipSeen {

@@ -3,6 +3,7 @@ package audit
 import (
 	"sort"
 
+	"adaudit/internal/store"
 	"adaudit/internal/useragent"
 )
 
@@ -70,7 +71,7 @@ func (a *Auditor) Interactions(campaignID string) InteractionResult {
 	}
 	users := map[string]*userAgg{}
 
-	for _, im := range a.campaignImpressions(campaignID) {
+	a.visitImpressions(campaignID, func(im *store.Impression) bool {
 		res.Impressions++
 		agent := useragent.Parse(im.UserAgent)
 		uaBot := agent.IsBot()
@@ -102,7 +103,8 @@ func (a *Auditor) Interactions(campaignID string) InteractionResult {
 		u.imps++
 		u.moves += im.MouseMoves
 		u.clicks += im.Clicks
-	}
+		return true
+	})
 
 	for key, u := range users {
 		if u.imps >= 3 && u.clicks > 0 && u.moves == 0 {

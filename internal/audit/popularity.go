@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"adaudit/internal/stats"
+	"adaudit/internal/store"
 )
 
 // PopularityResult is the Figure 2 analysis: how a campaign's
@@ -77,15 +78,16 @@ func (a *Auditor) Popularity(campaignID string, base float64, maxRank float64) (
 		res.Publishers.Observe(float64(meta.Rank))
 		res.pubRanks = append(res.pubRanks, meta.Rank)
 	}
-	for _, im := range a.campaignImpressions(campaignID) {
+	a.visitImpressions(campaignID, func(im *store.Impression) bool {
 		rank, ok := ranks[im.Publisher]
 		if !ok {
 			res.UnknownMeta++
-			continue
+			return true
 		}
 		res.Impressions.Observe(float64(rank))
 		res.impRanks = append(res.impRanks, rank)
-	}
+		return true
+	})
 	return res, nil
 }
 

@@ -52,8 +52,8 @@ const ViewabilityThreshold = time.Second
 // Viewability runs the Table 3 analysis for one campaign ("" for all).
 func (a *Auditor) Viewability(campaignID string) ViewabilityResult {
 	res := ViewabilityResult{CampaignID: campaignID}
-	var exposures []float64
-	for _, im := range a.campaignImpressions(campaignID) {
+	exposures := make([]float64, 0, a.impressionCount(campaignID))
+	a.visitImpressions(campaignID, func(im *store.Impression) bool {
 		res.Impressions++
 		if im.Exposure >= ViewabilityThreshold {
 			res.ViewableUB++
@@ -65,7 +65,8 @@ func (a *Auditor) Viewability(campaignID string) ViewabilityResult {
 			}
 		}
 		exposures = append(exposures, im.Exposure.Seconds())
-	}
+		return true
+	})
 	res.ExposureSummary = stats.Summarize(exposures)
 	return res
 }
@@ -121,7 +122,7 @@ func (r FrequencyResult) MedianIATBelow(minImps int, d time.Duration) int {
 func (a *Auditor) Frequency() FrequencyResult {
 	type key struct{ campaign, user string }
 	times := map[key][]time.Time{}
-	a.Store.ForEach(func(im store.Impression) bool {
+	a.Store.Visit(func(im *store.Impression) bool {
 		k := key{im.CampaignID, im.UserKey}
 		times[k] = append(times[k], im.Timestamp)
 		return true

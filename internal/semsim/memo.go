@@ -1,0 +1,46 @@
+package semsim
+
+import "sync"
+
+// pairMemo is a concurrency-safe two-level memo for symmetric
+// word-pair scores: an outer sync.Map keyed by the first word holds an
+// inner sync.Map keyed by the second. Two levels instead of one
+// concatenated key means a cache hit allocates nothing — no joined key
+// string is built on lookup — which is what makes the memo a net win
+// on the context analysis's hot path (millions of repeated pairs,
+// a small distinct vocabulary).
+//
+// Pairs are stored under their sorted order (callers canonicalise), so
+// sim(a,b) and sim(b,a) share one entry.
+type pairMemo struct {
+	m sync.Map // first word -> *sync.Map(second word -> memoEntry)
+}
+
+// memoEntry is one cached result, including the not-in-vocabulary case
+// so unknown words are not re-searched either.
+type memoEntry struct {
+	sim float64
+	ok  bool
+}
+
+// load returns the cached entry for the (already canonicalised) pair.
+func (p *pairMemo) load(a, b string) (memoEntry, bool) {
+	v, hit := p.m.Load(a)
+	if !hit {
+		return memoEntry{}, false
+	}
+	e, hit := v.(*sync.Map).Load(b)
+	if !hit {
+		return memoEntry{}, false
+	}
+	return e.(memoEntry), true
+}
+
+// store caches the result for the (already canonicalised) pair.
+func (p *pairMemo) store(a, b string, e memoEntry) {
+	v, hit := p.m.Load(a)
+	if !hit {
+		v, _ = p.m.LoadOrStore(a, &sync.Map{})
+	}
+	v.(*sync.Map).Store(b, e)
+}

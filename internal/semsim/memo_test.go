@@ -1,0 +1,126 @@
+package semsim
+
+import (
+	"sync"
+	"testing"
+)
+
+// Memoized scores must be identical to the uncached computation, in
+// both argument orders, for known and unknown words alike.
+func TestWordSimilarityMemoConsistent(t *testing.T) {
+	tx := DefaultTaxonomy()
+	pairs := [][2]string{
+		{"cars", "motor"},
+		{"motor", "cars"}, // reversed order hits the same entry
+		{"cars", "cars"},
+		{"cars", "no-such-word"},
+		{"Football", "SOCCER"}, // normalization feeds the memo key
+	}
+	for _, p := range pairs {
+		wantSim, wantOK := tx.wordSimilarity(normalize(p[0]), normalize(p[1]))
+		for rep := 0; rep < 3; rep++ { // rep 0 fills, reps 1-2 hit
+			sim, ok := tx.WordSimilarity(p[0], p[1])
+			if sim != wantSim || ok != wantOK {
+				t.Fatalf("WordSimilarity(%q, %q) rep %d = (%v, %v), uncached (%v, %v)",
+					p[0], p[1], rep, sim, ok, wantSim, wantOK)
+			}
+		}
+	}
+}
+
+func TestSimilarityMemoConsistent(t *testing.T) {
+	tx := DefaultTaxonomy()
+	concepts := tx.Concepts()
+	if len(concepts) < 4 {
+		t.Fatalf("default taxonomy too small: %d concepts", len(concepts))
+	}
+	a, b := concepts[1], concepts[len(concepts)-1]
+
+	s1, ok1 := tx.Similarity(a, b)
+	s2, ok2 := tx.Similarity(b, a) // symmetric, shares the entry
+	s3, ok3 := tx.Similarity(a, b) // cache hit
+	if s1 != s2 || s1 != s3 || !ok1 || !ok2 || !ok3 {
+		t.Fatalf("Similarity not stable across orders/repeats: %v %v %v", s1, s2, s3)
+	}
+	if _, ok := tx.Similarity(a, "missing-concept"); ok {
+		t.Fatal("unknown concept scored ok on first call")
+	}
+	if _, ok := tx.Similarity(a, "missing-concept"); ok {
+		t.Fatal("unknown concept scored ok from the memo")
+	}
+}
+
+// Concurrent mixed readers must agree with the serial answer; run under
+// -race this also proves the memo's safety claim.
+func TestWordSimilarityMemoConcurrent(t *testing.T) {
+	tx := DefaultTaxonomy()
+	words := []string{"cars", "motor", "football", "soccer", "banking", "finance", "nope"}
+
+	type res struct{ sim float64; ok bool }
+	want := map[[2]string]res{}
+	for _, a := range words {
+		for _, b := range words {
+			sim, ok := DefaultTaxonomy().WordSimilarity(a, b) // fresh taxonomy: uncached truth
+			want[[2]string{a, b}] = res{sim, ok}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a := words[(g+i)%len(words)]
+				b := words[(g*3+i*7)%len(words)]
+				sim, ok := tx.WordSimilarity(a, b)
+				w := want[[2]string{a, b}]
+				if sim != w.sim || ok != w.ok {
+					t.Errorf("concurrent WordSimilarity(%q, %q) = (%v, %v), want (%v, %v)",
+						a, b, sim, ok, w.sim, w.ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// A compiled Query must agree with the per-call Matcher methods on
+// every clause.
+func TestQueryMatchesMatcher(t *testing.T) {
+	m := NewMatcher(DefaultTaxonomy())
+	campaign := []string{"Cars", "insurance"}
+	q := m.Compile(campaign)
+
+	cases := []struct {
+		keywords, topics []string
+	}{
+		{[]string{"cars", "deals"}, nil},              // clause 1 hit
+		{[]string{"unrelated"}, []string{"motor"}},    // clause 2 hit (parent vertical)
+		{[]string{"unrelated"}, []string{"tennis"}},   // miss: far vertical
+		{nil, nil},                                    // empty publisher
+		{[]string{"INSURANCE"}, []string{"physics"}},  // case-folded clause 1
+	}
+	for _, c := range cases {
+		if got, want := q.KeywordMatch(c.keywords), m.KeywordMatch(campaign, c.keywords); got != want {
+			t.Errorf("Query.KeywordMatch(%v) = %v, Matcher says %v", c.keywords, got, want)
+		}
+		if got, want := q.TopicMatch(c.topics), m.TopicMatch(campaign, c.topics); got != want {
+			t.Errorf("Query.TopicMatch(%v) = %v, Matcher says %v", c.topics, got, want)
+		}
+		if got, want := q.Relevant(c.keywords, c.topics), m.Relevant(campaign, c.keywords, c.topics); got != want {
+			t.Errorf("Query.Relevant(%v, %v) = %v, Matcher says %v", c.keywords, c.topics, got, want)
+		}
+	}
+}
+
+func BenchmarkWordSimilarityMemoHit(b *testing.B) {
+	tx := DefaultTaxonomy()
+	tx.WordSimilarity("cars", "motor") // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.WordSimilarity("cars", "motor")
+	}
+}

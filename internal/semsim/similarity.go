@@ -10,14 +10,26 @@ import (
 // concepts score -log(1/2D) = log(2D).
 //
 // It returns ok=false when either concept is unknown.
+//
+// Results are memoized per concept pair (the taxonomy is immutable, so
+// entries never invalidate); concurrent callers share the cache.
 func (t *Taxonomy) Similarity(a, b string) (sim float64, ok bool) {
+	if b < a {
+		a, b = b, a
+	}
+	if e, hit := t.conceptMemo.load(a, b); hit {
+		return e.sim, e.ok
+	}
 	ia, oka := t.byName[a]
 	ib, okb := t.byName[b]
 	if !oka || !okb {
+		t.conceptMemo.store(a, b, memoEntry{})
 		return 0, false
 	}
 	l := t.pathLen(ia, ib)
-	return -math.Log(float64(l) / float64(2*t.maxDepth)), true
+	sim = -math.Log(float64(l) / float64(2*t.maxDepth))
+	t.conceptMemo.store(a, b, memoEntry{sim: sim, ok: true})
+	return sim, true
 }
 
 // MaxSimilarity returns the taxonomy's maximum attainable similarity,
@@ -37,9 +49,29 @@ func (t *Taxonomy) PathSimilarity(l float64) float64 {
 // maximum over all concept senses of each word, the standard WordNet
 // word-level lift of a concept measure. It returns ok=false when either
 // word has no sense in the taxonomy.
+//
+// Results are memoized per normalized word pair: the context analysis
+// scores the same campaign keywords against the same publisher topics
+// across thousands of publishers, so after warm-up a call is two
+// lock-free map hits and zero allocations.
 func (t *Taxonomy) WordSimilarity(a, b string) (sim float64, ok bool) {
-	as := t.byLemma[normalize(a)]
-	bs := t.byLemma[normalize(b)]
+	na, nb := normalize(a), normalize(b)
+	if nb < na {
+		na, nb = nb, na
+	}
+	if e, hit := t.wordMemo.load(na, nb); hit {
+		return e.sim, e.ok
+	}
+	sim, ok = t.wordSimilarity(na, nb)
+	t.wordMemo.store(na, nb, memoEntry{sim: sim, ok: ok})
+	return sim, ok
+}
+
+// wordSimilarity is the uncached sense-pair maximisation; na and nb are
+// already normalized.
+func (t *Taxonomy) wordSimilarity(na, nb string) (sim float64, ok bool) {
+	as := t.byLemma[na]
+	bs := t.byLemma[nb]
 	if len(as) == 0 || len(bs) == 0 {
 		return 0, false
 	}
@@ -113,6 +145,58 @@ func (m *Matcher) TopicMatch(campaignKeywords, publisherTopics []string) bool {
 func (m *Matcher) Relevant(campaignKeywords, publisherKeywords, publisherTopics []string) bool {
 	return m.KeywordMatch(campaignKeywords, publisherKeywords) ||
 		m.TopicMatch(campaignKeywords, publisherTopics)
+}
+
+// Query is one campaign's keyword set compiled for repeated matching:
+// the normalized keyword set is built once instead of once per
+// publisher, which is where the per-call KeywordMatch allocations went
+// when scoring thousands of publishers against the same campaign.
+type Query struct {
+	m        *Matcher
+	keywords []string // normalized campaign keywords
+	set      map[string]struct{}
+}
+
+// Compile prepares campaignKeywords for repeated Relevant calls.
+func (m *Matcher) Compile(campaignKeywords []string) *Query {
+	q := &Query{
+		m:        m,
+		keywords: make([]string, 0, len(campaignKeywords)),
+		set:      make(map[string]struct{}, len(campaignKeywords)),
+	}
+	for _, k := range campaignKeywords {
+		nk := normalize(k)
+		q.keywords = append(q.keywords, nk)
+		q.set[nk] = struct{}{}
+	}
+	return q
+}
+
+// KeywordMatch is clause (1) against the compiled keyword set.
+func (q *Query) KeywordMatch(publisherKeywords []string) bool {
+	for _, k := range publisherKeywords {
+		if _, ok := q.set[normalize(k)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TopicMatch is clause (2) against the compiled keywords.
+func (q *Query) TopicMatch(publisherTopics []string) bool {
+	for _, topic := range publisherTopics {
+		for _, kw := range q.keywords {
+			if sim, ok := q.m.Taxonomy.WordSimilarity(topic, kw); ok && sim >= q.m.Threshold {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Relevant applies the full two-clause rule for one publisher.
+func (q *Query) Relevant(publisherKeywords, publisherTopics []string) bool {
+	return q.KeywordMatch(publisherKeywords) || q.TopicMatch(publisherTopics)
 }
 
 // WuPalmer computes the Wu-Palmer similarity between two concepts:

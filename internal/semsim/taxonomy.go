@@ -30,6 +30,13 @@ type Taxonomy struct {
 	byName   map[string]int
 	byLemma  map[string][]int
 	maxDepth int
+
+	// wordMemo and conceptMemo cache WordSimilarity / Similarity
+	// results (see memo.go): the context analysis re-scores the same
+	// topic/keyword pairs across thousands of publishers, and the
+	// taxonomy's immutability means a computed pair never invalidates.
+	wordMemo    pairMemo
+	conceptMemo pairMemo
 }
 
 type node struct {

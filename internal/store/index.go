@@ -1,0 +1,141 @@
+package store
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The secondary indexes (campaign, publisher, user) are sharded: each
+// shard owns a disjoint slice of the key space behind its own RWMutex,
+// so audits streaming different campaigns never contend on one lock and
+// a long analysis read never blocks lookups of unrelated keys. The
+// record log itself stays a single append-only slice under the store's
+// main lock; index entries are positions into it.
+//
+// Two invariants make the zero-copy read path work:
+//
+//   - Posting lists only ever grow by append. A slice header read under
+//     the shard lock therefore stays valid forever: a later append may
+//     reallocate the backing array, but the elements visible through
+//     the old header are never rewritten.
+//   - An index entry is only published after its record is in the log
+//     (Insert appends the record, then indexes it, all under the
+//     store's write lock). Any posting-list snapshot taken before
+//     acquiring the store's read lock can only reference records the
+//     log already holds.
+
+// indexShardCount must be a power of two (the shard picker masks the
+// hash). 16 shards keep per-shard maps small at paper scale while
+// bounding the fixed footprint of an empty store.
+const indexShardCount = 16
+
+// shardedIndex is one secondary index: key -> posting list of record
+// positions, split across indexShardCount lock-striped shards.
+type shardedIndex struct {
+	shards [indexShardCount]indexShard
+
+	// keyGen counts distinct keys ever created; it doubles as the cache
+	// generation for the sorted key listing below.
+	keyGen atomic.Int64
+
+	// listing caches the sorted key list (Campaigns(), Publishers(""),
+	// Users("") are called once per analysis dimension): it is rebuilt
+	// only when a new key appeared since the last build, not re-sorted
+	// on every call.
+	listing struct {
+		mu     sync.Mutex
+		gen    int64
+		sorted []string
+	}
+}
+
+type indexShard struct {
+	mu sync.RWMutex
+	m  map[string][]int
+}
+
+// shard picks the shard for key with FNV-1a, inlined to keep the
+// insert hot path allocation-free.
+func (x *shardedIndex) shard(key string) *indexShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &x.shards[h&(indexShardCount-1)]
+}
+
+// add appends record position idx to key's posting list. Callers hold
+// the store's write lock, which is what serialises appends and keeps
+// per-key posting lists in insertion order; the shard lock only
+// excludes concurrent readers of the same shard.
+func (x *shardedIndex) add(key string, idx int) {
+	sh := x.shard(key)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = map[string][]int{}
+	}
+	if _, ok := sh.m[key]; !ok {
+		x.keyGen.Add(1)
+	}
+	sh.m[key] = append(sh.m[key], idx)
+	sh.mu.Unlock()
+}
+
+// snapshot returns the current posting list header for key. Per the
+// append-only invariant the returned slice is immutable: it is safe to
+// iterate without any lock held.
+func (x *shardedIndex) snapshot(key string) []int {
+	sh := x.shard(key)
+	sh.mu.RLock()
+	idxs := sh.m[key]
+	sh.mu.RUnlock()
+	return idxs
+}
+
+// numKeys returns the number of distinct keys.
+func (x *shardedIndex) numKeys() int {
+	return int(x.keyGen.Load())
+}
+
+// sortedKeys returns the distinct keys, sorted. The result is shared
+// with the internal cache and must not be mutated by callers inside
+// this package; exported listing methods copy it.
+func (x *shardedIndex) sortedKeys() []string {
+	gen := x.keyGen.Load()
+	l := &x.listing
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.gen == gen && l.sorted != nil {
+		return l.sorted
+	}
+	out := make([]string, 0, gen)
+	for i := range x.shards {
+		sh := &x.shards[i]
+		sh.mu.RLock()
+		for k := range sh.m {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	// Keys created while we were collecting keep the cache one
+	// generation behind; record the generation we actually saw so the
+	// next call rebuilds.
+	l.gen = gen
+	l.sorted = out
+	return out
+}
+
+// copyKeys returns a caller-owned copy of sortedKeys.
+func (x *shardedIndex) copyKeys() []string {
+	keys := x.sortedKeys()
+	out := make([]string, len(keys))
+	copy(out, keys)
+	return out
+}

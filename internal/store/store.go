@@ -84,14 +84,17 @@ func (im *Impression) Validate() error {
 }
 
 // Store is a concurrency-safe impression database with an adjacent
-// conversion log (see conversions.go).
+// conversion log (see conversions.go). The record log is a single
+// append-only slice under mu; the secondary indexes are lock-striped
+// shards (see index.go) so concurrent analyses of different campaigns,
+// publishers or users never serialise on one mutex.
 type Store struct {
 	mu   sync.RWMutex
 	recs []Impression
 
-	byCampaign  map[string][]int
-	byPublisher map[string][]int
-	byUser      map[string][]int
+	byCampaign  shardedIndex
+	byPublisher shardedIndex
+	byUser      shardedIndex
 
 	conversions conversionLog
 
@@ -104,11 +107,7 @@ type Store struct {
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{
-		byCampaign:  map[string][]int{},
-		byPublisher: map[string][]int{},
-		byUser:      map[string][]int{},
-	}
+	return &Store{}
 }
 
 // Insert validates im, assigns it the next ID and appends it. The
@@ -138,9 +137,11 @@ func (s *Store) Insert(im Impression) (int64, error) {
 		}
 	}
 	s.recs = append(s.recs, im)
-	s.byCampaign[im.CampaignID] = append(s.byCampaign[im.CampaignID], idx)
-	s.byPublisher[im.Publisher] = append(s.byPublisher[im.Publisher], idx)
-	s.byUser[im.UserKey] = append(s.byUser[im.UserKey], idx)
+	// Index while still holding the write lock: that is what keeps
+	// posting lists in insertion order across concurrent inserts.
+	s.byCampaign.add(im.CampaignID, idx)
+	s.byPublisher.add(im.Publisher, idx)
+	s.byUser.add(im.UserKey, idx)
 	s.mu.Unlock()
 	s.observeInsert(start)
 	return im.ID, nil
@@ -175,42 +176,83 @@ func (s *Store) ForEach(fn func(Impression) bool) {
 	}
 }
 
-// Campaigns returns the distinct campaign IDs present, sorted.
-func (s *Store) Campaigns() []string {
+// Visit calls fn with a pointer to every impression in insertion
+// order, without copying records; fn returning false stops the scan.
+// The pointer is only valid during the call, fn must treat the record
+// as read-only, and the store must not be mutated from within fn.
+func (s *Store) Visit(fn func(*Impression) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.byCampaign))
-	for c := range s.byCampaign {
-		out = append(out, c)
+	for i := range s.recs {
+		if !fn(&s.recs[i]) {
+			return
+		}
 	}
-	sort.Strings(out)
-	return out
+}
+
+// VisitCampaign streams one campaign's impressions in insertion order
+// through fn without materializing a copy; fn returning false stops
+// the scan. Same aliasing rules as Visit. Scans of different campaigns
+// proceed fully in parallel.
+func (s *Store) VisitCampaign(campaignID string, fn func(*Impression) bool) {
+	s.visit(s.byCampaign.snapshot(campaignID), fn)
+}
+
+// VisitPublisher streams the impressions shown on one publisher.
+func (s *Store) VisitPublisher(publisher string, fn func(*Impression) bool) {
+	s.visit(s.byPublisher.snapshot(publisher), fn)
+}
+
+// VisitUser streams the impressions delivered to one user key.
+func (s *Store) VisitUser(userKey string, fn func(*Impression) bool) {
+	s.visit(s.byUser.snapshot(userKey), fn)
+}
+
+// visit iterates a posting-list snapshot under the read lock. The
+// snapshot was taken before the lock, which is safe: posting lists are
+// append-only and every indexed position is already in the log.
+func (s *Store) visit(idxs []int, fn func(*Impression) bool) {
+	if len(idxs) == 0 {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, idx := range idxs {
+		if !fn(&s.recs[idx]) {
+			return
+		}
+	}
+}
+
+// Campaigns returns the distinct campaign IDs present, sorted. The
+// sorted listing is cached and only rebuilt when a campaign appeared.
+func (s *Store) Campaigns() []string {
+	return s.byCampaign.copyKeys()
 }
 
 // ByCampaign returns a copy of the impressions of one campaign in
-// insertion order.
+// insertion order. Prefer VisitCampaign on hot paths: it streams the
+// records without allocating the copy.
 func (s *Store) ByCampaign(campaignID string) []Impression {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.collect(s.byCampaign[campaignID])
+	return s.collect(s.byCampaign.snapshot(campaignID))
 }
 
 // ByPublisher returns a copy of the impressions shown on one publisher.
 func (s *Store) ByPublisher(publisher string) []Impression {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.collect(s.byPublisher[publisher])
+	return s.collect(s.byPublisher.snapshot(publisher))
 }
 
 // ByUser returns a copy of the impressions delivered to one user key.
 func (s *Store) ByUser(userKey string) []Impression {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.collect(s.byUser[userKey])
+	return s.collect(s.byUser.snapshot(userKey))
 }
 
+// collect copies the records of one posting-list snapshot, preallocated
+// to the exact length the index already knows.
 func (s *Store) collect(idxs []int) []Impression {
 	out := make([]Impression, len(idxs))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for i, idx := range idxs {
 		out[i] = s.recs[idx]
 	}
@@ -219,46 +261,35 @@ func (s *Store) collect(idxs []int) []Impression {
 
 // Publishers returns the distinct publishers of a campaign, sorted. An
 // empty campaignID aggregates across all campaigns, as the paper's
-// Figure 1 does.
+// Figure 1 does; that listing is served from the index's sorted-key
+// cache instead of being rebuilt and re-sorted per call.
 func (s *Store) Publishers(campaignID string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	set := map[string]struct{}{}
 	if campaignID == "" {
-		for p := range s.byPublisher {
-			set[p] = struct{}{}
-		}
-	} else {
-		for _, idx := range s.byCampaign[campaignID] {
-			set[s.recs[idx].Publisher] = struct{}{}
-		}
+		return s.byPublisher.copyKeys()
 	}
-	out := make([]string, 0, len(set))
-	for p := range set {
-		out = append(out, p)
-	}
-	sort.Strings(out)
-	return out
+	return s.distinctByCampaign(campaignID, func(im *Impression) string { return im.Publisher })
 }
 
 // Users returns the distinct user keys of a campaign, sorted. An empty
-// campaignID aggregates across all campaigns.
+// campaignID aggregates across all campaigns (cached, like Publishers).
 func (s *Store) Users(campaignID string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	set := map[string]struct{}{}
 	if campaignID == "" {
-		for u := range s.byUser {
-			set[u] = struct{}{}
-		}
-	} else {
-		for _, idx := range s.byCampaign[campaignID] {
-			set[s.recs[idx].UserKey] = struct{}{}
-		}
+		return s.byUser.copyKeys()
 	}
+	return s.distinctByCampaign(campaignID, func(im *Impression) string { return im.UserKey })
+}
+
+// distinctByCampaign collects the sorted distinct values of one field
+// over a campaign's impressions.
+func (s *Store) distinctByCampaign(campaignID string, field func(*Impression) string) []string {
+	set := map[string]struct{}{}
+	s.VisitCampaign(campaignID, func(im *Impression) bool {
+		set[field(im)] = struct{}{}
+		return true
+	})
 	out := make([]string, 0, len(set))
-	for u := range set {
-		out = append(out, u)
+	for v := range set {
+		out = append(out, v)
 	}
 	sort.Strings(out)
 	return out

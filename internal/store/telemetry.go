@@ -85,9 +85,7 @@ func (s *Store) Instrument(reg *telemetry.Registry) {
 }
 
 func (s *Store) indexKeys() (campaigns, publishers, users int) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byCampaign), len(s.byPublisher), len(s.byUser)
+	return s.byCampaign.numKeys(), s.byPublisher.numKeys(), s.byUser.numKeys()
 }
 
 // observeInsert records one successful insert; start is the zero time

@@ -1,0 +1,249 @@
+package store
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func visitFixture(t *testing.T) *Store {
+	t.Helper()
+	s := New()
+	for i := 0; i < 40; i++ {
+		im := Impression{
+			CampaignID: fmt.Sprintf("c%d", i%4),
+			Publisher:  fmt.Sprintf("pub%d.example", i%5),
+			UserKey:    fmt.Sprintf("user%d", i%3),
+			Timestamp:  time.Unix(int64(1000+i), 0),
+			Exposure:   time.Duration(i) * time.Millisecond,
+		}
+		if _, err := s.Insert(im); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// The zero-copy visit path must see exactly what the copying accessors
+// return, in the same order.
+func TestVisitMatchesCopyingAccessors(t *testing.T) {
+	s := visitFixture(t)
+
+	var visited []Impression
+	s.VisitCampaign("c2", func(im *Impression) bool {
+		visited = append(visited, *im)
+		return true
+	})
+	if want := s.ByCampaign("c2"); !reflect.DeepEqual(visited, want) {
+		t.Fatalf("VisitCampaign diverges from ByCampaign:\n got %v\nwant %v", visited, want)
+	}
+
+	visited = nil
+	s.VisitPublisher("pub3.example", func(im *Impression) bool {
+		visited = append(visited, *im)
+		return true
+	})
+	if want := s.ByPublisher("pub3.example"); !reflect.DeepEqual(visited, want) {
+		t.Fatalf("VisitPublisher diverges from ByPublisher")
+	}
+
+	visited = nil
+	s.VisitUser("user1", func(im *Impression) bool {
+		visited = append(visited, *im)
+		return true
+	})
+	if want := s.ByUser("user1"); !reflect.DeepEqual(visited, want) {
+		t.Fatalf("VisitUser diverges from ByUser")
+	}
+
+	n := 0
+	s.Visit(func(im *Impression) bool { n++; return true })
+	if n != s.Len() {
+		t.Fatalf("Visit saw %d records, store holds %d", n, s.Len())
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	s := visitFixture(t)
+	n := 0
+	s.VisitCampaign("c0", func(*Impression) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("VisitCampaign visited %d records after early stop", n)
+	}
+	n = 0
+	s.Visit(func(*Impression) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Visit visited %d records after immediate stop", n)
+	}
+}
+
+func TestVisitUnknownKey(t *testing.T) {
+	s := visitFixture(t)
+	s.VisitCampaign("nope", func(*Impression) bool {
+		t.Fatal("visited a record of an unknown campaign")
+		return false
+	})
+}
+
+func TestCursorSemantics(t *testing.T) {
+	s := visitFixture(t)
+	want := s.ByCampaign("c1")
+
+	c := s.CampaignCursor("c1")
+	if c.Len() != len(want) {
+		t.Fatalf("cursor Len = %d, want %d", c.Len(), len(want))
+	}
+
+	// Mixed consumption: two Next calls, then Visit for the rest.
+	first, ok := c.Next()
+	if !ok || !reflect.DeepEqual(first, want[0]) {
+		t.Fatalf("Next #1 = (%v, %v), want %v", first, ok, want[0])
+	}
+	second, ok := c.Next()
+	if !ok || !reflect.DeepEqual(second, want[1]) {
+		t.Fatalf("Next #2 mismatch")
+	}
+	var rest []Impression
+	c.Visit(func(im *Impression) bool {
+		rest = append(rest, *im)
+		return true
+	})
+	if !reflect.DeepEqual(rest, want[2:]) {
+		t.Fatalf("cursor Visit remainder mismatch: got %d records, want %d", len(rest), len(want)-2)
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("Next succeeded on an exhausted cursor")
+	}
+
+	// The cursor is a stable snapshot: records inserted after creation
+	// are not visited.
+	c2 := s.UserCursor("user0")
+	preLen := c2.Len()
+	if _, err := s.Insert(Impression{
+		CampaignID: "c9", Publisher: "late.example", UserKey: "user0",
+		Timestamp: time.Unix(99999, 0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	c2.Visit(func(*Impression) bool { n++; return true })
+	if n != preLen {
+		t.Fatalf("cursor visited %d records, snapshot had %d", n, preLen)
+	}
+	if got := s.UserCursor("user0").Len(); got != preLen+1 {
+		t.Fatalf("fresh cursor Len = %d, want %d", got, preLen+1)
+	}
+}
+
+// Sorted listings must stay correct as new keys appear (the cache must
+// invalidate on key creation, not serve stale listings).
+func TestListingCacheInvalidation(t *testing.T) {
+	s := visitFixture(t)
+	before := s.Campaigns()
+	if again := s.Campaigns(); !reflect.DeepEqual(before, again) {
+		t.Fatalf("repeated Campaigns() diverged: %v vs %v", before, again)
+	}
+	// A caller mutating its copy must not corrupt the cache.
+	again := s.Campaigns()
+	for i := range again {
+		again[i] = "mutated"
+	}
+	if got := s.Campaigns(); !reflect.DeepEqual(got, before) {
+		t.Fatalf("caller mutation leaked into the listing cache: %v", got)
+	}
+
+	if _, err := s.Insert(Impression{
+		CampaignID: "a-new-campaign", Publisher: "new.example", UserKey: "u",
+		Timestamp: time.Unix(5, 0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Campaigns()
+	if len(got) != len(before)+1 || got[0] != "a-new-campaign" {
+		t.Fatalf("Campaigns() after new key = %v", got)
+	}
+	if pubs := s.Publishers(""); pubs[len(pubs)-1] != "pub4.example" && pubs[0] != "new.example" {
+		t.Fatalf("Publishers(\"\") missing new key: %v", pubs)
+	}
+}
+
+// Concurrent visits, cursor reads, listings and inserts must be safe
+// (run under -race in CI) and every visited index must point at a
+// fully published record.
+func TestConcurrentVisitsAndInserts(t *testing.T) {
+	s := New()
+	const writers, perWriter = 4, 300
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				_, err := s.Insert(Impression{
+					CampaignID: fmt.Sprintf("c%d", i%3),
+					Publisher:  fmt.Sprintf("p%d.example", (w+i)%7),
+					UserKey:    fmt.Sprintf("u%d", w),
+					Timestamp:  time.Unix(int64(i+1), 0),
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.VisitCampaign("c1", func(im *Impression) bool {
+					if im.CampaignID != "c1" {
+						t.Errorf("index pointed at record of campaign %q", im.CampaignID)
+						return false
+					}
+					return true
+				})
+				s.Campaigns()
+				cur := s.CampaignCursor("c2")
+				cur.Visit(func(im *Impression) bool { return im.CampaignID == "c2" })
+			}
+		}()
+	}
+
+	// Let readers overlap the writers, then wind down.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(stop)
+	}()
+	<-done
+
+	if got := s.Len(); got != writers*perWriter {
+		t.Fatalf("store holds %d records, want %d", got, writers*perWriter)
+	}
+	total := 0
+	for _, c := range s.Campaigns() {
+		s.VisitCampaign(c, func(*Impression) bool { total++; return true })
+	}
+	if total != writers*perWriter {
+		t.Fatalf("campaign indexes cover %d records, want %d", total, writers*perWriter)
+	}
+}

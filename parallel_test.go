@@ -1,0 +1,71 @@
+package adaudit
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"adaudit/internal/adnet"
+	"adaudit/internal/audit"
+)
+
+// TestFullAuditParallelMatchesSerial is the end-to-end determinism
+// gate for the parallel audit engine: on the seeded 8-campaign paper
+// workload, the fanned-out audit must produce a FullReport deep-equal
+// to the serial engine's — and render to byte-identical output — on
+// every repetition. Run under -race (scripts/check.sh does) this also
+// exercises the engine's concurrency on the real dataset.
+func TestFullAuditParallelMatchesSerial(t *testing.T) {
+	// A reduced publisher universe keeps the 10 repetitions fast under
+	// -race without changing the campaign mix or analysis coverage.
+	ws, err := NewWorkspace(Options{Seed: 1, NumPublishers: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := ws.Run(adnet.PaperCampaigns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	auditor, err := ws.Auditor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := run.Outcome.Reports()
+	inputs := make([]audit.CampaignInput, 0, len(run.Campaigns))
+	for _, c := range run.Campaigns {
+		inputs = append(inputs, audit.CampaignInput{
+			ID: c.ID, Keywords: c.Keywords, Report: reports[c.ID],
+		})
+	}
+
+	want, err := auditor.FullAuditSerial(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantText bytes.Buffer
+	if err := run.WriteReport(&wantText, want); err != nil {
+		t.Fatal(err)
+	}
+
+	reps := 10
+	if testing.Short() {
+		reps = 3
+	}
+	auditor.Parallelism = 8 // real fan-out even on single-CPU machines
+	for rep := 0; rep < reps; rep++ {
+		got, err := auditor.FullAudit(inputs)
+		if err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rep %d: parallel FullReport diverges from serial", rep)
+		}
+		var gotText bytes.Buffer
+		if err := run.WriteReport(&gotText, got); err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+		if !bytes.Equal(gotText.Bytes(), wantText.Bytes()) {
+			t.Fatalf("rep %d: rendered report not byte-identical to serial", rep)
+		}
+	}
+}

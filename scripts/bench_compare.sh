@@ -1,0 +1,94 @@
+#!/bin/sh
+# bench_compare.sh — the audit-engine performance gate. Runs the
+# serial/parallel FullAudit benchmarks plus the allocation-sensitive
+# Table 2 context benchmark, summarises them benchstat-style (mean over
+# -count runs) into BENCH_audit.json, and fails if allocs/op of
+# BenchmarkTable2Context regressed more than 10% against the committed
+# baseline. Plain POSIX sh + awk — no benchstat dependency.
+#
+# Usage:
+#   scripts/bench_compare.sh            # run, compare, rewrite BENCH_audit.json
+#   COUNT=5 scripts/bench_compare.sh    # more repetitions
+#
+# The raw `go test -bench` output is appended to bench_output.txt so the
+# repo keeps a human-readable record alongside the JSON.
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-3}"
+JSON=BENCH_audit.json
+RAW=bench_output.txt
+BENCHES='BenchmarkFullAuditSerial$|BenchmarkFullAuditParallel$|BenchmarkTable2Context$'
+
+table2_allocs() {
+    sed -n 's/.*"name": "BenchmarkTable2Context".*"allocs_per_op": \([0-9][0-9]*\).*/\1/p' "$1"
+}
+
+# Remember the committed baseline before overwriting it (git holds the
+# pristine copy if this run fails the gate).
+baseline_allocs=""
+if [ -f "$JSON" ]; then
+    baseline_allocs=$(table2_allocs "$JSON")
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "==> go test -bench ($COUNT runs each: FullAuditSerial, FullAuditParallel, Table2Context)"
+go test -run '^$' -bench "$BENCHES" -benchmem -count "$COUNT" . | tee "$tmp"
+
+{
+    echo "# bench_compare $(go env GOOS)/$(go env GOARCH), GOMAXPROCS from go test, count=$COUNT"
+    grep '^Benchmark' "$tmp"
+} >> "$RAW"
+
+# Summarise: mean ns/op, B/op, allocs/op per benchmark (suffix -N
+# stripped), preserving input order.
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        if (unit == "ns/op")     { ns[name] += $i;     runs[name]++ }
+        if (unit == "B/op")      { bytes[name] += $i }
+        if (unit == "allocs/op") { allocs[name] += $i }
+    }
+}
+END {
+    printf "{\n  \"benchmarks\": [\n"
+    for (k = 1; k <= n; k++) {
+        name = order[k]
+        r = runs[name]; if (r == 0) continue
+        printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f}%s\n", \
+            name, r, ns[name] / r, bytes[name] / r, allocs[name] / r, (k < n ? "," : "")
+    }
+    printf "  ],\n"
+    serial = ns["BenchmarkFullAuditSerial"] / runs["BenchmarkFullAuditSerial"]
+    par = ns["BenchmarkFullAuditParallel"] / runs["BenchmarkFullAuditParallel"]
+    printf "  \"parallel_speedup\": %.3f\n}\n", serial / par
+}' "$tmp" > "$JSON"
+
+echo "==> wrote $JSON"
+
+new_allocs=$(table2_allocs "$JSON")
+
+if [ -z "$new_allocs" ]; then
+    echo "bench_compare: BenchmarkTable2Context missing from results" >&2
+    exit 1
+fi
+
+if [ -n "$baseline_allocs" ]; then
+    echo "==> Table2Context allocs/op: baseline $baseline_allocs, now $new_allocs"
+    awk -v old="$baseline_allocs" -v cur="$new_allocs" 'BEGIN {
+        if (old > 0 && cur > old * 1.10) {
+            printf "bench_compare: allocation regression: %.0f -> %.0f allocs/op (> 10%%)\n", old, cur
+            exit 1
+        }
+    }' || exit 1
+else
+    echo "==> no committed baseline; $JSON is the new baseline"
+fi
+
+echo "==> bench-compare ok"

@@ -4,13 +4,14 @@
 # packages (collector, wsproto, store, telemetry) under the race
 # detector. Usage:
 #
-#   scripts/check.sh          # vet + tests + race
-#   scripts/check.sh -bench   # also run the telemetry-overhead benchmarks
-#   scripts/check.sh -chaos   # also run the fault-injection suite under -race
+#   scripts/check.sh                # vet + tests + race
+#   scripts/check.sh -bench         # also run the telemetry-overhead benchmarks
+#   scripts/check.sh -chaos         # also run the fault-injection suite under -race
+#   scripts/check.sh -bench-compare # also run the audit perf gate (scripts/bench_compare.sh)
 set -eu
 cd "$(dirname "$0")/.."
 
-RACE_PKGS="./internal/collector/ ./internal/wsproto/ ./internal/store/ ./internal/telemetry/ ./internal/faultnet/ ./internal/beacon/"
+RACE_PKGS="./internal/collector/ ./internal/wsproto/ ./internal/store/ ./internal/telemetry/ ./internal/faultnet/ ./internal/beacon/ ./internal/semsim/ ./internal/audit/"
 
 echo "==> go build ./..."
 go build ./...
@@ -23,6 +24,12 @@ go test ./...
 
 echo "==> go test -race $RACE_PKGS"
 go test -race $RACE_PKGS
+
+# The parallel audit engine's end-to-end determinism gate: serial vs
+# fanned-out FullAudit on the seeded paper workload, under the race
+# detector (-short trims repetitions to keep the gate fast).
+echo "==> go test -race -run TestFullAuditParallelMatchesSerial -short ."
+go test -race -run TestFullAuditParallelMatchesSerial -short .
 
 if [ "${1:-}" = "-bench" ]; then
     echo "==> telemetry overhead: BenchmarkCollectorIngest vs Uninstrumented"
@@ -37,6 +44,10 @@ if [ "${1:-}" = "-chaos" ]; then
     go test -race -count 1 ./internal/faultnet/
     go test -race -count 1 -run 'TestChaos|TestReportReconnects|TestWAL' \
         ./internal/collector/ ./internal/beacon/ ./internal/store/ -v
+fi
+
+if [ "${1:-}" = "-bench-compare" ]; then
+    sh scripts/bench_compare.sh
 fi
 
 echo "==> ok"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-compare chaos clean
+.PHONY: build test check bench bench-compare chaos sim fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,20 @@ bench-compare:
 # (proxy-injected kills/resets, beacon reconnects, WAL crash recovery).
 chaos:
 	sh scripts/check.sh -chaos
+
+# sim runs the deterministic simulation sweep: 25 seeded schedules
+# through the full beacon -> collector -> store -> audit pipeline under
+# -race with the invariant oracle watching, plus the trace-digest
+# determinism gate. Reproduce a failing seed with:
+#   go test ./internal/simtest -run TestSim -seed=<n> [-only=<sessions>]
+sim:
+	sh scripts/check.sh -sim
+
+# fuzz-smoke runs every native fuzz target for 30 s from the committed
+# seed corpora (testdata/fuzz/): wsproto frame parsing, beacon payload
+# codec, store WAL replay and snapshot reader, collector query API.
+fuzz-smoke:
+	sh scripts/check.sh -fuzz-smoke
 
 clean:
 	$(GO) clean ./...

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"context"
+	"reflect"
 	"testing"
 	"time"
 
@@ -314,6 +315,68 @@ func TestRunAllParallelMatchesSequential(t *testing.T) {
 		for k, v := range ca {
 			if cb[k] != v {
 				t.Fatalf("%s: record multiset differs at %q (%d vs %d)", c.ID, k, v, cb[k])
+			}
+		}
+	}
+}
+
+// scaledPaperRoster is the paper's 8-campaign Table 1 roster with
+// impression volumes scaled down ~40x so the full roster runs in test
+// time while keeping every campaign's keywords, geo, CPM and flight.
+func scaledPaperRoster() []adnet.Campaign {
+	cs := adnet.PaperCampaigns()
+	for i := range cs {
+		cs[i].Impressions /= 40
+		if cs[i].Impressions < 400 {
+			cs[i].Impressions = 400
+		}
+	}
+	return cs
+}
+
+// TestRunAllParallelMatchesSequentialPaperRoster runs the full Table 1
+// roster both ways on separate fixtures and requires deep equality: the
+// outcome structs (deliveries, vendor reports, loss accounting) and
+// every stored record per campaign, in order. Valid because both the
+// network and the loss model fork a per-campaign RNG stream — execution
+// order must be invisible.
+func TestRunAllParallelMatchesSequentialPaperRoster(t *testing.T) {
+	cs := scaledPaperRoster()
+	if len(cs) != 8 {
+		t.Fatalf("paper roster has %d campaigns, want 8", len(cs))
+	}
+	seq := newFixture(t)
+	seqOut, err := seq.driver.RunAll(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := newFixture(t)
+	parOut, err := par.driver.RunAllParallel(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqOut, parOut) {
+		for i := range seqOut.Campaigns {
+			if !reflect.DeepEqual(seqOut.Campaigns[i], parOut.Campaigns[i]) {
+				t.Errorf("campaign %s outcome differs: seq %+v vs par %+v",
+					cs[i].ID, seqOut.Campaigns[i], parOut.Campaigns[i])
+			}
+		}
+		t.Fatal("parallel RunOutcome differs from sequential")
+	}
+	for _, c := range cs {
+		a := seq.store.ByCampaign(c.ID)
+		b := par.store.ByCampaign(c.ID)
+		if len(a) != len(b) {
+			t.Fatalf("%s: seq stored %d records, par %d", c.ID, len(a), len(b))
+		}
+		for i := range a {
+			// Global insertion IDs depend on cross-campaign
+			// interleaving; everything else must match record for
+			// record.
+			a[i].ID, b[i].ID = 0, 0
+			if !reflect.DeepEqual(a[i], b[i]) {
+				t.Fatalf("%s record %d differs:\nseq %+v\npar %+v", c.ID, i, a[i], b[i])
 			}
 		}
 	}

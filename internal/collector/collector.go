@@ -33,6 +33,7 @@ import (
 
 	"adaudit/internal/beacon"
 	"adaudit/internal/ipmeta"
+	"adaudit/internal/simclock"
 	"adaudit/internal/store"
 	"adaudit/internal/telemetry"
 	"adaudit/internal/wsproto"
@@ -84,6 +85,12 @@ type Config struct {
 	// (backed by unregistered counters). Intended for overhead
 	// benchmarking and minimal embeddings.
 	DisableTelemetry bool
+	// Clock supplies the time for every duration the collector
+	// measures or enforces — session establishment, exposure, keepalive
+	// scheduling, handshake and drain timeouts. Nil means the real
+	// clock; internal/simtest substitutes a virtual one so session
+	// timing runs deterministically.
+	Clock simclock.Clock
 }
 
 // Metrics are the collector's liveness counters. Historically these
@@ -111,26 +118,26 @@ type Metrics struct {
 // operational signals: the former blames the peer (or the network), the
 // latter blames the collector's own pipeline.
 const (
-	RejectHandshake     = "handshake"      // first message missing, late, or non-text
-	RejectDecode        = "decode"         // payload failed to parse
-	RejectPayload       = "payload"        // payload parsed but unusable (bad page URL)
-	RejectInsert        = "insert"         // store refused the record
-	RejectPeerAddr      = "peer-addr"      // unresolvable remote address
-	RejectUpgrade       = "upgrade"        // HTTP → WebSocket upgrade failed
-	RejectConvDecode    = "conv-decode"    // conversion query string failed to parse
-	RejectConvValidate  = "conv-validate"  // conversion payload incomplete
-	RejectConvInsert    = "conv-insert"    // store refused the conversion
-	RejectConvPeerAddr  = "conv-peer-addr" // unresolvable pixel peer address
+	RejectHandshake    = "handshake"      // first message missing, late, or non-text
+	RejectDecode       = "decode"         // payload failed to parse
+	RejectPayload      = "payload"        // payload parsed but unusable (bad page URL)
+	RejectInsert       = "insert"         // store refused the record
+	RejectPeerAddr     = "peer-addr"      // unresolvable remote address
+	RejectUpgrade      = "upgrade"        // HTTP → WebSocket upgrade failed
+	RejectConvDecode   = "conv-decode"    // conversion query string failed to parse
+	RejectConvValidate = "conv-validate"  // conversion payload incomplete
+	RejectConvInsert   = "conv-insert"    // store refused the conversion
+	RejectConvPeerAddr = "conv-peer-addr" // unresolvable pixel peer address
 )
 
 // Session close reasons used for
 // adaudit_collector_sessions_closed_total{reason=...}.
 const (
-	ClosePeer         = "peer-close"        // clean WebSocket close from the beacon
-	CloseError        = "error"             // read error / TCP reset
-	CloseExposureCap  = "exposure-cap"      // MaxExposure fired
-	CloseKeepAlive    = "keepalive-timeout" // peer stopped answering pings
-	CloseDrain        = "drain"             // collector shutdown drained the session
+	ClosePeer        = "peer-close"        // clean WebSocket close from the beacon
+	CloseError       = "error"             // read error / TCP reset
+	CloseExposureCap = "exposure-cap"      // MaxExposure fired
+	CloseKeepAlive   = "keepalive-timeout" // peer stopped answering pings
+	CloseDrain       = "drain"             // collector shutdown drained the session
 )
 
 // pingWriteTimeout bounds a keepalive ping's write so a stalled peer
@@ -175,6 +182,7 @@ type collectorTelemetry struct {
 // Collector terminates beacon traffic and writes impression records.
 type Collector struct {
 	cfg      Config
+	clock    simclock.Clock
 	upgrader wsproto.Upgrader
 	// Metrics exposes ingest counters for health checks and tests.
 	Metrics Metrics
@@ -246,6 +254,7 @@ func New(cfg Config) (*Collector, error) {
 	}
 	c := &Collector{
 		cfg:      cfg,
+		clock:    simclock.Or(cfg.Clock),
 		nonceCur: map[string]int64{},
 		upgrader: wsproto.Upgrader{
 			MaxMessageSize: cfg.MaxMessageSize,
@@ -443,7 +452,7 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 	var enrichStart time.Time
 	sampled := c.tel.enabled && c.sampleTick.Add(1)&(sampleInterval-1) == 1
 	if sampled {
-		enrichStart = time.Now()
+		enrichStart = c.clock.Now()
 	}
 	var isp, country string
 	if c.cfg.IPDB != nil {
@@ -457,7 +466,7 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 	}
 	pseud := c.cfg.Anonymizer.Pseudonym(obs.RemoteIP)
 	if sampled {
-		c.tel.enrich.ObserveDuration(time.Since(enrichStart))
+		c.tel.enrich.ObserveDuration(c.clock.Since(enrichStart))
 	}
 
 	im := store.Impression{
@@ -516,7 +525,7 @@ func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	var upgradeStart time.Time
 	if c.tel.enabled {
-		upgradeStart = time.Now()
+		upgradeStart = c.clock.Now()
 	}
 	conn, err := c.upgrader.Upgrade(w, r)
 	if err != nil {
@@ -525,7 +534,7 @@ func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if c.tel.enabled {
-		c.tel.upgrade.ObserveDuration(time.Since(upgradeStart))
+		c.tel.upgrade.ObserveDuration(c.clock.Since(upgradeStart))
 	}
 	c.Metrics.Connections.Add(1)
 	if c.draining.Load() {
@@ -580,7 +589,7 @@ func (c *Collector) Drain(grace time.Duration) int {
 	c.draining.Store(true)
 	c.sessMu.Lock()
 	for conn := range c.sessConns {
-		_ = conn.SetReadDeadline(time.Now())
+		_ = conn.SetReadDeadline(c.clock.Now())
 	}
 	c.sessMu.Unlock()
 
@@ -589,12 +598,12 @@ func (c *Collector) Drain(grace time.Duration) int {
 		c.sessWG.Wait()
 		close(done)
 	}()
-	timer := time.NewTimer(grace)
+	timer := c.clock.NewTimer(grace)
 	defer timer.Stop()
 	select {
 	case <-done:
 		return 0
-	case <-timer.C:
+	case <-timer.C():
 		dropped := c.SessionCount()
 		if dropped > 0 {
 			c.tel.droppedShutdown.Add(int64(dropped))
@@ -614,7 +623,12 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 		c.cfg.Logger.Warn("collector: unresolvable peer address", "err", err)
 		return
 	}
-	connectedAt := conn.Established()
+	// The impression timestamp and every session deadline come from the
+	// collector's clock, not conn.Established(): on the real clock the
+	// two agree to microseconds (runSession starts right after the
+	// upgrade), and on a virtual clock the whole session-timing path —
+	// exposure, keepalive, hard stop — becomes deterministic.
+	connectedAt := c.clock.Now()
 
 	// The beacon must identify itself promptly.
 	_ = conn.SetReadDeadline(connectedAt.Add(c.cfg.HandshakeTimeout))
@@ -625,11 +639,11 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 	}
 	var decodeStart time.Time
 	if c.tel.enabled {
-		decodeStart = time.Now()
+		decodeStart = c.clock.Now()
 	}
 	payload, err := beacon.Decode(string(msg))
 	if c.tel.enabled {
-		c.tel.decode.ObserveDuration(time.Since(decodeStart))
+		c.tel.decode.ObserveDuration(c.clock.Since(decodeStart))
 	}
 	if err != nil {
 		c.reject(RejectDecode)
@@ -654,7 +668,7 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 		}
 		d := hardStop
 		if ka := c.cfg.KeepAliveInterval; ka > 0 {
-			if soft := time.Now().Add(2 * ka); soft.Before(d) {
+			if soft := c.clock.Now().Add(2 * ka); soft.Before(d) {
 				d = soft
 			}
 		}
@@ -666,17 +680,17 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 		stopPings := make(chan struct{})
 		defer close(stopPings)
 		go func() {
-			t := time.NewTicker(ka)
+			t := c.clock.NewTicker(ka)
 			defer t.Stop()
 			for {
 				select {
 				case <-stopPings:
 					return
-				case <-t.C:
+				case <-t.C():
 					// Bound the write so a peer with a full TCP window
 					// (dead radio, zero-window attack) cannot park this
 					// goroutine; the missed pong tears the session down.
-					_ = conn.SetWriteDeadline(time.Now().Add(pingWriteTimeout))
+					_ = conn.SetWriteDeadline(c.clock.Now().Add(pingWriteTimeout))
 					err := conn.Ping(nil)
 					_ = conn.SetWriteDeadline(time.Time{})
 					if err != nil {
@@ -707,7 +721,7 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 	}
 	c.tel.sessionsClosed.With(closeReason).Inc()
 
-	exposure := time.Since(connectedAt)
+	exposure := c.clock.Since(connectedAt)
 	c.tel.exposure.ObserveDuration(exposure)
 	if _, err := c.Ingest(Observation{
 		Payload:     payload,
@@ -737,7 +751,7 @@ func (c *Collector) classifyClose(err error, hardStop time.Time) string {
 		switch {
 		case c.draining.Load():
 			return CloseDrain
-		case !time.Now().Before(hardStop):
+		case !c.clock.Now().Before(hardStop):
 			return CloseExposureCap
 		default:
 			return CloseKeepAlive

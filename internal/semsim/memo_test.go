@@ -56,7 +56,10 @@ func TestWordSimilarityMemoConcurrent(t *testing.T) {
 	tx := DefaultTaxonomy()
 	words := []string{"cars", "motor", "football", "soccer", "banking", "finance", "nope"}
 
-	type res struct{ sim float64; ok bool }
+	type res struct {
+		sim float64
+		ok  bool
+	}
 	want := map[[2]string]res{}
 	for _, a := range words {
 		for _, b := range words {
@@ -96,11 +99,11 @@ func TestQueryMatchesMatcher(t *testing.T) {
 	cases := []struct {
 		keywords, topics []string
 	}{
-		{[]string{"cars", "deals"}, nil},              // clause 1 hit
-		{[]string{"unrelated"}, []string{"motor"}},    // clause 2 hit (parent vertical)
-		{[]string{"unrelated"}, []string{"tennis"}},   // miss: far vertical
-		{nil, nil},                                    // empty publisher
-		{[]string{"INSURANCE"}, []string{"physics"}},  // case-folded clause 1
+		{[]string{"cars", "deals"}, nil},            // clause 1 hit
+		{[]string{"unrelated"}, []string{"motor"}},  // clause 2 hit (parent vertical)
+		{[]string{"unrelated"}, []string{"tennis"}}, // miss: far vertical
+		{nil, nil}, // empty publisher
+		{[]string{"INSURANCE"}, []string{"physics"}}, // case-folded clause 1
 	}
 	for _, c := range cases {
 		if got, want := q.KeywordMatch(c.keywords), m.KeywordMatch(campaign, c.keywords); got != want {

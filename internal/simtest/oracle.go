@@ -1,0 +1,424 @@
+package simtest
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	"adaudit/internal/adnet"
+	"adaudit/internal/audit"
+	"adaudit/internal/beacon"
+	"adaudit/internal/collector"
+	"adaudit/internal/ipmeta"
+	"adaudit/internal/store"
+)
+
+// modelRecord is the oracle's prediction of one store record: what the
+// collector must have committed for a session after all its segments
+// were delivered, under the documented semantics — first delivered
+// segment creates the record, continuations under the same nonce merge
+// into it (exposure summed, interaction counts added, visibility OR'd,
+// max fraction maxed), each segment's exposure clamped to the
+// collector's cap first.
+type modelRecord struct {
+	session     int
+	campaignID  string
+	creativeID  string
+	publisher   string
+	pageURL     string
+	userAgent   string
+	nonce       string
+	timestamp   time.Time
+	exposure    time.Duration
+	moves       int
+	clicks      int
+	visMeasured bool
+	maxVis      float64
+	pseudonym   string
+	userKey     string
+}
+
+// buildModel predicts the final store from the schedule alone. It is a
+// pure function of the (filtered) schedule — independent of delivery
+// interleaving across sessions, which is what lets the concurrent phase
+// check it too.
+func buildModel(sessions []simSession, only []int, maxExposure time.Duration) map[string]*modelRecord {
+	include := map[int]bool{}
+	for _, i := range only {
+		include[i] = true
+	}
+	// The oracle derives pseudonyms with its own anonymizer keyed
+	// identically to the collector's: agreement here proves the
+	// enrichment path is a pure function of (key, IP).
+	anon := ipmeta.NewAnonymizer([]byte("simtest"))
+
+	model := make(map[string]*modelRecord)
+	for _, s := range sessions {
+		if only != nil && !include[s.idx] {
+			continue
+		}
+		for _, seg := range s.segments {
+			exp := seg.obs.Exposure
+			if exp < 0 {
+				exp = 0
+			}
+			if exp > maxExposure {
+				exp = maxExposure
+			}
+			moves, clicks := 0, 0
+			visMeasured, maxVis := false, 0.0
+			for _, e := range seg.obs.Payload.Events {
+				switch e.Kind {
+				case beacon.EventMouseMove:
+					moves++
+				case beacon.EventClick:
+					clicks++
+				case beacon.EventVisibility:
+					visMeasured = true
+					if e.Fraction > maxVis {
+						maxVis = e.Fraction
+					}
+				}
+			}
+			rec, seen := model[s.nonce]
+			if !seen {
+				pub, err := seg.obs.Payload.Publisher()
+				if err != nil {
+					// Schedules only generate parseable pages; a bad one
+					// is a harness bug and will surface as a count
+					// mismatch.
+					continue
+				}
+				pseud := anon.Pseudonym(seg.obs.RemoteIP)
+				model[s.nonce] = &modelRecord{
+					session:     s.idx,
+					campaignID:  seg.obs.Payload.CampaignID,
+					creativeID:  seg.obs.Payload.CreativeID,
+					publisher:   pub,
+					pageURL:     seg.obs.Payload.PageURL,
+					userAgent:   seg.obs.Payload.UserAgent,
+					nonce:       s.nonce,
+					timestamp:   seg.obs.ConnectedAt,
+					exposure:    exp,
+					moves:       moves,
+					clicks:      clicks,
+					visMeasured: visMeasured,
+					maxVis:      maxVis,
+					pseudonym:   pseud,
+					userKey:     collector.UserKey(pseud, seg.obs.Payload.UserAgent),
+				}
+				continue
+			}
+			rec.exposure += exp
+			rec.moves += moves
+			rec.clicks += clicks
+			rec.visMeasured = rec.visMeasured || visMeasured
+			if maxVis > rec.maxVis {
+				rec.maxVis = maxVis
+			}
+		}
+	}
+	return model
+}
+
+// oracle accumulates invariant checks over one run.
+type oracle struct {
+	mu         sync.Mutex
+	model      map[string]*modelRecord
+	store      *store.Store
+	walPath    string
+	snapDir    string
+	lastSnap   string
+	violations []string
+
+	lastExposure map[int64]time.Duration
+	auditMeta    audit.MetadataSource
+}
+
+func (o *oracle) violate(format string, args ...any) {
+	o.violations = append(o.violations, fmt.Sprintf(format, args...))
+}
+
+// afterDelivery checks the per-delivery invariants on the serial phase:
+// every valid observation ingests, and a record's exposure clock only
+// moves forward.
+func (o *oracle) afterDelivery(seg segment, id int64, err error) {
+	if err != nil {
+		o.violate("session %d segment %d: ingest failed: %v", seg.session, seg.index, err)
+		return
+	}
+	im, ok := o.store.Get(id)
+	if !ok {
+		o.violate("session %d segment %d: ingested id %d not in store", seg.session, seg.index, id)
+		return
+	}
+	if o.lastExposure == nil {
+		o.lastExposure = make(map[int64]time.Duration)
+	}
+	if prev, seen := o.lastExposure[id]; seen && im.Exposure < prev {
+		o.violate("session %d segment %d: exposure clock ran backwards on id %d: %v -> %v",
+			seg.session, seg.index, id, prev, im.Exposure)
+	}
+	o.lastExposure[id] = im.Exposure
+}
+
+// afterDeliveryConcurrent is the lock-guarded variant for the
+// multi-worker phase.
+func (o *oracle) afterDeliveryConcurrent(seg segment, id int64, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.afterDelivery(seg, id, err)
+}
+
+// snapshotCompact publishes a snapshot and resets the WAL mid-run —
+// the durability path a long-running collector exercises — so the
+// recovery invariant is checked across the snapshot boundary too.
+func (o *oracle) snapshotCompact(di int) {
+	path := filepath.Join(o.snapDir, fmt.Sprintf("snap-%d.json", di))
+	err := o.store.SnapshotCompact(func(write func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	})
+	if err != nil {
+		o.violate("snapshot-compact at delivery %d failed: %v", di, err)
+		return
+	}
+	o.lastSnap = path
+}
+
+// checkRecovery replays the WAL over the latest snapshot and demands
+// the reconstruction equal the live store record for record — the
+// crash-safety invariant, checkable mid-run because appends write
+// whole lines and replay tolerates the open journal.
+func (o *oracle) checkRecovery(stage string) {
+	var base *store.Store
+	if o.lastSnap != "" {
+		f, err := os.Open(o.lastSnap)
+		if err != nil {
+			o.violate("%s recovery: opening snapshot: %v", stage, err)
+			return
+		}
+		base, err = store.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			o.violate("%s recovery: reading snapshot: %v", stage, err)
+			return
+		}
+	}
+	rec, _, err := store.RecoverWAL(o.walPath, base, discardLogger())
+	if err != nil {
+		o.violate("%s recovery: replaying wal: %v", stage, err)
+		return
+	}
+	live, replayed := dumpStore(o.store), dumpStore(rec)
+	if len(live) != len(replayed) {
+		o.violate("%s recovery: replay has %d records, live store has %d",
+			stage, len(replayed), len(live))
+		return
+	}
+	for i := range live {
+		if !impressionEqual(live[i], replayed[i]) {
+			o.violate("%s recovery: record %d diverges: live %+v, replayed %+v",
+				stage, live[i].ID, live[i], replayed[i])
+			return
+		}
+	}
+}
+
+// checkModel compares the live store against the shadow model:
+// zero-loss (every predicted record exists), no-duplication (nothing
+// beyond the predictions exists — one record per nonce), and field
+// agreement on every measurement the paper's audit consumes.
+func (o *oracle) checkModel() {
+	byNonce := make(map[string]store.Impression)
+	for _, im := range dumpStore(o.store) {
+		if im.Nonce == "" {
+			o.violate("no-duplication: record %d (campaign %s, publisher %s) has no nonce — not predicted by any session",
+				im.ID, im.CampaignID, im.Publisher)
+			continue
+		}
+		if prev, dup := byNonce[im.Nonce]; dup {
+			o.violate("no-duplication: nonce %s appears on records %d and %d",
+				im.Nonce, prev.ID, im.ID)
+			continue
+		}
+		byNonce[im.Nonce] = im
+	}
+	for nonce, want := range o.model {
+		im, ok := byNonce[nonce]
+		if !ok {
+			o.violate("zero-loss: session %d (nonce %s) has no store record", want.session, nonce)
+			continue
+		}
+		delete(byNonce, nonce)
+		o.compareRecord(want, im)
+	}
+	for nonce, im := range byNonce {
+		o.violate("no-duplication: record %d (nonce %s) matches no scheduled session", im.ID, nonce)
+	}
+}
+
+func (o *oracle) compareRecord(want *modelRecord, im store.Impression) {
+	mism := func(field string, got, exp any) {
+		o.violate("session %d (nonce %s): %s = %v, model predicts %v",
+			want.session, want.nonce, field, got, exp)
+	}
+	if im.CampaignID != want.campaignID {
+		mism("campaign", im.CampaignID, want.campaignID)
+	}
+	if im.CreativeID != want.creativeID {
+		mism("creative", im.CreativeID, want.creativeID)
+	}
+	if im.Publisher != want.publisher {
+		mism("publisher", im.Publisher, want.publisher)
+	}
+	if im.PageURL != want.pageURL {
+		mism("page url", im.PageURL, want.pageURL)
+	}
+	if im.UserAgent != want.userAgent {
+		mism("user agent", im.UserAgent, want.userAgent)
+	}
+	if !im.Timestamp.Equal(want.timestamp) {
+		mism("timestamp", im.Timestamp, want.timestamp)
+	}
+	if im.Exposure != want.exposure {
+		mism("exposure", im.Exposure, want.exposure)
+	}
+	if im.MouseMoves != want.moves {
+		mism("mouse moves", im.MouseMoves, want.moves)
+	}
+	if im.Clicks != want.clicks {
+		mism("clicks", im.Clicks, want.clicks)
+	}
+	if im.VisibilityMeasured != want.visMeasured {
+		mism("visibility measured", im.VisibilityMeasured, want.visMeasured)
+	}
+	if im.MaxVisibleFraction != want.maxVis {
+		mism("max visible fraction", im.MaxVisibleFraction, want.maxVis)
+	}
+	if im.IPPseudonym != want.pseudonym {
+		mism("ip pseudonym", im.IPPseudonym, want.pseudonym)
+	}
+	if im.UserKey != want.userKey {
+		mism("user key", im.UserKey, want.userKey)
+	}
+}
+
+// checkAudit runs the full audit twice — worker pool and serial — over
+// the final dataset, with vendor reports synthesised from the model's
+// ground truth, and demands identical reports.
+func (o *oracle) checkAudit() {
+	aud, err := audit.New(o.store, o.auditMeta)
+	if err != nil {
+		o.violate("audit: constructing auditor: %v", err)
+		return
+	}
+	inputs := o.auditInputs()
+	par, err := aud.FullAudit(inputs)
+	if err != nil {
+		o.violate("audit: parallel run failed: %v", err)
+		return
+	}
+	ser, err := aud.FullAuditSerial(inputs)
+	if err != nil {
+		o.violate("audit: serial run failed: %v", err)
+		return
+	}
+	if !reflect.DeepEqual(par, ser) {
+		o.violate("audit: parallel report diverges from serial report")
+	}
+}
+
+// auditInputs synthesises one vendor report per campaign from the
+// model — deterministic counts standing in for the vendor's claims.
+func (o *oracle) auditInputs() []audit.CampaignInput {
+	type pubCount struct {
+		impressions int64
+		clicks      int64
+	}
+	perCampaign := make(map[string]map[string]*pubCount)
+	for _, rec := range o.model {
+		pubs := perCampaign[rec.campaignID]
+		if pubs == nil {
+			pubs = make(map[string]*pubCount)
+			perCampaign[rec.campaignID] = pubs
+		}
+		pc := pubs[rec.publisher]
+		if pc == nil {
+			pc = &pubCount{}
+			pubs[rec.publisher] = pc
+		}
+		pc.impressions++
+		pc.clicks += int64(rec.clicks)
+	}
+
+	var inputs []audit.CampaignInput
+	for _, camp := range simCampaigns {
+		pubs := perCampaign[camp.ID]
+		rep := &adnet.VendorReport{CampaignID: camp.ID}
+		var total int64
+		for pub, pc := range pubs {
+			rep.Rows = append(rep.Rows, adnet.ReportRow{
+				Publisher:   pub,
+				Impressions: pc.impressions,
+				Clicks:      pc.clicks,
+			})
+			total += pc.impressions
+		}
+		sort.Slice(rep.Rows, func(a, b int) bool {
+			if rep.Rows[a].Impressions != rep.Rows[b].Impressions {
+				return rep.Rows[a].Impressions > rep.Rows[b].Impressions
+			}
+			return rep.Rows[a].Publisher < rep.Rows[b].Publisher
+		})
+		rep.TotalImpressionsCharged = total
+		rep.ContextualImpressions = total * 2 / 3
+		rep.RefundedImpressions = total / 10
+		inputs = append(inputs, audit.CampaignInput{
+			ID:       camp.ID,
+			Keywords: camp.Keywords,
+			Report:   rep,
+		})
+	}
+	return inputs
+}
+
+// checkFinal runs every end-of-run invariant.
+func (o *oracle) checkFinal() {
+	o.checkModel()
+	o.checkRecovery("final")
+	o.checkAudit()
+}
+
+// dumpStore copies the store's records in insertion order.
+func dumpStore(s *store.Store) []store.Impression {
+	out := make([]store.Impression, 0, s.Len())
+	s.ForEach(func(im store.Impression) bool {
+		out = append(out, im)
+		return true
+	})
+	return out
+}
+
+// impressionEqual compares two records field for field.
+func impressionEqual(a, b store.Impression) bool {
+	// Timestamps must name the same instant; monotonic-clock and
+	// location bookkeeping may differ after a JSON round-trip.
+	if !a.Timestamp.Equal(b.Timestamp) {
+		return false
+	}
+	a.Timestamp, b.Timestamp = time.Time{}, time.Time{}
+	return reflect.DeepEqual(a, b)
+}

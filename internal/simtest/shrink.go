@@ -1,0 +1,132 @@
+package simtest
+
+import "fmt"
+
+// maxShrinkProbes bounds the shrinker's re-runs so a pathological
+// schedule cannot stall CI; ddmin over the session counts this harness
+// uses converges in far fewer.
+const maxShrinkProbes = 200
+
+// Shrink minimises a failing run to the smallest session subset that
+// still trips the oracle, using ddmin over session indices: try each
+// chunk of the current subset alone, then each complement, halving or
+// doubling granularity as standard. Because every session's schedule is
+// generated from its own forked RNG stream, removing sessions never
+// perturbs the survivors — a shrunk subset replays exactly the sessions
+// the full run contained.
+//
+// It returns the minimal subset and the Result of its final failing
+// run. The reproducer is then: the original seed plus the subset
+// (Config.Only), e.g.
+//
+//	go test ./internal/simtest -run TestSim -seed=<n> -only=3,17
+func Shrink(cfg Config) ([]int, *Result, error) {
+	cur := cfg.Only
+	if cur == nil {
+		if cfg.Sessions == 0 {
+			cfg.Sessions = 48
+		}
+		cur = make([]int, cfg.Sessions)
+		for i := range cur {
+			cur[i] = i
+		}
+	}
+
+	probes := 0
+	fails := func(subset []int) (*Result, bool, error) {
+		if probes >= maxShrinkProbes {
+			return nil, false, nil
+		}
+		probes++
+		probe := cfg
+		probe.Only = subset
+		res, err := Run(probe)
+		if err != nil {
+			return nil, false, err
+		}
+		return res, res.Failed(), nil
+	}
+
+	last, failed, err := fails(cur)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !failed {
+		return nil, nil, fmt.Errorf("simtest: shrink of a passing run (seed %d)", cfg.Seed)
+	}
+
+	n := 2
+	for len(cur) > 1 && probes < maxShrinkProbes {
+		chunks := splitChunks(cur, n)
+		reduced := false
+		for _, chunk := range chunks {
+			res, bad, err := fails(chunk)
+			if err != nil {
+				return nil, nil, err
+			}
+			if bad {
+				cur, last, n, reduced = chunk, res, 2, true
+				break
+			}
+		}
+		if !reduced {
+			for i := range chunks {
+				comp := complement(cur, chunks[i])
+				if len(comp) == 0 {
+					continue
+				}
+				res, bad, err := fails(comp)
+				if err != nil {
+					return nil, nil, err
+				}
+				if bad {
+					cur, last, reduced = comp, res, true
+					if n > 2 {
+						n--
+					}
+					break
+				}
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	return cur, last, nil
+}
+
+// splitChunks divides ids into n nearly equal contiguous chunks.
+func splitChunks(ids []int, n int) [][]int {
+	if n > len(ids) {
+		n = len(ids)
+	}
+	chunks := make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(ids)/n, (i+1)*len(ids)/n
+		if lo < hi {
+			chunks = append(chunks, ids[lo:hi])
+		}
+	}
+	return chunks
+}
+
+// complement returns ids minus the drop chunk, preserving order.
+func complement(ids, drop []int) []int {
+	skip := make(map[int]bool, len(drop))
+	for _, d := range drop {
+		skip[d] = true
+	}
+	out := make([]int, 0, len(ids)-len(drop))
+	for _, id := range ids {
+		if !skip[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,489 @@
+// Package simtest is a deterministic simulation-testing harness for the
+// beacon → collector → store → audit pipeline, in the style of
+// FoundationDB's simulator: a seeded schedule generator produces a
+// reproducible workload of beacon sessions — clean one-shot exposures,
+// dropped beacons, reconnects resuming under the original nonce,
+// duplicate deliveries, reordered continuation segments — and drives it
+// through the collector's Ingest funnel on a virtual clock while a
+// shadow model (oracle.go) predicts exactly what the store must
+// contain. After the run the harness checks the paper's measurement
+// invariants:
+//
+//   - zero-loss: every delivered session has a record;
+//   - no-duplication: one record per nonce, continuations merged;
+//   - exposure monotonicity: a record's exposure never decreases;
+//   - durability: WAL replay (over the latest snapshot) reconstructs
+//     the live store byte for byte, mid-run and at the end;
+//   - audit determinism: the parallel audit equals the serial audit.
+//
+// Everything derives from the seed, so a failing schedule is a
+// one-line reproducer (go test ./internal/simtest -run TestSim
+// -seed=<n>), the trace digest is identical across runs of the same
+// seed, and shrink.go can minimise a failure to the smallest session
+// subset that still trips the oracle.
+package simtest
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"adaudit/internal/audit"
+	"adaudit/internal/beacon"
+	"adaudit/internal/collector"
+	"adaudit/internal/ipmeta"
+	"adaudit/internal/publisher"
+	"adaudit/internal/simclock"
+	"adaudit/internal/stats"
+	"adaudit/internal/store"
+)
+
+// Config parameterises one simulation run. Seed is the only input that
+// changes the schedule; everything else scales or filters it.
+type Config struct {
+	// Seed drives every random choice in the schedule.
+	Seed int64
+	// Sessions is the number of beacon sessions to schedule (default 48).
+	Sessions int
+	// Workers > 1 delivers sessions concurrently (each session's
+	// segments stay in order on one worker) and checks only the
+	// order-insensitive invariants; 0 or 1 is the fully deterministic
+	// serial phase that also produces the trace digest.
+	Workers int
+	// Only restricts delivery to the listed session indices — the
+	// shrinker's handle, and the second half of a minimal reproducer.
+	// Nil delivers every session.
+	Only []int
+	// Dir is the scratch directory for the WAL and snapshots. Each Run
+	// creates a fresh subdirectory, so one Dir serves many runs.
+	Dir string
+	// BreakDedup simulates a nonce-dedup regression: continuation
+	// segments are delivered without their nonce, so the collector
+	// inserts fresh records instead of merging. The oracle still
+	// expects correct behaviour — the run must report violations. This
+	// keeps a permanent, executable proof that the oracle catches the
+	// dedup failure mode.
+	BreakDedup bool
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Digest fingerprints the schedule, every delivery outcome, and the
+	// final store content. Same seed (and config) → same digest.
+	Digest string
+	// Violations are oracle findings; empty means the run passed.
+	Violations []string
+	// Sessions and Deliveries count the scheduled work after Only
+	// filtering.
+	Sessions   int
+	Deliveries int
+}
+
+// Failed reports whether the oracle found violations.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+type scenario int
+
+const (
+	// scenarioClean is a single connect-expose-close session.
+	scenarioClean scenario = iota
+	// scenarioDrop is a beacon that never reaches the collector (page
+	// blocked the script, network ate the connection) — the loss side
+	// of the model: no record may appear.
+	scenarioDrop
+	// scenarioReconnect is a session whose connection dies mid-exposure
+	// and resumes 1–2 times under the original nonce.
+	scenarioReconnect
+	// scenarioDuplicate delivers the identical initial segment twice —
+	// a retransmitted payload the nonce cache must fold into one record.
+	scenarioDuplicate
+	// scenarioReorder is a reconnect whose segments arrive out of
+	// chronological order.
+	scenarioReorder
+)
+
+func (s scenario) String() string {
+	switch s {
+	case scenarioClean:
+		return "clean"
+	case scenarioDrop:
+		return "drop"
+	case scenarioReconnect:
+		return "reconnect"
+	case scenarioDuplicate:
+		return "duplicate"
+	case scenarioReorder:
+		return "reorder"
+	}
+	return "unknown"
+}
+
+// segment is one delivered connection of a session: the initial
+// exposure or a continuation after a reconnect.
+type segment struct {
+	session   int
+	index     int // within-session delivery order, 0 = creates the record
+	obs       collector.Observation
+	deliverAt time.Time
+}
+
+// simSession is one scheduled beacon lifetime.
+type simSession struct {
+	idx      int
+	kind     scenario
+	nonce    string
+	segments []segment // in delivery order
+}
+
+// simBase is the virtual-time origin of every schedule — the paper's
+// campaign flight month.
+var simBase = time.Date(2016, time.March, 29, 9, 0, 0, 0, time.UTC)
+
+var simCampaigns = []struct {
+	ID       string
+	Keywords []string
+}{
+	{"sim-research", []string{"ciencia", "investigación"}},
+	{"sim-football", []string{"fútbol", "liga"}},
+	{"sim-news", []string{"noticias", "actualidad"}},
+}
+
+var simAgents = []string{
+	"Mozilla/5.0 (X11; Linux x86_64) Firefox/44.0",
+	"Mozilla/5.0 (Windows NT 6.1) Chrome/48.0",
+	"Mozilla/5.0 (Macintosh) Safari/601.4",
+}
+
+// universeFor builds the publisher inventory a schedule draws pages
+// from. It depends only on the seed, never on session count or
+// filtering, so shrunk reproducers see the identical universe.
+func universeFor(seed int64) (*publisher.Universe, error) {
+	return publisher.NewUniverse(publisher.Config{
+		Seed:          seed ^ 0x51e5_7e57, // decouple from other seed uses
+		NumPublishers: 400,
+	})
+}
+
+// generate expands a seed into the full session schedule. Every session
+// forks its own RNG stream, so session i's schedule is identical
+// whether or not the other sessions are delivered — the property the
+// shrinker relies on.
+func generate(cfg Config, uni *publisher.Universe) []simSession {
+	rng := stats.NewRNG(cfg.Seed)
+	sessions := make([]simSession, cfg.Sessions)
+	for i := range sessions {
+		sessions[i] = genSession(cfg.Seed, i, rng.Fork(fmt.Sprintf("session/%d", i)), uni)
+	}
+	return sessions
+}
+
+func genSession(seed int64, idx int, rng *stats.RNG, uni *publisher.Universe) simSession {
+	s := simSession{idx: idx, nonce: fmt.Sprintf("sim-%x-%04d", uint64(seed), idx)}
+	switch p := rng.Float64(); {
+	case p < 0.45:
+		s.kind = scenarioClean
+	case p < 0.55:
+		s.kind = scenarioDrop
+	case p < 0.80:
+		s.kind = scenarioReconnect
+	case p < 0.90:
+		s.kind = scenarioDuplicate
+	default:
+		s.kind = scenarioReorder
+	}
+
+	camp := simCampaigns[rng.Intn(len(simCampaigns))]
+	pub := uni.At(rng.Intn(uni.Len()))
+	payload := beacon.Payload{
+		CampaignID: camp.ID,
+		CreativeID: fmt.Sprintf("cr%d", 1+rng.Intn(3)),
+		PageURL:    "http://www." + pub.Domain + "/ad-slot",
+		UserAgent:  simAgents[rng.Intn(len(simAgents))],
+		Nonce:      s.nonce,
+	}
+	ip := netip.AddrFrom4([4]byte{10, byte(rng.Intn(250)), byte(rng.Intn(250)), byte(1 + rng.Intn(250))})
+	connectedAt := simBase.Add(time.Duration(idx)*time.Second +
+		time.Duration(rng.Intn(1000))*time.Millisecond)
+
+	if s.kind == scenarioDrop {
+		return s
+	}
+
+	nsegs := 1
+	switch s.kind {
+	case scenarioReconnect, scenarioReorder:
+		nsegs = 2 + rng.Intn(2)
+	case scenarioDuplicate:
+		nsegs = 2
+	}
+
+	deliverAt := connectedAt
+	for k := 0; k < nsegs; k++ {
+		exposure := time.Duration(1+rng.Intn(120)) * time.Second
+		if rng.Bool(0.04) {
+			// An abandoned tab: exercise the collector's MaxExposure
+			// clamp (the model clamps identically).
+			exposure = 2 * time.Hour
+		}
+		seg := segment{
+			session: idx,
+			index:   k,
+			obs: collector.Observation{
+				Payload:     payload,
+				RemoteIP:    ip,
+				ConnectedAt: connectedAt,
+				Exposure:    exposure,
+			},
+		}
+		if s.kind == scenarioDuplicate && k > 0 {
+			// Byte-identical retransmission of the first segment.
+			seg.obs = s.segments[0].obs
+			deliverAt = deliverAt.Add(time.Duration(1+rng.Intn(10)) * time.Second)
+			seg.deliverAt = deliverAt
+			s.segments = append(s.segments, seg)
+			continue
+		}
+		seg.obs.Payload.Events = genEvents(rng)
+		deliverAt = deliverAt.Add(exposure + time.Duration(rng.Intn(15))*time.Second)
+		seg.deliverAt = deliverAt
+		s.segments = append(s.segments, seg)
+	}
+
+	if s.kind == scenarioReorder && len(s.segments) > 1 {
+		// Permute the delivery instants among the segments, so a later
+		// continuation can arrive first and create the record.
+		ats := make([]time.Time, len(s.segments))
+		for k := range s.segments {
+			ats[k] = s.segments[k].deliverAt
+		}
+		perm := rng.Perm(len(s.segments))
+		for k := range s.segments {
+			s.segments[k].deliverAt = ats[perm[k]]
+		}
+		sort.SliceStable(s.segments, func(a, b int) bool {
+			return s.segments[a].deliverAt.Before(s.segments[b].deliverAt)
+		})
+		for k := range s.segments {
+			s.segments[k].index = k
+		}
+	}
+	return s
+}
+
+func genEvents(rng *stats.RNG) []beacon.Event {
+	var evs []beacon.Event
+	for m := rng.Intn(3); m > 0; m-- {
+		evs = append(evs, beacon.Event{Kind: beacon.EventMouseMove,
+			At: time.Duration(rng.Intn(30)) * time.Second})
+	}
+	if rng.Bool(0.25) {
+		evs = append(evs, beacon.Event{Kind: beacon.EventClick,
+			At: time.Duration(1+rng.Intn(30)) * time.Second})
+	}
+	if rng.Bool(0.7) {
+		evs = append(evs, beacon.Event{Kind: beacon.EventVisibility,
+			At:       time.Duration(rng.Intn(10)) * time.Second,
+			Fraction: float64(rng.Intn(21)) * 0.05})
+	}
+	return evs
+}
+
+// deliveries flattens the included sessions into the global delivery
+// order: by instant, with (session, segment) as the deterministic
+// tiebreak. Dropped sessions contribute nothing.
+func deliveries(sessions []simSession, only []int) []segment {
+	include := map[int]bool{}
+	for _, i := range only {
+		include[i] = true
+	}
+	var flat []segment
+	for _, s := range sessions {
+		if only != nil && !include[s.idx] {
+			continue
+		}
+		flat = append(flat, s.segments...)
+	}
+	sort.SliceStable(flat, func(a, b int) bool {
+		if !flat[a].deliverAt.Equal(flat[b].deliverAt) {
+			return flat[a].deliverAt.Before(flat[b].deliverAt)
+		}
+		if flat[a].session != flat[b].session {
+			return flat[a].session < flat[b].session
+		}
+		return flat[a].index < flat[b].index
+	})
+	return flat
+}
+
+// Run executes one simulation and checks every invariant. It never
+// fails the process on a violation — violations are data, returned for
+// the caller (and the shrinker) to act on.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Sessions == 0 {
+		cfg.Sessions = 48
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("simtest: Config.Dir is required")
+	}
+	dir, err := os.MkdirTemp(cfg.Dir, "run-")
+	if err != nil {
+		return nil, fmt.Errorf("simtest: scratch dir: %w", err)
+	}
+
+	uni, err := universeFor(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sessions := generate(cfg, uni)
+	flat := deliveries(sessions, cfg.Only)
+	model := buildModel(sessions, cfg.Only, collectorMaxExposure)
+
+	clk := simclock.NewVirtual(simBase)
+	st := store.New()
+	walPath := filepath.Join(dir, "sim.wal")
+	wal, err := store.OpenWAL(walPath, store.WALOptions{
+		Policy:   store.SyncInterval,
+		Interval: 5 * time.Second,
+		Clock:    clk,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer wal.Close()
+	st.AttachWAL(wal)
+
+	coll, err := collector.New(collector.Config{
+		Store:             st,
+		Anonymizer:        ipmeta.NewAnonymizer([]byte("simtest")),
+		KeepAliveInterval: -1,
+		Clock:             clk,
+		Logger:            discardLogger(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Sessions:   len(sessions),
+		Deliveries: len(flat),
+	}
+	if cfg.Only != nil {
+		res.Sessions = len(cfg.Only)
+	}
+
+	o := &oracle{
+		model:     model,
+		store:     st,
+		walPath:   walPath,
+		snapDir:   dir,
+		auditMeta: audit.UniverseMetadata{Universe: uni},
+	}
+
+	if cfg.Workers > 1 {
+		runConcurrent(cfg, flat, coll, o)
+	} else {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "schedule seed=%d sessions=%d only=%v breakdedup=%t\n",
+			cfg.Seed, cfg.Sessions, cfg.Only, cfg.BreakDedup)
+		runSerial(cfg, flat, coll, clk, o, h)
+		digestStore(h, st)
+		res.Digest = fmt.Sprintf("%016x", h.Sum64())
+	}
+
+	o.checkFinal()
+	res.Violations = o.violations
+	return res, nil
+}
+
+// runSerial delivers the schedule one observation at a time on the
+// virtual clock, folding every outcome into the trace digest and
+// running the oracle's per-delivery and scheduled checks.
+func runSerial(cfg Config, flat []segment, coll *collector.Collector,
+	clk *simclock.Virtual, o *oracle, h io.Writer) {
+	// Schedule snapshot-compactions and mid-run recovery checks at
+	// seed-determined points, so durability is probed in the middle of
+	// the workload, not just at the end.
+	prng := stats.NewRNG(cfg.Seed).Fork("probes")
+	snapAt, recoverAt := map[int]bool{}, map[int]bool{}
+	if n := len(flat); n > 4 {
+		snapAt[1+prng.Intn(n-2)] = true
+		snapAt[1+prng.Intn(n-2)] = true
+		recoverAt[1+prng.Intn(n-2)] = true
+	}
+
+	for di, seg := range flat {
+		if d := seg.deliverAt.Sub(clk.Now()); d > 0 {
+			clk.Advance(d)
+		}
+		obs := seg.obs
+		if cfg.BreakDedup && seg.index > 0 {
+			obs.Payload.Nonce = ""
+		}
+		id, err := coll.Ingest(obs)
+		fmt.Fprintf(h, "deliver %d session=%d seg=%d id=%d err=%v\n",
+			di, seg.session, seg.index, id, err)
+		o.afterDelivery(seg, id, err)
+		if snapAt[di] {
+			o.snapshotCompact(di)
+		}
+		if recoverAt[di] {
+			o.checkRecovery("mid-run")
+		}
+	}
+}
+
+// runConcurrent partitions sessions across workers (a session's
+// segments stay in order on one worker) and delivers them in parallel —
+// the phase the -race sweep exercises. Only order-insensitive
+// invariants apply afterwards; the digest is a serial-phase artifact.
+func runConcurrent(cfg Config, flat []segment, coll *collector.Collector, o *oracle) {
+	lanes := make([][]segment, cfg.Workers)
+	for _, seg := range flat {
+		w := seg.session % cfg.Workers
+		lanes[w] = append(lanes[w], seg)
+	}
+	var wg sync.WaitGroup
+	for _, lane := range lanes {
+		wg.Add(1)
+		go func(lane []segment) {
+			defer wg.Done()
+			for _, seg := range lane {
+				obs := seg.obs
+				if cfg.BreakDedup && seg.index > 0 {
+					obs.Payload.Nonce = ""
+				}
+				id, err := coll.Ingest(obs)
+				o.afterDeliveryConcurrent(seg, id, err)
+			}
+		}(lane)
+	}
+	wg.Wait()
+}
+
+// digestStore folds the final store content into the trace digest in
+// insertion (ID) order.
+func digestStore(h io.Writer, st *store.Store) {
+	st.ForEach(func(im store.Impression) bool {
+		fmt.Fprintf(h, "rec %d %s %s %s %s %d %d %d %t %.4f %s %s\n",
+			im.ID, im.CampaignID, im.CreativeID, im.Publisher, im.Nonce,
+			im.Exposure, im.MouseMoves, im.Clicks,
+			im.VisibilityMeasured, im.MaxVisibleFraction,
+			im.Timestamp.UTC().Format(time.RFC3339Nano), im.UserKey)
+		return true
+	})
+}
+
+// collectorMaxExposure mirrors the collector's default MaxExposure (the
+// model must clamp segments exactly as Ingest does).
+const collectorMaxExposure = 30 * time.Minute
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}

@@ -10,6 +10,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"adaudit/internal/simclock"
 )
 
 // The write-ahead log makes acknowledged impressions survive a
@@ -69,6 +71,10 @@ type WALOptions struct {
 	Policy SyncPolicy
 	// Interval is the SyncInterval flush period (default 100ms).
 	Interval time.Duration
+	// Clock schedules the SyncInterval flush ticker. Nil means the real
+	// clock; internal/simtest substitutes a virtual one so the flush
+	// cadence is driven by simulated time.
+	Clock simclock.Clock
 }
 
 // WAL is an append-only JSON-lines journal of store mutations. Attach
@@ -79,6 +85,7 @@ type WAL struct {
 	f      *os.File
 	path   string
 	policy SyncPolicy
+	clock  simclock.Clock
 	dirty  bool // appended since last fsync (SyncInterval bookkeeping)
 
 	stop     chan struct{}
@@ -113,6 +120,7 @@ func OpenWAL(path string, opts WALOptions) (*WAL, error) {
 		f:      f,
 		path:   path,
 		policy: opts.Policy,
+		clock:  simclock.Or(opts.Clock),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
@@ -133,13 +141,13 @@ func (w *WAL) Path() string { return w.path }
 
 func (w *WAL) flushLoop(interval time.Duration) {
 	defer close(w.done)
-	t := time.NewTicker(interval)
+	t := w.clock.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-w.stop:
 			return
-		case <-t.C:
+		case <-t.C():
 			w.mu.Lock()
 			if w.dirty {
 				_ = w.f.Sync()

@@ -8,10 +8,13 @@
 #   scripts/check.sh -bench         # also run the telemetry-overhead benchmarks
 #   scripts/check.sh -chaos         # also run the fault-injection suite under -race
 #   scripts/check.sh -bench-compare # also run the audit perf gate (scripts/bench_compare.sh)
+#   scripts/check.sh -sim           # also run the simulation sweep (25 seeds, -race)
+#                                   # plus the trace-digest determinism gate
+#   scripts/check.sh -fuzz-smoke    # also fuzz every target 30s from the committed corpora
 set -eu
 cd "$(dirname "$0")/.."
 
-RACE_PKGS="./internal/collector/ ./internal/wsproto/ ./internal/store/ ./internal/telemetry/ ./internal/faultnet/ ./internal/beacon/ ./internal/semsim/ ./internal/audit/"
+RACE_PKGS="./internal/collector/ ./internal/wsproto/ ./internal/store/ ./internal/telemetry/ ./internal/faultnet/ ./internal/beacon/ ./internal/semsim/ ./internal/audit/ ./internal/simclock/ ./internal/simtest/"
 
 echo "==> go build ./..."
 go build ./...
@@ -48,6 +51,46 @@ fi
 
 if [ "${1:-}" = "-bench-compare" ]; then
     sh scripts/bench_compare.sh
+fi
+
+if [ "${1:-}" = "-sim" ]; then
+    # Deterministic simulation sweep: 25 seeded schedules through the
+    # full ingest -> store -> audit pipeline under -race, with the
+    # invariant oracle watching (internal/simtest). A failure prints a
+    # one-line reproducer: go test ./internal/simtest -run TestSim -seed=<n>
+    echo "==> simulation sweep (25 seeds, -race)"
+    DIGESTS=$(mktemp -d)
+    trap 'rm -rf "$DIGESTS"' EXIT
+    go test -race -count 1 ./internal/simtest/ \
+        -run 'TestSim$' -seeds=25 -digest-out="$DIGESTS/run1"
+
+    # Determinism gate: the same 25 seeds replayed without -race must
+    # produce byte-identical trace digests — the property that makes
+    # every reproducer seed trustworthy.
+    echo "==> trace-digest determinism gate (25 seeds, two runs)"
+    go test -count 1 ./internal/simtest/ \
+        -run 'TestSim$' -seeds=25 -digest-out="$DIGESTS/run2" >/dev/null
+    if ! cmp -s "$DIGESTS/run1" "$DIGESTS/run2"; then
+        echo "FAIL: trace digests differ between identical runs" >&2
+        diff "$DIGESTS/run1" "$DIGESTS/run2" >&2 || true
+        exit 1
+    fi
+fi
+
+if [ "${1:-}" = "-fuzz-smoke" ]; then
+    # 30 s of native fuzzing per target, seeded from the committed
+    # corpora under testdata/fuzz/ — any crasher fails the stage.
+    echo "==> fuzz smoke (30s per target)"
+    for target in \
+        "FuzzReadFrame ./internal/wsproto/" \
+        "FuzzDecode ./internal/beacon/" \
+        "FuzzRecoverWAL ./internal/store/" \
+        "FuzzReadSnapshot ./internal/store/" \
+        "FuzzQueryAPI ./internal/collector/"; do
+        set -- $target
+        echo "==> go test -fuzz $1 -fuzztime 30s $2"
+        go test -run '^$' -fuzz "$1\$" -fuzztime 30s "$2"
+    done
 fi
 
 echo "==> ok"

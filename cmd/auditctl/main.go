@@ -8,7 +8,10 @@
 //
 // Analyses: all, brandsafety, context, popularity, viewability,
 // frequency, fraud. Context needs -reports (for keywords it uses the
-// campaign IDs' keyword conventions) or -keywords.
+// campaign IDs' keyword conventions) or -keywords. stream-verify
+// replays the dataset through the incremental streaming-audit engine
+// and verifies its report is deep-equal to the batch FullAudit — the
+// offline form of the live engine's headline correctness guarantee.
 //
 // Without vendor reports, auditctl runs the vendor-independent analyses
 // (popularity, viewability, frequency, fraud) — exactly what an
@@ -20,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"strings"
 
 	"adaudit/internal/adnet"
@@ -27,6 +31,7 @@ import (
 	"adaudit/internal/publisher"
 	"adaudit/internal/report"
 	"adaudit/internal/store"
+	"adaudit/internal/streamaudit"
 )
 
 func main() {
@@ -35,7 +40,7 @@ func main() {
 		conversions = flag.String("conversions", "", "conversion snapshot (JSON lines); optional")
 		reports     = flag.String("reports", "", "vendor reports JSON (map of campaign id to report)")
 		placements  = flag.String("placement-csv", "", "real vendor placement exports: CAMPAIGN=path.csv[,CAMPAIGN=path.csv...]")
-		analysis    = flag.String("analysis", "all", "all|brandsafety|context|popularity|viewability|frequency|fraud|conversions|interactions")
+		analysis    = flag.String("analysis", "all", "all|brandsafety|context|popularity|viewability|frequency|fraud|conversions|interactions|stream-verify")
 		keywords    = flag.String("keywords", "", "comma-separated campaign keywords for the context analysis (fallback when no reports metadata)")
 		seed        = flag.Int64("seed", 1, "seed of the synthetic metadata universe (must match the dataset's)")
 		pubs        = flag.Int("publishers", 150000, "size of the synthetic metadata universe")
@@ -209,6 +214,13 @@ func run(snapshotPath, conversionsPath, reportsPath, placementsSpec, analysis, k
 			if err := report.TableInteractions(out, results); err != nil {
 				return err
 			}
+		case "stream-verify":
+			if vendorReports == nil {
+				return fmt.Errorf("stream-verify needs -reports")
+			}
+			if err := streamVerify(out, st, auditor, uni, vendorReports, keywordsFor); err != nil {
+				return err
+			}
 		case "fraud":
 			var per []audit.CampaignAudit
 			for _, id := range st.Campaigns() {
@@ -264,6 +276,40 @@ func runAll(out *os.File, st *store.Store, auditor *audit.Auditor,
 	}
 	fmt.Fprintln(out)
 	return report.Table4(out, full.PerCampaign)
+}
+
+// streamVerify proves the streaming engine's headline guarantee on
+// this dataset: an engine primed from the loaded store must produce a
+// report deep-equal to the batch FullAudit over the same inputs.
+func streamVerify(out *os.File, st *store.Store, auditor *audit.Auditor, uni *publisher.Universe,
+	vendorReports map[string]*adnet.VendorReport, keywordsFor func(string) []string) error {
+
+	var inputs []audit.CampaignInput
+	for _, id := range st.Campaigns() {
+		rep := vendorReports[id]
+		if rep == nil {
+			return fmt.Errorf("no vendor report for campaign %s", id)
+		}
+		inputs = append(inputs, audit.CampaignInput{ID: id, Keywords: keywordsFor(id), Report: rep})
+	}
+	eng, err := streamaudit.New(streamaudit.Config{Store: st, Meta: audit.UniverseMetadata{Universe: uni}})
+	if err != nil {
+		return err
+	}
+	incremental, err := eng.Report(inputs)
+	if err != nil {
+		return err
+	}
+	batch, err := auditor.FullAudit(inputs)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(incremental, batch) {
+		return fmt.Errorf("stream-verify: incremental report diverges from batch audit")
+	}
+	fmt.Fprintf(out, "stream-verify: incremental report matches batch audit (%d campaigns, %d impressions)\n",
+		len(inputs), st.Len())
+	return nil
 }
 
 func splitCSV(s string) []string {

@@ -11,6 +11,15 @@
 //	       [-flush 30s] [-print-script CAMPAIGN:CREATIVE]
 //	       [-debug-addr 127.0.0.1:6060] [-selfreport 60s]
 //	       [-unhealthy-after 5m] [-wal journal.wal] [-wal-sync os]
+//	       [-live] [-live-seed 1] [-live-publishers 150000]
+//
+// With -live the daemon attaches a streaming audit engine to the
+// store's change feed and serves incrementally maintained audit views
+// on the listen address: GET /api/live/summary, GET
+// /api/live/audit/{campaign}, and GET /api/live/stream (server-sent
+// events). -live-seed and -live-publishers regenerate the synthetic
+// publisher-metadata universe the popularity and context dimensions
+// need, and must match the dataset's.
 //
 // With -wal every acknowledged impression is journaled to a write-ahead
 // log before it enters the in-memory store: at boot the daemon loads the
@@ -49,10 +58,14 @@ import (
 	"syscall"
 	"time"
 
+	"adaudit/internal/adnet"
+	"adaudit/internal/audit"
 	"adaudit/internal/beacon"
 	"adaudit/internal/collector"
 	"adaudit/internal/ipmeta"
+	"adaudit/internal/publisher"
 	"adaudit/internal/store"
+	"adaudit/internal/streamaudit"
 	"adaudit/internal/telemetry"
 )
 
@@ -68,6 +81,9 @@ func main() {
 		unhealthyAfter = flag.Duration("unhealthy-after", 0, "/healthz flips unhealthy when no record committed for this long (0 disables)")
 		walPath        = flag.String("wal", "", "write-ahead log path (empty disables the journal)")
 		walSync        = flag.String("wal-sync", "os", "WAL fsync policy: os, always or interval")
+		live           = flag.Bool("live", false, "serve streaming audit views (/api/live/...) from the store change feed")
+		liveSeed       = flag.Int64("live-seed", 1, "seed of the synthetic metadata universe for -live (must match the dataset's)")
+		livePubs       = flag.Int("live-publishers", 150000, "size of the synthetic metadata universe for -live")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -83,6 +99,9 @@ func main() {
 		unhealthyAfter: *unhealthyAfter,
 		walPath:        *walPath,
 		walSync:        *walSync,
+		live:           *live,
+		liveSeed:       *liveSeed,
+		livePubs:       *livePubs,
 	}
 	if err := run(ctx, opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "auditd:", err)
@@ -102,6 +121,9 @@ type daemonOptions struct {
 	unhealthyAfter time.Duration
 	walPath        string
 	walSync        string
+	live           bool
+	liveSeed       int64
+	livePubs       int
 }
 
 // run starts the collector and serves until ctx is cancelled; the final
@@ -139,6 +161,33 @@ func run(ctx context.Context, opts daemonOptions, out io.Writer) error {
 	}
 	if opts.unhealthyAfter > 0 {
 		srvOpts = append(srvOpts, collector.WithMaxIngestAge(opts.unhealthyAfter))
+	}
+	if opts.live {
+		// The engine primes from whatever the store already holds (a
+		// recovered WAL dataset included) and then follows the change
+		// feed; the server owns its Run loop.
+		uni, err := publisher.NewUniverse(publisher.Config{
+			Seed:          opts.liveSeed,
+			NumPublishers: opts.livePubs,
+		})
+		if err != nil {
+			return fmt.Errorf("building metadata universe for -live: %w", err)
+		}
+		keywords := map[string][]string{}
+		for _, c := range adnet.PaperCampaigns() {
+			keywords[c.ID] = c.Keywords
+		}
+		eng, err := streamaudit.New(streamaudit.Config{
+			Store:     st,
+			Meta:      audit.UniverseMetadata{Universe: uni},
+			Keywords:  keywords,
+			Telemetry: coll.Telemetry(),
+		})
+		if err != nil {
+			return err
+		}
+		srvOpts = append(srvOpts, collector.WithLiveAudit(eng))
+		logger.Info("live audit enabled", "publishers", opts.livePubs, "seed", opts.liveSeed)
 	}
 	srv, err := collector.NewServer(coll, opts.listen, srvOpts...)
 	if err != nil {

@@ -71,6 +71,15 @@ func (a *Auditor) BrandSafetyAggregate(reports map[string]*adnet.VendorReport) B
 }
 
 func (a *Auditor) brandSafety(campaignID string, audited, reported map[string]struct{}, anon int64) BrandSafetyResult {
+	return BrandSafetyFromSets(a.Meta, campaignID, audited, reported, anon)
+}
+
+// BrandSafetyFromSets materializes the Figure 1 result from the two
+// publisher sets — the shared fold behind both the batch analysis and
+// the streaming engine's incremental view, so the two paths cannot
+// drift. meta may be nil, disabling the UnsafeUnreported breakdown.
+// Neither input set is retained or mutated.
+func BrandSafetyFromSets(meta MetadataSource, campaignID string, audited, reported map[string]struct{}, anon int64) BrandSafetyResult {
 	res := BrandSafetyResult{
 		CampaignID:           campaignID,
 		Venn:                 stats.VennOf(audited, reported),
@@ -79,8 +88,8 @@ func (a *Auditor) brandSafety(campaignID string, audited, reported map[string]st
 	for p := range audited {
 		if _, ok := reported[p]; !ok {
 			res.AuditOnly = append(res.AuditOnly, p)
-			if a.Meta != nil {
-				if meta, ok := a.Meta.PublisherMeta(p); ok && meta.Unsafe {
+			if meta != nil {
+				if m, ok := meta.PublisherMeta(p); ok && m.Unsafe {
 					res.UnsafeUnreported = append(res.UnsafeUnreported, p)
 				}
 			}

@@ -56,30 +56,58 @@ func (r FraudResult) PctPublishersServingDC() float64 {
 	return float64(r.PublishersServingDC) / float64(r.Publishers)
 }
 
+// IsDataCenterVerdict reports whether an ingest-time data-center
+// verdict (Impression.DataCenter) counts as data-center traffic: any
+// cascade stage except the explicit non-DC and VPN-exception outcomes.
+func IsDataCenterVerdict(verdict string) bool {
+	return verdict != "" && verdict != "not-data-center" && verdict != "vpn-exception"
+}
+
 // Fraud runs the Table 4 analysis for one campaign ("" for all). The
 // per-impression data-center verdicts were computed at ingest time —
 // before IP anonymisation, as the paper's methodology requires — so the
 // analysis only aggregates them.
 func (a *Auditor) Fraud(campaignID string) FraudResult {
-	res := FraudResult{CampaignID: campaignID, ByVerdict: map[string]int{}}
+	var impressions, dcImpressions int
+	byVerdict := map[string]int{}
 	ipSeen := map[string]bool{}  // pseudonym -> isDC
 	pubSeen := map[string]bool{} // publisher -> servedDC
 	dcPerPub := map[string]int{}
 
 	a.visitImpressions(campaignID, func(im *store.Impression) bool {
-		res.Impressions++
-		isDC := im.DataCenter != "" && im.DataCenter != "not-data-center" && im.DataCenter != "vpn-exception"
+		impressions++
+		isDC := IsDataCenterVerdict(im.DataCenter)
 		if isDC {
-			res.DataCenterImpressions++
-			res.ByVerdict[im.DataCenter]++
+			dcImpressions++
+			byVerdict[im.DataCenter]++
 			dcPerPub[im.Publisher]++
 		}
 		ipSeen[im.IPPseudonym] = ipSeen[im.IPPseudonym] || isDC
 		pubSeen[im.Publisher] = pubSeen[im.Publisher] || isDC
 		return true
 	})
-	res.DistinctIPs = len(ipSeen)
-	res.Publishers = len(pubSeen)
+	return FraudFromState(campaignID, impressions, dcImpressions, byVerdict, ipSeen, pubSeen, dcPerPub)
+}
+
+// FraudFromState materializes the Table 4 result from the fraud
+// counters: total and DC impression counts, DC impressions by cascade
+// verdict, per-pseudonym and per-publisher served-DC flags, and DC
+// impressions per publisher. Shared by the batch analysis and the
+// streaming engine (which maintains exactly these maps incrementally).
+// The inputs are read, never retained: ByVerdict is copied into a
+// fresh map and the top-publishers list is built here.
+func FraudFromState(campaignID string, impressions, dcImpressions int, byVerdict map[string]int, ipSeen, pubSeen map[string]bool, dcPerPub map[string]int) FraudResult {
+	res := FraudResult{
+		CampaignID:            campaignID,
+		Impressions:           impressions,
+		DataCenterImpressions: dcImpressions,
+		DistinctIPs:           len(ipSeen),
+		Publishers:            len(pubSeen),
+		ByVerdict:             make(map[string]int, len(byVerdict)),
+	}
+	for v, n := range byVerdict {
+		res.ByVerdict[v] = n
+	}
 	for _, dc := range ipSeen {
 		if dc {
 			res.DataCenterIPs++

@@ -59,6 +59,38 @@ func (a *Auditor) Popularity(campaignID string, base float64, maxRank float64) (
 	if a.Meta == nil {
 		return PopularityResult{}, fmt.Errorf("audit: popularity analysis requires metadata")
 	}
+	var pubRanks, impRanks []int
+	unknown := 0
+	ranks := map[string]int{}
+	for _, pub := range a.Store.Publishers(campaignID) {
+		meta, ok := a.Meta.PublisherMeta(pub)
+		if !ok {
+			continue
+		}
+		ranks[pub] = meta.Rank
+		pubRanks = append(pubRanks, meta.Rank)
+	}
+	a.visitImpressions(campaignID, func(im *store.Impression) bool {
+		rank, ok := ranks[im.Publisher]
+		if !ok {
+			unknown++
+			return true
+		}
+		impRanks = append(impRanks, rank)
+		return true
+	})
+	return PopularityFromRanks(campaignID, base, maxRank, pubRanks, impRanks, unknown)
+}
+
+// PopularityFromRanks materializes the Figure 2 result from raw rank
+// observations: pubRanks holds one rank per distinct known-metadata
+// publisher (in sorted-publisher order), impRanks one rank per
+// known-metadata impression (in insertion order), unknownMeta the
+// impressions excluded for missing metadata. Both the batch analysis
+// and the streaming engine build their results through this function,
+// which is what keeps them deep-equal — including the unexported raw
+// rank slices backing the TopK queries, which are retained as passed.
+func PopularityFromRanks(campaignID string, base, maxRank float64, pubRanks, impRanks []int, unknownMeta int) (PopularityResult, error) {
 	lb, err := stats.NewLogBuckets(base, maxRank)
 	if err != nil {
 		return PopularityResult{}, fmt.Errorf("audit: building rank buckets: %w", err)
@@ -67,27 +99,16 @@ func (a *Auditor) Popularity(campaignID string, base float64, maxRank float64) (
 		CampaignID:  campaignID,
 		Publishers:  stats.NewHistogram(lb),
 		Impressions: stats.NewHistogram(lb),
+		UnknownMeta: unknownMeta,
+		pubRanks:    pubRanks,
+		impRanks:    impRanks,
 	}
-	ranks := map[string]int{}
-	for _, pub := range a.Store.Publishers(campaignID) {
-		meta, ok := a.Meta.PublisherMeta(pub)
-		if !ok {
-			continue
-		}
-		ranks[pub] = meta.Rank
-		res.Publishers.Observe(float64(meta.Rank))
-		res.pubRanks = append(res.pubRanks, meta.Rank)
+	for _, r := range pubRanks {
+		res.Publishers.Observe(float64(r))
 	}
-	a.visitImpressions(campaignID, func(im *store.Impression) bool {
-		rank, ok := ranks[im.Publisher]
-		if !ok {
-			res.UnknownMeta++
-			return true
-		}
-		res.Impressions.Observe(float64(rank))
-		res.impRanks = append(res.impRanks, rank)
-		return true
-	})
+	for _, r := range impRanks {
+		res.Impressions.Observe(float64(r))
+	}
 	return res, nil
 }
 

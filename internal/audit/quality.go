@@ -116,23 +116,37 @@ func (r FrequencyResult) MedianIATBelow(minImps int, d time.Duration) int {
 	return n
 }
 
+// FrequencyKey identifies one (campaign, user) pair of the Figure 3
+// scatter — the grouping key for per-user impression timestamps.
+type FrequencyKey struct {
+	CampaignID string
+	UserKey    string
+}
+
 // Frequency runs the Figure 3 analysis across all campaigns: a user is
 // an (IP pseudonym, User-Agent) pair, and each campaign's ad is counted
 // separately for the same user.
 func (a *Auditor) Frequency() FrequencyResult {
-	type key struct{ campaign, user string }
-	times := map[key][]time.Time{}
+	times := map[FrequencyKey][]time.Time{}
 	a.Store.Visit(func(im *store.Impression) bool {
-		k := key{im.CampaignID, im.UserKey}
+		k := FrequencyKey{im.CampaignID, im.UserKey}
 		times[k] = append(times[k], im.Timestamp)
 		return true
 	})
+	return FrequencyFromTimes(times)
+}
 
+// FrequencyFromTimes materializes the Figure 3 result from per-(campaign,
+// user) impression timestamps — the shared fold behind the batch
+// analysis and the streaming engine's incremental view. The timestamp
+// slices are sorted in place (the result depends only on the multiset);
+// the map itself is not retained.
+func FrequencyFromTimes(times map[FrequencyKey][]time.Time) FrequencyResult {
 	res := FrequencyResult{Points: make([]UserFrequency, 0, len(times))}
 	for k, ts := range times {
 		p := UserFrequency{
-			CampaignID:  k.campaign,
-			UserKey:     k.user,
+			CampaignID:  k.CampaignID,
+			UserKey:     k.UserKey,
 			Impressions: len(ts),
 		}
 		if len(ts) >= 2 {

@@ -72,9 +72,12 @@ func TestKeepAliveDropsDeadPeer(t *testing.T) {
 }
 
 // TestKeepAliveSustainsLivePeer: a beacon that keeps reading (and thus
-// auto-ponging) survives well past two intervals.
+// auto-ponging) survives well past two intervals. The interval is kept
+// wide enough that scheduler jitter under -race cannot eat the
+// two-interval pong window and drop the live peer spuriously.
 func TestKeepAliveSustainsLivePeer(t *testing.T) {
-	c, st := keepaliveCollector(t, 30*time.Millisecond)
+	const interval = 100 * time.Millisecond
+	c, st := keepaliveCollector(t, interval)
 	srv, err := NewServer(c, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +87,7 @@ func TestKeepAliveSustainsLivePeer(t *testing.T) {
 	go srv.Serve(ctx)
 
 	client := &beacon.Client{CollectorURL: srv.BeaconURL()}
-	hold := 10 * 30 * time.Millisecond // ten intervals
+	hold := 4 * interval
 	err = client.Report(ctx, beacon.Payload{
 		CampaignID: "ka", CreativeID: "cr",
 		PageURL: "http://pub.es/", UserAgent: "UA",
@@ -100,7 +103,11 @@ func TestKeepAliveSustainsLivePeer(t *testing.T) {
 		t.Fatal("live peer's impression never committed")
 	}
 	im, _ := st.Get(1)
-	if im.Exposure < hold {
+	// The client times the hold on its own clock while the collector
+	// measures exposure on the session's, so the two can disagree by a
+	// few milliseconds. A keep-alive drop would have capped exposure
+	// near two intervals; lived-to-the-hold is anything well beyond.
+	if im.Exposure < hold-interval/2 {
 		t.Fatalf("live peer dropped early: exposure %v < hold %v", im.Exposure, hold)
 	}
 }

@@ -1,0 +1,167 @@
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"adaudit/internal/streamaudit"
+)
+
+// liveAPI serves the streaming-audit endpoints of the collector — the
+// incremental counterpart of queryAPI, answering from the streamaudit
+// engine's O(state) aggregates instead of rescanning the store:
+//
+//	GET /api/live/summary             — every campaign's live summary
+//	GET /api/live/audit/{campaign}    — one campaign's five-dimension audit
+//	GET /api/live/stream              — SSE feed of dimension updates
+//
+// The SSE stream emits one "summary" event per batch of changed
+// campaigns (coalesced by the engine's Updates listener, so a slow
+// dashboard sees fewer, fresher events rather than a backlog), plus an
+// initial snapshot on connect and periodic heartbeat comments to keep
+// intermediaries from timing the connection out.
+type liveAPI struct {
+	engine *streamaudit.Engine
+
+	// stop closes when the server begins shutdown, so SSE handlers end
+	// promptly instead of pinning http.Server.Shutdown until its
+	// timeout; wg tracks them so Serve can wait for their teardown.
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newLiveAPI(e *streamaudit.Engine) *liveAPI {
+	return &liveAPI{engine: e, stop: make(chan struct{})}
+}
+
+func (l *liveAPI) register(mux *http.ServeMux) {
+	mux.HandleFunc("/api/live/summary", l.handleSummary)
+	mux.HandleFunc("/api/live/audit/", l.handleAudit)
+	mux.HandleFunc("/api/live/stream", l.handleStream)
+}
+
+// shutdown ends every open SSE stream and waits for the handlers to
+// return. Idempotent.
+func (l *liveAPI) shutdown() {
+	select {
+	case <-l.stop:
+	default:
+		close(l.stop)
+	}
+	l.wg.Wait()
+}
+
+func (l *liveAPI) handleSummary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, l.engine.Summaries())
+}
+
+func (l *liveAPI) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/api/live/audit/")
+	if id == "" || strings.Contains(id, "/") {
+		http.Error(w, "missing campaign id", http.StatusBadRequest)
+		return
+	}
+	la, ok, err := l.engine.Audit(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !ok {
+		http.Error(w, "unknown campaign", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, la)
+}
+
+// sseHeartbeat keeps idle streams alive through proxies.
+const sseHeartbeat = 15 * time.Second
+
+func (l *liveAPI) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	select {
+	case <-l.stop:
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	default:
+	}
+	l.wg.Add(1)
+	defer l.wg.Done()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	u := l.engine.Listen()
+	defer l.engine.Unlisten(u)
+
+	// Initial snapshot so a fresh client needs no separate poll.
+	if err := writeSSE(w, "snapshot", l.engine.Summaries()); err != nil {
+		return
+	}
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-l.stop:
+			// Graceful server shutdown: tell the client it was the
+			// server, not the network.
+			fmt.Fprint(w, "event: shutdown\ndata: {}\n\n")
+			flusher.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-u.C():
+			dirty := u.Take()
+			sums := make([]streamaudit.CampaignLive, 0, len(dirty))
+			for _, id := range dirty {
+				if s, ok := l.engine.LiveSummary(id); ok {
+					sums = append(sums, s)
+				}
+			}
+			if len(sums) == 0 {
+				continue
+			}
+			if err := writeSSE(w, "summary", sums); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSSE emits one server-sent event with a JSON payload.
+func writeSSE(w http.ResponseWriter, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}

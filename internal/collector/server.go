@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"adaudit/internal/streamaudit"
 )
 
 // serverOptions collects the tunables NewServer accepts as options, so
@@ -18,6 +20,7 @@ type serverOptions struct {
 	maxIngestAge  time.Duration
 	checks        map[string]func() error
 	listener      net.Listener
+	liveEngine    *streamaudit.Engine
 }
 
 // ServerOption customises a Server.
@@ -62,6 +65,7 @@ type Server struct {
 	ln        net.Listener
 	opts      serverOptions
 	start     time.Time
+	live      *liveAPI
 
 	// Ingest-age probe: the collector timestamps only sampled ingests
 	// (its hot path avoids clock reads), so between samples the server
@@ -87,6 +91,15 @@ type HealthStatus struct {
 	SessionsActive int `json:"sessions_active"`
 	// Checks maps check name to "ok" or the failure message.
 	Checks map[string]string `json:"checks,omitempty"`
+}
+
+// WithLiveAudit mounts the streaming-audit endpoints (/api/live/summary,
+// /api/live/audit/{campaign}, /api/live/stream) backed by e, and makes
+// Serve own the engine's consumption loop: Run starts with the server
+// and is cancelled only after the beacon drain, so the final report
+// reflects every impression that committed before shutdown.
+func WithLiveAudit(e *streamaudit.Engine) ServerOption {
+	return func(o *serverOptions) { o.liveEngine = e }
 }
 
 // WithListener serves on ln instead of opening a fresh TCP listener
@@ -122,6 +135,10 @@ func NewServer(c *Collector, addr string, opts ...ServerOption) (*Server, error)
 	mux.Handle("/beacon", c)
 	mux.HandleFunc("/conv", c.ServeConversionPixel)
 	(&queryAPI{st: c.cfg.Store}).register(mux)
+	if o.liveEngine != nil {
+		s.live = newLiveAPI(o.liveEngine)
+		s.live.register(mux)
+	}
 	mux.HandleFunc("/healthz", s.serveHealthz)
 	if reg := c.Telemetry(); reg != nil {
 		reg.GaugeFunc("adaudit_collector_uptime_seconds",
@@ -223,25 +240,53 @@ func (s *Server) BeaconURL() string {
 }
 
 // Serve blocks serving requests until ctx is cancelled, then shuts down
-// gracefully: the listener closes, in-flight beacon sessions are asked
-// to commit and drained for up to the shutdown grace (sessions still
-// open after that are counted as dropped — the paper's §3.1 loss
-// model), and only then does the process-side teardown finish.
+// gracefully: live SSE subscribers are closed first (a long-lived
+// stream would otherwise pin http.Server.Shutdown until its timeout),
+// then the listener closes, in-flight beacon sessions are asked to
+// commit and drained for up to the shutdown grace (sessions still open
+// after that are counted as dropped — the paper's §3.1 loss model), and
+// finally the streaming-audit engine is stopped, after the drain, so it
+// applies every impression that committed before teardown.
 func (s *Server) Serve(ctx context.Context) error {
+	var engineDone chan struct{}
+	var engineCancel context.CancelFunc
+	if s.live != nil {
+		var engineCtx context.Context
+		engineCtx, engineCancel = context.WithCancel(context.Background())
+		engineDone = make(chan struct{})
+		go func() {
+			defer close(engineDone)
+			s.live.engine.Run(engineCtx)
+		}()
+	}
+	stopEngine := func() {
+		if engineCancel != nil {
+			engineCancel()
+			<-engineDone
+		}
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		errCh <- s.httpSrv.Serve(s.ln)
 	}()
 	select {
 	case <-ctx.Done():
+		if s.live != nil {
+			s.live.shutdown()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = s.httpSrv.Shutdown(shutdownCtx)
 		s.collector.Drain(s.opts.shutdownGrace)
 		_ = s.httpSrv.Close()
 		<-errCh
+		stopEngine()
 		return nil
 	case err := <-errCh:
+		if s.live != nil {
+			s.live.shutdown()
+		}
+		stopEngine()
 		if errors.Is(err, http.ErrServerClosed) {
 			return nil
 		}

@@ -16,6 +16,7 @@ import (
 	"adaudit/internal/collector"
 	"adaudit/internal/ipmeta"
 	"adaudit/internal/store"
+	"adaudit/internal/streamaudit"
 )
 
 // modelRecord is the oracle's prediction of one store record: what the
@@ -138,6 +139,11 @@ type oracle struct {
 
 	lastExposure map[int64]time.Duration
 	auditMeta    audit.MetadataSource
+
+	// engine is the streaming-audit consumer riding the run's change
+	// feed; checkStreamAudit compares it against the batch audit at
+	// every checkpoint.
+	engine *streamaudit.Engine
 }
 
 func (o *oracle) violate(format string, args ...any) {
@@ -234,6 +240,72 @@ func (o *oracle) checkRecovery(stage string) {
 				stage, live[i].ID, live[i], replayed[i])
 			return
 		}
+	}
+	o.checkStreamReplay(stage, rec)
+}
+
+// checkStreamAudit is the streaming-audit invariant: once the engine
+// has drained the change feed, its incremental report must be
+// deep-equal to the batch FullAudit over the same store and inputs.
+// Drain handles a dropped subscription by resyncing from snapshot, so
+// the invariant holds regardless of feed-buffer pressure.
+func (o *oracle) checkStreamAudit(stage string) {
+	if o.engine == nil {
+		return
+	}
+	o.engine.Drain()
+	if !o.engine.CaughtUp() {
+		o.violate("%s streamaudit: engine not caught up after drain (applied %d, feed at %d)",
+			stage, o.engine.Applied(), o.store.FeedSeq())
+		return
+	}
+	aud, err := audit.New(o.store, o.auditMeta)
+	if err != nil {
+		o.violate("%s streamaudit: constructing auditor: %v", stage, err)
+		return
+	}
+	inputs := o.auditInputs()
+	want, err := aud.FullAuditSerial(inputs)
+	if err != nil {
+		o.violate("%s streamaudit: batch audit failed: %v", stage, err)
+		return
+	}
+	got, err := o.engine.Report(inputs)
+	if err != nil {
+		o.violate("%s streamaudit: incremental report failed: %v", stage, err)
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		o.violate("%s streamaudit: incremental report diverges from batch audit", stage)
+	}
+}
+
+// checkStreamReplay extends the durability invariant to the streaming
+// path: an engine primed from the WAL-recovered store must report
+// exactly what the live, delta-fed engine reports.
+func (o *oracle) checkStreamReplay(stage string, rec *store.Store) {
+	if o.engine == nil {
+		return
+	}
+	replayEng, err := streamaudit.New(streamaudit.Config{Store: rec, Meta: o.auditMeta})
+	if err != nil {
+		o.violate("%s streamaudit replay: constructing engine: %v", stage, err)
+		return
+	}
+	o.engine.Drain()
+	inputs := o.auditInputs()
+	liveRep, err := o.engine.Report(inputs)
+	if err != nil {
+		o.violate("%s streamaudit replay: live report failed: %v", stage, err)
+		return
+	}
+	replayRep, err := replayEng.Report(inputs)
+	if err != nil {
+		o.violate("%s streamaudit replay: replay report failed: %v", stage, err)
+		return
+	}
+	if !reflect.DeepEqual(liveRep, replayRep) {
+		o.violate("%s streamaudit replay: engine primed from recovered store diverges from live engine", stage)
 	}
 }
 
@@ -395,9 +467,12 @@ func (o *oracle) auditInputs() []audit.CampaignInput {
 	return inputs
 }
 
-// checkFinal runs every end-of-run invariant.
+// checkFinal runs every end-of-run invariant. The streaming check runs
+// first so the engine is drained before the recovery check's replay
+// cross-comparison reads its report.
 func (o *oracle) checkFinal() {
 	o.checkModel()
+	o.checkStreamAudit("final")
 	o.checkRecovery("final")
 	o.checkAudit()
 }

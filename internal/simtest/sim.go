@@ -24,6 +24,7 @@
 package simtest
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -43,6 +44,7 @@ import (
 	"adaudit/internal/simclock"
 	"adaudit/internal/stats"
 	"adaudit/internal/store"
+	"adaudit/internal/streamaudit"
 )
 
 // Config parameterises one simulation run. Seed is the only input that
@@ -378,12 +380,19 @@ func Run(cfg Config) (*Result, error) {
 		res.Sessions = len(cfg.Only)
 	}
 
+	meta := audit.UniverseMetadata{Universe: uni}
+	eng, err := streamaudit.New(streamaudit.Config{Store: st, Meta: meta})
+	if err != nil {
+		return nil, err
+	}
+
 	o := &oracle{
 		model:     model,
 		store:     st,
 		walPath:   walPath,
 		snapDir:   dir,
-		auditMeta: audit.UniverseMetadata{Universe: uni},
+		auditMeta: meta,
+		engine:    eng,
 	}
 
 	if cfg.Workers > 1 {
@@ -432,8 +441,12 @@ func runSerial(cfg Config, flat []segment, coll *collector.Collector,
 		o.afterDelivery(seg, id, err)
 		if snapAt[di] {
 			o.snapshotCompact(di)
+			o.checkStreamAudit("snapshot")
 		}
 		if recoverAt[di] {
+			// Drain first so the recovery check's streaming replay
+			// cross-comparison sees a caught-up live engine.
+			o.checkStreamAudit("mid-run")
 			o.checkRecovery("mid-run")
 		}
 	}
@@ -443,7 +456,22 @@ func runSerial(cfg Config, flat []segment, coll *collector.Collector,
 // segments stay in order on one worker) and delivers them in parallel —
 // the phase the -race sweep exercises. Only order-insensitive
 // invariants apply afterwards; the digest is a serial-phase artifact.
+// The streaming engine consumes the change feed in its goroutine-Run
+// mode throughout, so the apply path races real writers under -race;
+// the final checks still see it quiescent.
 func runConcurrent(cfg Config, flat []segment, coll *collector.Collector, o *oracle) {
+	ctx, cancel := context.WithCancel(context.Background())
+	engDone := make(chan struct{})
+	go func() {
+		defer close(engDone)
+		o.engine.Run(ctx)
+	}()
+	defer func() {
+		o.engine.WaitCaughtUp(10 * time.Second)
+		cancel()
+		<-engDone
+	}()
+
 	lanes := make([][]segment, cfg.Workers)
 	for _, seg := range flat {
 		w := seg.session % cfg.Workers

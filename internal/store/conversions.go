@@ -79,6 +79,10 @@ func (s *Store) InsertConversion(c Conversion) (int64, error) {
 	l.recs = append(l.recs, c)
 	l.byCampaign[c.CampaignID] = append(l.byCampaign[c.CampaignID], idx)
 	l.byUser[c.UserKey] = append(l.byUser[c.UserKey], idx)
+	// Published under l.mu (not s.mu): the feed's own mutex assigns
+	// the cross-log sequence number, and Subscribe holds both read
+	// locks while priming, so the snapshot/delta cut stays consistent.
+	s.publishFeed(FeedEvent{Kind: FeedConversion, Conv: c})
 	s.tel.convInserts.Inc()
 	return c.ID, nil
 }

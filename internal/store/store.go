@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -102,6 +103,11 @@ type Store struct {
 	// in-memory mutation (see wal.go).
 	wal *WAL
 
+	// feed, when non-nil, broadcasts every mutation to change-feed
+	// subscribers (see feed.go). Created lazily on first Subscribe;
+	// atomic because the conversion path publishes without holding mu.
+	feed atomic.Pointer[feed]
+
 	tel storeTelemetry
 }
 
@@ -142,6 +148,10 @@ func (s *Store) Insert(im Impression) (int64, error) {
 	s.byCampaign.add(im.CampaignID, idx)
 	s.byPublisher.add(im.Publisher, idx)
 	s.byUser.add(im.UserKey, idx)
+	// Publish while still holding the write lock, so feed sequence
+	// order matches insertion order and a concurrent Subscribe either
+	// primes this record or receives this event, never both.
+	s.publishFeed(FeedEvent{Kind: FeedInsert, Im: im})
 	s.mu.Unlock()
 	s.observeInsert(start)
 	return im.ID, nil

@@ -23,6 +23,9 @@ type storeTelemetry struct {
 	insertFailures *telemetry.Counter
 	convInserts    *telemetry.Counter
 	convFailures   *telemetry.Counter
+	feedEvents     *telemetry.Counter
+	feedDrops      *telemetry.Counter
+	feedSubscribes *telemetry.Counter
 }
 
 // sampleInterval is the stage-timing sampling rate (power of two; the
@@ -58,7 +61,19 @@ func (s *Store) Instrument(reg *telemetry.Registry) {
 			"Conversions appended to the store.", nil),
 		convFailures: reg.Counter("adaudit_store_conversion_insert_failures_total",
 			"Conversion inserts rejected by validation.", nil),
+		feedEvents: reg.Counter("adaudit_store_feed_events_total",
+			"Mutations published on the change feed.", nil),
+		feedDrops: reg.Counter("adaudit_store_feed_drops_total",
+			"Change-feed subscribers evicted for falling behind.", nil),
+		feedSubscribes: reg.Counter("adaudit_store_feed_subscribes_total",
+			"Change-feed subscriptions (including resyncs).", nil),
 	}
+	reg.GaugeFunc("adaudit_store_feed_subscribers",
+		"Change-feed subscribers currently attached.", nil,
+		func() float64 { subs, _, _ := s.feedStats(); return float64(subs) })
+	reg.GaugeFunc("adaudit_store_feed_depth",
+		"Deepest per-subscriber change-feed buffer.", nil,
+		func() float64 { _, depth, _ := s.feedStats(); return float64(depth) })
 	reg.GaugeFunc("adaudit_store_records",
 		"Impression records held.", nil,
 		func() float64 { return float64(s.Len()) })

@@ -320,11 +320,19 @@ func (s *Store) applyWALEntry(e walEntry) (ok bool, err error) {
 			return false, fmt.Errorf("merge id %d out of range (store length %d)", e.ID, len(s.recs))
 		}
 		im := &s.recs[e.ID-1]
+		prev := MergePrev{
+			Exposure:           im.Exposure,
+			MouseMoves:         im.MouseMoves,
+			Clicks:             im.Clicks,
+			VisibilityMeasured: im.VisibilityMeasured,
+			MaxVisibleFraction: im.MaxVisibleFraction,
+		}
 		im.Exposure = time.Duration(e.ExposureNS)
 		im.MouseMoves = e.MouseMoves
 		im.Clicks = e.Clicks
 		im.VisibilityMeasured = e.VisMeasured
 		im.MaxVisibleFraction = e.MaxVis
+		s.publishFeed(FeedEvent{Kind: FeedMerge, Im: *im, Prev: prev})
 		return true, nil
 	}
 	return false, fmt.Errorf("unknown op %q", e.Op)
@@ -376,6 +384,13 @@ func (s *Store) Merge(id int64, cont Continuation) error {
 		return fmt.Errorf("store: merge target %d out of range (store length %d)", id, len(s.recs))
 	}
 	im := &s.recs[id-1]
+	prev := MergePrev{
+		Exposure:           im.Exposure,
+		MouseMoves:         im.MouseMoves,
+		Clicks:             im.Clicks,
+		VisibilityMeasured: im.VisibilityMeasured,
+		MaxVisibleFraction: im.MaxVisibleFraction,
+	}
 	exp := im.Exposure + cont.Exposure
 	moves := im.MouseMoves + cont.MouseMoves
 	clicks := im.Clicks + cont.Clicks
@@ -402,6 +417,7 @@ func (s *Store) Merge(id int64, cont Continuation) error {
 	im.Clicks = clicks
 	im.VisibilityMeasured = vis
 	im.MaxVisibleFraction = maxVis
+	s.publishFeed(FeedEvent{Kind: FeedMerge, Im: *im, Prev: prev})
 	return nil
 }
 

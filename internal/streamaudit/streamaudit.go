@@ -1,0 +1,367 @@
+// Package streamaudit is the streaming counterpart of internal/audit:
+// an engine that subscribes to the store's change feed and maintains
+// every per-campaign audit dimension incrementally — brand-safety
+// publisher sets, contextual per-publisher impression counts,
+// popularity rank observations, viewability counters and exposure
+// samples, frequency-cap timestamp groups, and data-center fraud
+// counters — in O(delta) work per mutation instead of a full-store
+// rescan per query.
+//
+// The headline contract, enforced by the unit tests and the simtest
+// oracle: at quiescence (every published feed event applied),
+// Engine.Report is deep-equal to Auditor.FullAudit over the same store
+// and the same campaign inputs. The engine achieves that not by
+// approximating the batch path but by sharing its materialization code
+// (audit.BrandSafetyFromSets, audit.PopularityFromRanks,
+// audit.FraudFromState, audit.FrequencyFromTimes) over incrementally
+// maintained state, and by keeping per-campaign exposure samples in
+// store insertion order so even float summation order matches.
+//
+// Recovery follows the feed's drop-then-resync policy: a consumer the
+// bus evicted (or an out-of-order delta, which cannot happen unless
+// state was lost) discards its aggregates and re-subscribes, rebuilding
+// from the consistent snapshot prime. Resyncs are counted, never
+// wrong — only slower.
+package streamaudit
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaudit/internal/adnet"
+	"adaudit/internal/audit"
+	"adaudit/internal/semsim"
+	"adaudit/internal/store"
+	"adaudit/internal/telemetry"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Store is the impression database to follow. Required.
+	Store *store.Store
+	// Meta resolves publisher metadata (rank, keywords, topics, brand
+	// safety). Required — the popularity and context dimensions need
+	// it, exactly as audit.Auditor does.
+	Meta audit.MetadataSource
+	// Matcher decides contextual relevance; nil selects the default
+	// Leacock–Chodorow matcher over the default taxonomy, matching
+	// audit.New.
+	Matcher *semsim.Matcher
+	// Buffer is the change-feed buffer size (store.DefaultFeedBuffer
+	// when <= 0). A smaller buffer trades memory for resync frequency,
+	// never correctness.
+	Buffer int
+	// Keywords optionally maps campaign ID to targeting keywords for
+	// the live per-campaign view; Report-path callers pass keywords
+	// explicitly per call.
+	Keywords map[string][]string
+	// Reports optionally maps campaign ID to the vendor report used by
+	// the live per-campaign view. Campaigns without one are audited
+	// against an empty report (vendor-side numbers all zero).
+	Reports map[string]*adnet.VendorReport
+	// Telemetry registers the engine's instruments when non-nil.
+	Telemetry *telemetry.Registry
+}
+
+// Engine consumes the store change feed and serves incremental audit
+// views. All exported methods are safe for concurrent use.
+type Engine struct {
+	store    *store.Store
+	meta     audit.MetadataSource
+	matcher  *semsim.Matcher
+	buffer   int
+	keywords map[string][]string
+	reports  map[string]*adnet.VendorReport
+
+	// mu guards st, sub and metaMemo. appliedSeq/resyncs are atomics
+	// so monitoring reads never contend with apply.
+	mu       sync.Mutex
+	st       *state
+	sub      *store.FeedSub
+	metaMemo map[string]metaEntry
+
+	appliedSeq atomic.Int64
+	resyncs    atomic.Int64
+
+	lmu       sync.Mutex
+	listeners map[*Updates]struct{}
+
+	tel engineTelemetry
+}
+
+type metaEntry struct {
+	meta audit.PublisherMeta
+	ok   bool
+}
+
+// New builds an engine and attaches it to the store's change feed,
+// priming its state from a consistent snapshot of the current
+// contents. The engine is queryable immediately; call Drain or Run to
+// keep consuming deltas.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("streamaudit: engine requires a store")
+	}
+	if cfg.Meta == nil {
+		return nil, fmt.Errorf("streamaudit: engine requires a metadata source")
+	}
+	m := cfg.Matcher
+	if m == nil {
+		m = semsim.NewMatcher(semsim.DefaultTaxonomy())
+	}
+	e := &Engine{
+		store:     cfg.Store,
+		meta:      cfg.Meta,
+		matcher:   m,
+		buffer:    cfg.Buffer,
+		keywords:  cfg.Keywords,
+		reports:   cfg.Reports,
+		metaMemo:  map[string]metaEntry{},
+		listeners: map[*Updates]struct{}{},
+	}
+	e.tel.init(cfg.Telemetry, e)
+	e.mu.Lock()
+	e.attachLocked()
+	e.mu.Unlock()
+	return e, nil
+}
+
+// lookupMeta memoizes publisher-metadata lookups; the memo survives
+// resyncs (metadata is immutable for the life of the engine).
+// Callers hold e.mu.
+func (e *Engine) lookupMeta(pub string) (audit.PublisherMeta, bool) {
+	if ent, ok := e.metaMemo[pub]; ok {
+		return ent.meta, ent.ok
+	}
+	meta, ok := e.meta.PublisherMeta(pub)
+	e.metaMemo[pub] = metaEntry{meta, ok}
+	return meta, ok
+}
+
+// attachLocked (re)subscribes to the feed and rebuilds state from the
+// snapshot prime. Caller holds e.mu.
+func (e *Engine) attachLocked() {
+	st := newState()
+	e.st = st
+	// The prime callbacks run under the store's read locks; they only
+	// touch engine state (also safe: e.mu is held).
+	e.sub = e.store.Subscribe(e.buffer,
+		func(im *store.Impression) { st.applyInsert(e, im) },
+		func(c *store.Conversion) { st.applyConversion(c) })
+	e.appliedSeq.Store(e.sub.StartSeq())
+}
+
+// resyncLocked implements drop-then-resync: close the old
+// subscription (a no-op if the bus already dropped it), rebuild from a
+// fresh snapshot, count it. Caller holds e.mu.
+func (e *Engine) resyncLocked(dirty map[string]struct{}) {
+	if e.sub != nil {
+		e.sub.Close()
+	}
+	e.attachLocked()
+	e.resyncs.Add(1)
+	e.tel.observeResync()
+	// Every campaign may have changed from the listeners' perspective.
+	for id := range e.st.campaigns {
+		dirty[id] = struct{}{}
+	}
+}
+
+// applyLocked applies one feed event. A sequence gap or a merge for an
+// unknown record means the consumer's state no longer matches the
+// feed; the caller must resync. Caller holds e.mu.
+func (e *Engine) applyLocked(ev *store.FeedEvent, dirty map[string]struct{}) error {
+	if want := e.appliedSeq.Load() + 1; ev.Seq != want {
+		return fmt.Errorf("streamaudit: feed gap: got seq %d, want %d", ev.Seq, want)
+	}
+	switch ev.Kind {
+	case store.FeedInsert:
+		e.st.applyInsert(e, &ev.Im)
+		dirty[ev.Im.CampaignID] = struct{}{}
+	case store.FeedMerge:
+		if err := e.st.applyMerge(e, ev); err != nil {
+			return err
+		}
+		dirty[ev.Im.CampaignID] = struct{}{}
+	case store.FeedConversion:
+		e.st.applyConversion(&ev.Conv)
+		dirty[ev.Conv.CampaignID] = struct{}{}
+	default:
+		return fmt.Errorf("streamaudit: unknown feed event kind %v", ev.Kind)
+	}
+	e.appliedSeq.Store(ev.Seq)
+	e.tel.observeEvent()
+	return nil
+}
+
+// Drain synchronously applies every buffered feed event, resyncing if
+// the subscription was dropped, and returns how many events it applied
+// plus whether a resync happened. This is the deterministic
+// consumption mode the simulation harness checkpoints use; live
+// deployments run Run instead.
+func (e *Engine) Drain() (applied int, resynced bool) {
+	dirty := map[string]struct{}{}
+	e.mu.Lock()
+	for {
+		select {
+		case ev, ok := <-e.sub.Events():
+			if !ok {
+				e.resyncLocked(dirty)
+				resynced = true
+				continue
+			}
+			if err := e.applyLocked(&ev, dirty); err != nil {
+				e.resyncLocked(dirty)
+				resynced = true
+				continue
+			}
+			applied++
+		default:
+			e.mu.Unlock()
+			e.notify(dirty)
+			return applied, resynced
+		}
+	}
+}
+
+// Run consumes the feed until ctx is cancelled, resyncing from
+// snapshot whenever the bus drops the subscription. On cancellation it
+// drains whatever is already buffered before returning, so a graceful
+// shutdown ends with the engine caught up to the last pre-shutdown
+// mutation.
+func (e *Engine) Run(ctx context.Context) {
+	for {
+		e.mu.Lock()
+		sub := e.sub
+		e.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			e.Drain()
+			return
+		case ev, ok := <-sub.Events():
+			dirty := map[string]struct{}{}
+			e.mu.Lock()
+			if !ok {
+				e.resyncLocked(dirty)
+			} else if err := e.applyLocked(&ev, dirty); err != nil {
+				e.resyncLocked(dirty)
+			} else {
+				// Batch whatever else is already buffered under one
+				// lock hold, then notify once.
+			batch:
+				for {
+					select {
+					case ev2, ok2 := <-e.sub.Events():
+						if !ok2 {
+							e.resyncLocked(dirty)
+							break batch
+						}
+						if err := e.applyLocked(&ev2, dirty); err != nil {
+							e.resyncLocked(dirty)
+							break batch
+						}
+					default:
+						break batch
+					}
+				}
+			}
+			e.mu.Unlock()
+			e.notify(dirty)
+		}
+	}
+}
+
+// Applied returns the feed sequence number of the last applied event
+// (or the snapshot cut after an attach/resync).
+func (e *Engine) Applied() int64 { return e.appliedSeq.Load() }
+
+// Resyncs returns how many times the engine rebuilt from snapshot.
+func (e *Engine) Resyncs() int64 { return e.resyncs.Load() }
+
+// CaughtUp reports whether the engine has applied every mutation
+// published so far.
+func (e *Engine) CaughtUp() bool {
+	return e.Applied() >= e.store.FeedSeq()
+}
+
+// WaitCaughtUp polls until the engine catches up with the feed or the
+// timeout expires — the quiescence barrier tests and shutdown paths
+// use around a concurrently Running engine.
+func (e *Engine) WaitCaughtUp(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if e.CaughtUp() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return e.CaughtUp()
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Updates is a coalescing change notification: listeners learn which
+// campaigns changed since they last looked, without the engine ever
+// blocking on them (the signal channel has capacity one and the dirty
+// set is bounded by the campaign count).
+type Updates struct {
+	mu    sync.Mutex
+	dirty map[string]struct{}
+	sig   chan struct{}
+}
+
+// Listen registers a listener. Pair with Unlisten.
+func (e *Engine) Listen() *Updates {
+	u := &Updates{dirty: map[string]struct{}{}, sig: make(chan struct{}, 1)}
+	e.lmu.Lock()
+	e.listeners[u] = struct{}{}
+	e.lmu.Unlock()
+	return u
+}
+
+// Unlisten removes a listener.
+func (e *Engine) Unlisten(u *Updates) {
+	e.lmu.Lock()
+	delete(e.listeners, u)
+	e.lmu.Unlock()
+}
+
+// C signals when at least one campaign turned dirty.
+func (u *Updates) C() <-chan struct{} { return u.sig }
+
+// Take drains and returns the dirty campaign set, sorted.
+func (u *Updates) Take() []string {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	out := make([]string, 0, len(u.dirty))
+	for c := range u.dirty {
+		out = append(out, c)
+		delete(u.dirty, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// notify marks the campaigns dirty on every listener.
+func (e *Engine) notify(dirty map[string]struct{}) {
+	if len(dirty) == 0 {
+		return
+	}
+	e.lmu.Lock()
+	for u := range e.listeners {
+		u.mu.Lock()
+		for c := range dirty {
+			u.dirty[c] = struct{}{}
+		}
+		u.mu.Unlock()
+		select {
+		case u.sig <- struct{}{}:
+		default:
+		}
+	}
+	e.lmu.Unlock()
+}

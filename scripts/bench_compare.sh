@@ -6,8 +6,13 @@
 # BenchmarkTable2Context regressed more than 10% against the committed
 # baseline. Plain POSIX sh + awk — no benchstat dependency.
 #
+# Also runs the streaming-audit apply benchmark
+# (internal/streamaudit.BenchmarkStreamApply) and summarises it into
+# BENCH_stream.json — per-delta apply cost and derived deltas/sec for
+# the incremental engine.
+#
 # Usage:
-#   scripts/bench_compare.sh            # run, compare, rewrite BENCH_audit.json
+#   scripts/bench_compare.sh            # run, compare, rewrite BENCH_audit.json + BENCH_stream.json
 #   COUNT=5 scripts/bench_compare.sh    # more repetitions
 #
 # The raw `go test -bench` output is appended to bench_output.txt so the
@@ -89,6 +94,53 @@ if [ -n "$baseline_allocs" ]; then
     }' || exit 1
 else
     echo "==> no committed baseline; $JSON is the new baseline"
+fi
+
+# Streaming-audit apply throughput: mean per-delta cost of the
+# incremental engine, and the deltas/sec it implies.
+STREAM_JSON=BENCH_stream.json
+stream_tmp=$(mktemp)
+trap 'rm -f "$tmp" "$stream_tmp"' EXIT
+
+echo "==> go test -bench BenchmarkStreamApply ($COUNT runs) ./internal/streamaudit/"
+go test -run '^$' -bench 'BenchmarkStreamApply$' -benchmem -count "$COUNT" \
+    ./internal/streamaudit/ | tee "$stream_tmp"
+
+{
+    echo "# bench_compare(stream) $(go env GOOS)/$(go env GOARCH), count=$COUNT"
+    grep '^Benchmark' "$stream_tmp"
+} >> "$RAW"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        if (unit == "ns/op")     { ns[name] += $i;     runs[name]++ }
+        if (unit == "B/op")      { bytes[name] += $i }
+        if (unit == "allocs/op") { allocs[name] += $i }
+    }
+}
+END {
+    printf "{\n  \"benchmarks\": [\n"
+    for (k = 1; k <= n; k++) {
+        name = order[k]
+        r = runs[name]; if (r == 0) continue
+        printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f}%s\n", \
+            name, r, ns[name] / r, bytes[name] / r, allocs[name] / r, (k < n ? "," : "")
+    }
+    printf "  ],\n"
+    apply = ns["BenchmarkStreamApply"] / runs["BenchmarkStreamApply"]
+    printf "  \"deltas_per_sec\": %.0f\n}\n", 1e9 / apply
+}' "$stream_tmp" > "$STREAM_JSON"
+
+echo "==> wrote $STREAM_JSON"
+
+if ! grep -q '"name": "BenchmarkStreamApply"' "$STREAM_JSON"; then
+    echo "bench_compare: BenchmarkStreamApply missing from results" >&2
+    exit 1
 fi
 
 echo "==> bench-compare ok"

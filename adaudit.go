@@ -35,6 +35,7 @@ import (
 	"adaudit/internal/publisher"
 	"adaudit/internal/report"
 	"adaudit/internal/store"
+	"adaudit/internal/trace"
 )
 
 // Options configures a Workspace.
@@ -55,6 +56,11 @@ type Options struct {
 	// Loss overrides the measurement-loss model; nil uses the default
 	// calibrated to the paper's 16.5% publisher loss.
 	Loss *campaign.LossModel
+	// TraceSample enables end-to-end impression tracing: 1 traces every
+	// impression, N > 1 every Nth, 0 (the default) disables tracing
+	// entirely — the unsampled hot path pays only nil checks. Sampled
+	// traces land in the workspace's flight recorder (Tracer.Recorder).
+	TraceSample int
 }
 
 // Workspace is a fully wired reproduction environment: synthetic
@@ -68,6 +74,9 @@ type Workspace struct {
 	Store      *store.Store
 	Collector  *collector.Collector
 	Driver     *campaign.Driver
+	// Tracer is non-nil when Options.TraceSample enabled tracing; its
+	// Recorder holds the flight-recorder ring of completed traces.
+	Tracer *trace.Tracer
 }
 
 // NewWorkspace builds the full stack from one seed.
@@ -100,11 +109,16 @@ func NewWorkspace(opts Options) (*Workspace, error) {
 	if len(secret) == 0 {
 		secret = []byte(fmt.Sprintf("adaudit-dataset-%d", opts.Seed))
 	}
+	var tracer *trace.Tracer
+	if opts.TraceSample > 0 {
+		tracer = trace.NewTracer(trace.NewRecorder(trace.DefaultCapacity), opts.TraceSample)
+	}
 	coll, err := collector.New(collector.Config{
 		Store:      st,
 		IPDB:       ips.DB,
 		Classifier: &ipmeta.Classifier{DB: ips.DB, DenyList: ips.DenyList, ManualVerify: ips.ManualVerify},
 		Anonymizer: ipmeta.NewAnonymizer(secret),
+		Tracer:     tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("adaudit: building collector: %w", err)
@@ -120,6 +134,7 @@ func NewWorkspace(opts Options) (*Workspace, error) {
 		Network:    network,
 		Store:      st,
 		Collector:  coll,
+		Tracer:     tracer,
 		Driver: &campaign.Driver{
 			Network:   network,
 			Collector: coll,

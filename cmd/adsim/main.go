@@ -6,6 +6,7 @@
 //
 //	adsim [-seed N] [-publishers N] [-snapshot imps.jsonl] [-csv imps.csv]
 //	      [-metrics metrics.json] [-report]
+//	      [-log-level info|debug|warn|error] [-log-format text|json]
 package main
 
 import (
@@ -13,10 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"adaudit"
 	"adaudit/internal/adnet"
+	"adaudit/internal/logutil"
 )
 
 func main() {
@@ -29,15 +32,21 @@ func main() {
 		conversions = flag.String("conversions", "", "write the conversion dataset (JSON lines) to this path")
 		metricsPath = flag.String("metrics", "", "write the run's telemetry (JSON metrics view) to this path")
 		printRep    = flag.Bool("report", true, "print the full audit report (tables 1-4, figures 1-3)")
+		logFlags    = logutil.Register(flag.CommandLine)
 	)
 	flag.Parse()
-	if err := run(*seed, *publishers, *snapshot, *csvPath, *reports, *conversions, *metricsPath, *printRep); err != nil {
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "adsim:", err)
+		os.Exit(2)
+	}
+	if err := run(*seed, *publishers, *snapshot, *csvPath, *reports, *conversions, *metricsPath, *printRep, logger); err != nil {
+		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversionsPath, metricsPath string, printRep bool) error {
+func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversionsPath, metricsPath string, printRep bool, logger *slog.Logger) error {
 	ws, err := adaudit.NewWorkspace(adaudit.Options{Seed: seed, NumPublishers: publishers})
 	if err != nil {
 		return err
@@ -47,8 +56,10 @@ func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversions
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "adsim: logged %d impressions across %d campaigns (store: %d publishers)\n",
-		run.Outcome.TotalLogged(), len(campaigns), len(ws.Store.Publishers("")))
+	logger.Info("dataset collected",
+		"impressions", run.Outcome.TotalLogged(),
+		"campaigns", len(campaigns),
+		"publishers", len(ws.Store.Publishers("")))
 
 	if snapshot != "" {
 		if err := writeTo(snapshot, ws.Store.WriteSnapshot); err != nil {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"testing"
@@ -19,7 +21,7 @@ func TestRunWritesAllOutputs(t *testing.T) {
 	metrics := filepath.Join(dir, "metrics.json")
 
 	// Small universe for test speed; -report=false to skip rendering.
-	if err := run(7, 6000, snap, csvPath, reports, convs, metrics, false); err != nil {
+	if err := run(7, 6000, snap, csvPath, reports, convs, metrics, false, testLogger()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -97,7 +99,11 @@ func TestRunWritesAllOutputs(t *testing.T) {
 }
 
 func TestRunRejectsBadPath(t *testing.T) {
-	if err := run(1, 6000, "/nonexistent-dir/x.jsonl", "", "", "", "", false); err == nil {
+	if err := run(1, 6000, "/nonexistent-dir/x.jsonl", "", "", "", "", false, testLogger()); err == nil {
 		t.Fatal("bad snapshot path accepted")
 	}
+}
+
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }

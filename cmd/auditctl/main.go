@@ -5,6 +5,7 @@
 // Usage:
 //
 //	auditctl -snapshot imps.jsonl [-reports reports.json] [-analysis all]
+//	         [-log-level info|debug|warn|error] [-log-format text|json]
 //
 // Analyses: all, brandsafety, context, popularity, viewability,
 // frequency, fraud. Context needs -reports (for keywords it uses the
@@ -22,12 +23,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"reflect"
 	"strings"
 
 	"adaudit/internal/adnet"
 	"adaudit/internal/audit"
+	"adaudit/internal/logutil"
 	"adaudit/internal/publisher"
 	"adaudit/internal/report"
 	"adaudit/internal/store"
@@ -45,15 +48,21 @@ func main() {
 		seed        = flag.Int64("seed", 1, "seed of the synthetic metadata universe (must match the dataset's)")
 		pubs        = flag.Int("publishers", 150000, "size of the synthetic metadata universe")
 		parallelism = flag.Int("parallelism", 0, "audit worker-pool size: 0 = one worker per CPU, 1 = serial (output is identical at every setting)")
+		logFlags    = logutil.Register(flag.CommandLine)
 	)
 	flag.Parse()
-	if err := run(*snapshot, *conversions, *reports, *placements, *analysis, *keywords, *seed, *pubs, *parallelism); err != nil {
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "auditctl:", err)
+		os.Exit(2)
+	}
+	if err := run(*snapshot, *conversions, *reports, *placements, *analysis, *keywords, *seed, *pubs, *parallelism, logger); err != nil {
+		logger.Error("analysis failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(snapshotPath, conversionsPath, reportsPath, placementsSpec, analysis, keywordsCSV string, seed int64, numPubs, parallelism int) error {
+func run(snapshotPath, conversionsPath, reportsPath, placementsSpec, analysis, keywordsCSV string, seed int64, numPubs, parallelism int, logger *slog.Logger) error {
 	if snapshotPath == "" {
 		return fmt.Errorf("-snapshot is required")
 	}
@@ -77,8 +86,11 @@ func run(snapshotPath, conversionsPath, reportsPath, placementsSpec, analysis, k
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "auditctl: %d impressions, %d conversions, %d campaigns, %d publishers\n",
-		st.Len(), st.NumConversions(), len(st.Campaigns()), len(st.Publishers("")))
+	logger.Info("dataset loaded",
+		"impressions", st.Len(),
+		"conversions", st.NumConversions(),
+		"campaigns", len(st.Campaigns()),
+		"publishers", len(st.Publishers("")))
 
 	// Metadata: the synthetic universe regenerated from the same seed —
 	// the equivalent of re-querying the placement tool + Alexa.

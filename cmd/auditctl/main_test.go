@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"testing"
@@ -81,7 +83,7 @@ func TestRunIndividualAnalyses(t *testing.T) {
 		"viewability", "frequency", "fraud", "conversions", "popularity",
 		"brandsafety", "context",
 	} {
-		if err := run(snap, convs, reports, "", analysis, "", 1, 6000, 0); err != nil {
+		if err := run(snap, convs, reports, "", analysis, "", 1, 6000, 0, testLogger()); err != nil {
 			t.Errorf("analysis %s: %v", analysis, err)
 		}
 	}
@@ -89,26 +91,26 @@ func TestRunIndividualAnalyses(t *testing.T) {
 
 func TestRunAllAnalyses(t *testing.T) {
 	snap, convs, reports := writeFixture(t)
-	if err := run(snap, convs, reports, "", "all", "", 1, 6000, 0); err != nil {
+	if err := run(snap, convs, reports, "", "all", "", 1, 6000, 0, testLogger()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	snap, _, _ := writeFixture(t)
-	if err := run("", "", "", "", "all", "", 1, 6000, 0); err == nil {
+	if err := run("", "", "", "", "all", "", 1, 6000, 0, testLogger()); err == nil {
 		t.Fatal("missing snapshot accepted")
 	}
-	if err := run(snap, "", "", "", "all", "", 1, 6000, 0); err == nil {
+	if err := run(snap, "", "", "", "all", "", 1, 6000, 0, testLogger()); err == nil {
 		t.Fatal("-analysis all without reports accepted")
 	}
-	if err := run(snap, "", "", "", "nonsense", "", 1, 6000, 0); err == nil {
+	if err := run(snap, "", "", "", "nonsense", "", 1, 6000, 0, testLogger()); err == nil {
 		t.Fatal("unknown analysis accepted")
 	}
-	if err := run(snap, "", "", "", "brandsafety", "", 1, 6000, 0); err == nil {
+	if err := run(snap, "", "", "", "brandsafety", "", 1, 6000, 0, testLogger()); err == nil {
 		t.Fatal("brandsafety without reports accepted")
 	}
-	if err := run("/nonexistent/x.jsonl", "", "", "", "fraud", "", 1, 6000, 0); err == nil {
+	if err := run("/nonexistent/x.jsonl", "", "", "", "fraud", "", 1, 6000, 0, testLogger()); err == nil {
 		t.Fatal("bad snapshot path accepted")
 	}
 }
@@ -131,10 +133,14 @@ func TestRunWithPlacementCSV(t *testing.T) {
 	if err := os.WriteFile(csvPath, []byte(csvData), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(snap, "", "", "Research-010="+csvPath, "brandsafety", "", 1, 6000, 0); err != nil {
+	if err := run(snap, "", "", "Research-010="+csvPath, "brandsafety", "", 1, 6000, 0, testLogger()); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(snap, "", "", "malformed-spec", "brandsafety", "", 1, 6000, 0); err == nil {
+	if err := run(snap, "", "", "malformed-spec", "brandsafety", "", 1, 6000, 0, testLogger()); err == nil {
 		t.Fatal("malformed placement spec accepted")
 	}
+}
+
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }

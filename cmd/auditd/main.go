@@ -12,6 +12,15 @@
 //	       [-debug-addr 127.0.0.1:6060] [-selfreport 60s]
 //	       [-unhealthy-after 5m] [-wal journal.wal] [-wal-sync os]
 //	       [-live] [-live-seed 1] [-live-publishers 150000]
+//	       [-trace-sample N] [-log-level info] [-log-format text]
+//
+// With -trace-sample N one in N impressions is traced end to end —
+// beacon context, decode, enrichment, WAL append, store commit,
+// change-feed publish, streaming-audit apply — and the resulting
+// flight recorder is served on GET /api/trace/recent, /api/trace/{id}
+// and /api/trace/export (Chrome about:tracing / Perfetto JSON). Log
+// records emitted while handling a traced impression carry its
+// trace_id.
 //
 // With -live the daemon attaches a streaming audit engine to the
 // store's change feed and serves incrementally maintained audit views
@@ -63,10 +72,12 @@ import (
 	"adaudit/internal/beacon"
 	"adaudit/internal/collector"
 	"adaudit/internal/ipmeta"
+	"adaudit/internal/logutil"
 	"adaudit/internal/publisher"
 	"adaudit/internal/store"
 	"adaudit/internal/streamaudit"
 	"adaudit/internal/telemetry"
+	"adaudit/internal/trace"
 )
 
 func main() {
@@ -84,6 +95,8 @@ func main() {
 		live           = flag.Bool("live", false, "serve streaming audit views (/api/live/...) from the store change feed")
 		liveSeed       = flag.Int64("live-seed", 1, "seed of the synthetic metadata universe for -live (must match the dataset's)")
 		livePubs       = flag.Int("live-publishers", 150000, "size of the synthetic metadata universe for -live")
+		traceSample    = flag.Int("trace-sample", 0, "trace 1 in N impressions end to end and serve the flight recorder on /api/trace/ (0 disables)")
+		logFlags       = logutil.Register(flag.CommandLine)
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -102,9 +115,16 @@ func main() {
 		live:           *live,
 		liveSeed:       *liveSeed,
 		livePubs:       *livePubs,
+		traceSample:    *traceSample,
 	}
-	if err := run(ctx, opts, os.Stdout); err != nil {
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "auditd:", err)
+		os.Exit(2)
+	}
+	opts.logger = logger
+	if err := run(ctx, opts, os.Stdout); err != nil {
+		logger.Error("daemon failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -124,13 +144,20 @@ type daemonOptions struct {
 	live           bool
 	liveSeed       int64
 	livePubs       int
+	traceSample    int
+	// logger overrides the default stderr text logger (tests pass a
+	// quiet one; main passes the -log-level/-log-format one).
+	logger *slog.Logger
 }
 
 // run starts the collector and serves until ctx is cancelled; the final
 // dataset snapshot is written on the way out. Factored from main so the
 // daemon is testable end to end.
 func run(ctx context.Context, opts daemonOptions, out io.Writer) error {
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	logger := opts.logger
+	if logger == nil {
+		logger = slog.New(logutil.WithTraceIDs(slog.NewTextHandler(os.Stderr, nil)))
+	}
 
 	key := []byte(opts.secret)
 	if len(key) == 0 {
@@ -148,10 +175,16 @@ func run(ctx context.Context, opts daemonOptions, out io.Writer) error {
 	if wal != nil {
 		defer wal.Close()
 	}
+	var tracer *trace.Tracer
+	if opts.traceSample > 0 {
+		tracer = trace.NewTracer(trace.NewRecorder(trace.DefaultCapacity), opts.traceSample)
+		logger.Info("impression tracing enabled", "sample", fmt.Sprintf("1/%d", opts.traceSample))
+	}
 	coll, err := collector.New(collector.Config{
 		Store:      st,
 		Anonymizer: ipmeta.NewAnonymizer(key),
 		Logger:     logger,
+		Tracer:     tracer,
 	})
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"adaudit/internal/trace"
 	"adaudit/internal/wsproto"
 )
 
@@ -53,6 +54,11 @@ type Client struct {
 	// Jitter overrides the jitter draw (a func returning [0,1)); nil
 	// uses math/rand. Tests pin it for determinism.
 	Jitter func() float64
+	// Tracer, when set, samples impressions for end-to-end pipeline
+	// tracing: a sampled payload carries a trace ID and send timestamp
+	// (payload keys tr/trts) that the collector adopts. Nil disables
+	// client-side trace origination.
+	Tracer *trace.Tracer
 }
 
 // NewNonce returns a fresh impression nonce: 16 random bytes, hex.
@@ -112,6 +118,21 @@ func (c *Client) sleepBackoff(ctx context.Context, retry int) error {
 	}
 }
 
+// stampTrace makes the client-side sampling decision, stamping a
+// fresh trace ID and send time into the payload. A payload that
+// already carries trace context (a reconnect resending under the same
+// nonce, or a caller-supplied ID) keeps it — one impression, one
+// trace.
+func (c *Client) stampTrace(p *Payload) {
+	if c.Tracer == nil || p.TraceID != "" {
+		return
+	}
+	if id, ok := c.Tracer.SampleID(); ok {
+		p.TraceID = id.String()
+		p.TraceSent = time.Now().UnixNano()
+	}
+}
+
 // Session is a live beacon connection for one ad impression.
 type Session struct {
 	conn *wsproto.Conn
@@ -147,6 +168,7 @@ func (c *Client) Open(ctx context.Context, p Payload) (*Session, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	c.stampTrace(&p)
 	var lastErr error
 	for attempt := 0; attempt < c.attempts(); attempt++ {
 		if attempt > 0 {
@@ -240,6 +262,10 @@ func (c *Client) Report(ctx context.Context, p Payload, exposure time.Duration) 
 		// clients keep the historical nonce-free wire format.
 		p.Nonce = NewNonce()
 	}
+	// Stamp trace context once, before the reconnect loop, so every
+	// reconnect resends the same trace ID and the collector's merge
+	// path keeps a single causal trace for the impression.
+	c.stampTrace(&p)
 
 	start := time.Now()
 	sent := 0 // events already delivered on a previous connection

@@ -69,6 +69,16 @@ type Payload struct {
 	Nonce string
 	// Events are user interactions observed so far.
 	Events []Event
+	// TraceID is an optional 16-hex-digit pipeline trace identifier
+	// (internal/trace). A beacon that carries one has been sampled by
+	// the sender; the collector adopts the trace so the impression's
+	// journey is observable end to end. Empty means untraced.
+	TraceID string
+	// TraceSent is the sender's wall clock at send time in unix
+	// nanoseconds (0 if unknown), letting the collector estimate wire
+	// transit. The collector clamps it against clock skew and never
+	// uses it for accounting — audit timestamps remain server-derived.
+	TraceSent int64
 }
 
 // Validate checks the payload is complete enough to ingest.
@@ -122,6 +132,12 @@ func (p Payload) Encode() string {
 			evs[i] = encodeEvent(e)
 		}
 		v.Set("ev", strings.Join(evs, ","))
+	}
+	if p.TraceID != "" {
+		v.Set("tr", p.TraceID)
+		if p.TraceSent > 0 {
+			v.Set("trts", strconv.FormatInt(p.TraceSent, 10))
+		}
 	}
 	return v.Encode()
 }
@@ -184,6 +200,17 @@ func Decode(s string) (Payload, error) {
 		PageURL:    v.Get("url"),
 		UserAgent:  v.Get("ua"),
 		Nonce:      v.Get("n"),
+	}
+	// Trace context is best-effort observability: a malformed tr/trts
+	// pair is dropped rather than rejecting the impression — tracing
+	// must never cost the audit a record.
+	if tr := v.Get("tr"); tr != "" && len(tr) <= 16 {
+		if _, err := strconv.ParseUint(tr, 16, 64); err == nil {
+			p.TraceID = tr
+			if ts, err := strconv.ParseInt(v.Get("trts"), 10, 64); err == nil && ts > 0 {
+				p.TraceSent = ts
+			}
+		}
 	}
 	if raw := v.Get("ev"); raw != "" {
 		for _, part := range strings.Split(raw, ",") {

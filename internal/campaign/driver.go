@@ -23,6 +23,7 @@ import (
 	"adaudit/internal/collector"
 	"adaudit/internal/stats"
 	"adaudit/internal/telemetry"
+	"adaudit/internal/trace"
 )
 
 // LossModel is the paper's §3.1 error model: reasons an ad impression
@@ -163,6 +164,13 @@ func (d *Driver) Run(c adnet.Campaign) (*CampaignOutcome, error) {
 			continue
 		}
 		obs := ObservationFor(&res.Campaign, del)
+		// The driver is the beacon sender on the direct path: sampled
+		// deliveries start their pipeline trace here, stamped at the
+		// moment the simulated beacon would have fired.
+		if tr := d.Collector.Tracer().Start(); tr != nil {
+			tr.Stage(trace.StageBeaconSend)
+			obs.Trace = tr
+		}
 		if _, err := d.Collector.Ingest(obs); err != nil {
 			return nil, fmt.Errorf("campaign: ingesting %s delivery %d: %w", c.ID, i, err)
 		}

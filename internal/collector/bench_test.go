@@ -10,6 +10,7 @@ import (
 	"adaudit/internal/beacon"
 	"adaudit/internal/ipmeta"
 	"adaudit/internal/store"
+	"adaudit/internal/trace"
 )
 
 func benchCollector(b *testing.B, disableTelemetry bool) *Collector {
@@ -72,6 +73,67 @@ func BenchmarkCollectorIngestUninstrumented(b *testing.B) {
 // enrichment (LPM lookup, classification, pseudonymisation) → store.
 func BenchmarkIngest(b *testing.B) {
 	benchIngest(b, benchCollector(b, false))
+}
+
+// benchTracedCollector is benchCollector with a flight recorder and
+// tracer attached — the configuration the trace-overhead gate
+// compares against the tracer-less funnel. Telemetry stays off so the
+// comparison isolates the tracing cost.
+func benchTracedCollector(b *testing.B) *Collector {
+	b.Helper()
+	uni, err := ipmeta.NewUniverse(ipmeta.UniverseConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := New(Config{
+		Store:            store.New(),
+		IPDB:             uni.DB,
+		Classifier:       &ipmeta.Classifier{DB: uni.DB, DenyList: uni.DenyList, ManualVerify: uni.ManualVerify},
+		Anonymizer:       ipmeta.NewAnonymizer([]byte("bench")),
+		DisableTelemetry: true,
+		Tracer:           trace.NewTracer(trace.NewRecorder(trace.DefaultCapacity), 1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkIngestUntraced measures the ingest funnel with a tracer
+// attached but no trace context on any payload — the cost every
+// unsampled impression pays when tracing is enabled. The perf gate
+// (scripts/bench_compare.sh) holds this within 5% of
+// BenchmarkCollectorIngestUninstrumented, the tracer-less funnel.
+func BenchmarkIngestUntraced(b *testing.B) {
+	benchIngest(b, benchTracedCollector(b))
+}
+
+// BenchmarkIngestTraced measures the fully traced funnel: every
+// payload carries wire trace context, so each iteration adopts,
+// stages, commits and finishes one flight-recorder trace.
+func BenchmarkIngestTraced(b *testing.B) {
+	c := benchTracedCollector(b)
+	base := time.Date(2016, 3, 29, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs := Observation{
+			Payload: beacon.Payload{
+				CampaignID: "bench",
+				CreativeID: "cr",
+				PageURL:    fmt.Sprintf("http://pub%d.es/p", i%1000),
+				UserAgent:  "Mozilla/5.0 Chrome/49.0",
+				TraceID:    trace.NextID().String(),
+				TraceSent:  base.UnixNano(),
+			},
+			RemoteIP:    netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i%250 + 1)}),
+			ConnectedAt: base.Add(time.Duration(i) * time.Second),
+			Exposure:    3 * time.Second,
+		}
+		if _, err := c.Ingest(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkWebSocketSession measures the full network path: dial,

@@ -20,6 +20,7 @@
 package collector
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -36,6 +37,7 @@ import (
 	"adaudit/internal/simclock"
 	"adaudit/internal/store"
 	"adaudit/internal/telemetry"
+	"adaudit/internal/trace"
 	"adaudit/internal/wsproto"
 )
 
@@ -91,6 +93,14 @@ type Config struct {
 	// clock; internal/simtest substitutes a virtual one so session
 	// timing runs deterministically.
 	Clock simclock.Clock
+	// Tracer samples impressions for end-to-end pipeline tracing: the
+	// collector adopts trace context arriving in beacon payloads and
+	// threads the trace through decode, enrichment, store commit and
+	// the change feed into its flight recorder. Nil disables tracing;
+	// unsampled impressions pay only nil checks. Trace stage offsets
+	// always use the real monotonic clock (they measure the pipeline
+	// itself), independent of Clock.
+	Tracer *trace.Tracer
 }
 
 // Metrics are the collector's liveness counters. Historically these
@@ -318,6 +328,7 @@ func New(cfg Config) (*Collector, error) {
 				telemetry.LatencyBuckets(), nil),
 		}
 		cfg.Store.Instrument(reg)
+		cfg.Tracer.Recorder().Instrument(reg)
 	}
 	// A store recovered from a snapshot + WAL may already hold nonced
 	// impressions whose beacons could still be retrying; remember them so
@@ -357,6 +368,10 @@ func (c *Collector) nonceRecord(nonce string, id int64) {
 // with DisableTelemetry).
 func (c *Collector) Telemetry() *telemetry.Registry { return c.reg }
 
+// Tracer returns the collector's pipeline tracer (nil when tracing is
+// disabled).
+func (c *Collector) Tracer() *trace.Tracer { return c.cfg.Tracer }
+
 // LastIngest returns the commit time of the most recent record, or the
 // zero time if nothing has been ingested yet.
 func (c *Collector) LastIngest() time.Time {
@@ -392,16 +407,41 @@ type Observation struct {
 	ConnectedAt time.Time
 	// Exposure is the connection duration.
 	Exposure time.Duration
+	// Trace is the impression's pipeline trace (nil when unsampled).
+	// The WebSocket path adopts it from the payload at decode time;
+	// direct callers may start one themselves. Ingest threads it
+	// through enrichment and the store.
+	Trace *trace.Trace
+}
+
+// adoptTrace materialises a trace for payload-borne trace context —
+// the fallback for direct-path observations whose caller did not
+// adopt one itself. Returns nil for untraced payloads.
+func (c *Collector) adoptTrace(p beacon.Payload) *trace.Trace {
+	if c.cfg.Tracer == nil || p.TraceID == "" {
+		return nil
+	}
+	id, err := trace.ParseID(p.TraceID)
+	if err != nil {
+		return nil
+	}
+	return c.cfg.Tracer.Adopt(id, p.TraceSent)
 }
 
 // Ingest enriches obs and commits it to the store. This is the single
 // funnel both the WebSocket path and the simulator's direct path use.
 func (c *Collector) Ingest(obs Observation) (int64, error) {
+	tr := obs.Trace
+	if tr == nil {
+		tr = c.adoptTrace(obs.Payload)
+	}
 	pub, err := obs.Payload.Publisher()
 	if err != nil {
 		c.reject(RejectPayload)
+		tr.Truncate("reject:" + RejectPayload)
 		return 0, fmt.Errorf("collector: extracting publisher: %w", err)
 	}
+	tr.Annotate(obs.Payload.Nonce, obs.Payload.CampaignID)
 	if obs.Exposure < 0 {
 		obs.Exposure = 0
 	}
@@ -433,13 +473,13 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 	// carries the ISP/country/fraud verdict from the first connection.
 	if nonce := obs.Payload.Nonce; nonce != "" {
 		if id, ok := c.nonceLookup(nonce); ok {
-			err := c.cfg.Store.Merge(id, store.Continuation{
+			err := c.cfg.Store.MergeTraced(id, store.Continuation{
 				Exposure:           obs.Exposure,
 				MouseMoves:         moves,
 				Clicks:             clicks,
 				VisibilityMeasured: visMeasured,
 				MaxVisibleFraction: maxVis,
-			})
+			}, tr)
 			if err != nil {
 				c.reject(RejectInsert)
 				return 0, fmt.Errorf("collector: merging resumed impression: %w", err)
@@ -467,7 +507,11 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 	pseud := c.cfg.Anonymizer.Pseudonym(obs.RemoteIP)
 	if sampled {
 		c.tel.enrich.ObserveDuration(c.clock.Since(enrichStart))
+		if id := tr.ID(); id != 0 {
+			c.tel.enrich.SetExemplar(uint64(id))
+		}
 	}
+	tr.Stage(trace.StageEnrich)
 
 	im := store.Impression{
 		CampaignID:  obs.Payload.CampaignID,
@@ -489,7 +533,7 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 		VisibilityMeasured: visMeasured,
 		MaxVisibleFraction: maxVis,
 	}
-	id, err := c.cfg.Store.Insert(im)
+	id, err := c.cfg.Store.InsertTraced(im, tr)
 	if err != nil {
 		c.reject(RejectInsert)
 		return 0, fmt.Errorf("collector: storing impression: %w", err)
@@ -651,6 +695,18 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 		_ = conn.Close(wsproto.ClosePolicyViolation, "bad payload")
 		return
 	}
+	// Adopt payload-borne trace context now, while the frame is fresh:
+	// the wire_recv offset then measures actual transit, not transit
+	// plus the session's whole exposure. The trace stays active for
+	// the session's lifetime; the server's janitor sweeps traces whose
+	// session leg died without committing.
+	tr := c.adoptTrace(payload)
+	tr.Stage(trace.StageDecode)
+	tr.Annotate(payload.Nonce, payload.CampaignID)
+	ctx := trace.ContextWithID(context.Background(), tr.ID())
+	if tr != nil && c.tel.enabled {
+		c.tel.decode.SetExemplar(uint64(tr.ID()))
+	}
 	if testSessionHook != nil {
 		testSessionHook(payload)
 	}
@@ -711,7 +767,7 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 		renewDeadline()
 		e, isEvent, err := beacon.DecodeEventUpdate(string(msg))
 		if err != nil {
-			c.cfg.Logger.Debug("collector: bad event update", "err", err, "remote", remote)
+			c.cfg.Logger.DebugContext(ctx, "collector: bad event update", "err", err, "remote", remote)
 			continue
 		}
 		if isEvent {
@@ -728,8 +784,9 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 		RemoteIP:    remote,
 		ConnectedAt: connectedAt,
 		Exposure:    exposure,
+		Trace:       tr,
 	}); err != nil {
-		c.cfg.Logger.Warn("collector: ingest failed", "err", err, "remote", remote)
+		c.cfg.Logger.WarnContext(ctx, "collector: ingest failed", "err", err, "remote", remote)
 	} else if closeReason != ClosePeer {
 		// The session ended abnormally (reset, keepalive timeout,
 		// exposure cap, drain) but its exposure up to that moment still

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"adaudit/internal/streamaudit"
+	"adaudit/internal/trace"
 )
 
 // serverOptions collects the tunables NewServer accepts as options, so
@@ -18,6 +19,8 @@ import (
 type serverOptions struct {
 	shutdownGrace time.Duration
 	maxIngestAge  time.Duration
+	maxWALLag     time.Duration
+	maxStaleness  time.Duration
 	checks        map[string]func() error
 	listener      net.Listener
 	liveEngine    *streamaudit.Engine
@@ -37,6 +40,25 @@ func WithShutdownGrace(d time.Duration) ServerOption {
 // check — correct for a collector that legitimately idles.
 func WithMaxIngestAge(d time.Duration) ServerOption {
 	return func(o *serverOptions) { o.maxIngestAge = d }
+}
+
+// WithMaxWALSyncLag makes /healthz report unhealthy when a journal
+// entry has waited longer than d for its fsync (SyncInterval WALs
+// only; the other policies never go dirty). The default is 30 s —
+// generous against any sane sync interval, tight enough to catch a
+// wedged disk. d <= 0 disables the check; the measured lag is always
+// surfaced in the response either way.
+func WithMaxWALSyncLag(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.maxWALLag = d }
+}
+
+// WithAuditStaleness makes /healthz report unhealthy when the live
+// streaming-audit engine (WithLiveAudit) has fallen more than d of
+// wall time behind the change feed — the pipeline-freshness SLO as a
+// health check. The default is 30 s; d <= 0 disables the check. No-op
+// without a live engine.
+func WithAuditStaleness(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.maxStaleness = d }
 }
 
 // WithHealthCheck adds a named check to /healthz; a non-nil error marks
@@ -74,6 +96,14 @@ type Server struct {
 	probeMu         sync.Mutex
 	probeCount      int64
 	probeLastChange time.Time
+
+	// Feed-drop probe: the drop counter is monotonic, so /healthz flags
+	// unhealthy only when drops advanced since the previous probe —
+	// a one-scrape signal that live consumers are resyncing right now,
+	// not a permanent stain from one historical overflow.
+	dropMu     sync.Mutex
+	probeDrops int64
+	probedOnce bool
 }
 
 // HealthStatus is the /healthz response body.
@@ -89,6 +119,15 @@ type HealthStatus struct {
 	StoreRecords int `json:"store_records"`
 	// SessionsActive is the number of live beacon sessions.
 	SessionsActive int `json:"sessions_active"`
+	// FeedDrops is the cumulative count of change-feed subscribers
+	// evicted for falling behind.
+	FeedDrops int64 `json:"feed_drops"`
+	// WALSyncLagSeconds is how long the oldest unsynced journal entry
+	// has waited for its fsync (0 when clean or no WAL attached).
+	WALSyncLagSeconds float64 `json:"wal_sync_lag_seconds"`
+	// AuditStalenessSeconds is how far the live streaming-audit engine
+	// lags the change feed in wall time; -1 without a live engine.
+	AuditStalenessSeconds float64 `json:"audit_staleness_seconds"`
 	// Checks maps check name to "ok" or the failure message.
 	Checks map[string]string `json:"checks,omitempty"`
 }
@@ -113,7 +152,11 @@ func WithListener(ln net.Listener) ServerOption {
 // NewServer wraps c in a Server listening on addr (host:port; port 0
 // picks a free port).
 func NewServer(c *Collector, addr string, opts ...ServerOption) (*Server, error) {
-	o := serverOptions{shutdownGrace: 5 * time.Second}
+	o := serverOptions{
+		shutdownGrace: 5 * time.Second,
+		maxWALLag:     30 * time.Second,
+		maxStaleness:  30 * time.Second,
+	}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -140,6 +183,11 @@ func NewServer(c *Collector, addr string, opts ...ServerOption) (*Server, error)
 		s.live.register(mux)
 	}
 	mux.HandleFunc("/healthz", s.serveHealthz)
+	if t := c.Tracer(); t != nil {
+		if rec := t.Recorder(); rec != nil {
+			trace.RegisterAPI(mux, rec)
+		}
+	}
 	if reg := c.Telemetry(); reg != nil {
 		reg.GaugeFunc("adaudit_collector_uptime_seconds",
 			"Time since the collector server started.", nil,
@@ -191,16 +239,52 @@ func (s *Server) lastIngestAge() time.Duration {
 	return now.Sub(last)
 }
 
+// feedDropsSince returns how many change-feed subscribers were
+// dropped since the previous health probe. The first probe reports 0:
+// drops that predate any observation window belong to no probe.
+func (s *Server) feedDropsSince(total int64) int64 {
+	s.dropMu.Lock()
+	defer s.dropMu.Unlock()
+	fresh := total - s.probeDrops
+	if !s.probedOnce {
+		s.probedOnce = true
+		fresh = 0
+	}
+	s.probeDrops = total
+	if fresh < 0 {
+		fresh = 0
+	}
+	return fresh
+}
+
+// failCheck records a failed built-in health check on st.
+func (s *Server) failCheck(st *HealthStatus, name, msg string) {
+	if st.Checks == nil {
+		st.Checks = map[string]string{}
+	}
+	st.Checks[name] = msg
+	st.Status = "unhealthy"
+}
+
+// okCheck records a passing built-in health check on st.
+func (s *Server) okCheck(st *HealthStatus, name string) {
+	if st.Checks == nil {
+		st.Checks = map[string]string{}
+	}
+	st.Checks[name] = "ok"
+}
+
 func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
 	st := HealthStatus{
-		Status:         "ok",
-		UptimeSeconds:  time.Since(s.start).Seconds(),
-		StoreRecords:   s.collector.cfg.Store.Len(),
-		SessionsActive: s.collector.SessionCount(),
+		Status:                "ok",
+		UptimeSeconds:         time.Since(s.start).Seconds(),
+		StoreRecords:          s.collector.cfg.Store.Len(),
+		SessionsActive:        s.collector.SessionCount(),
+		AuditStalenessSeconds: -1,
 	}
 	if s.collector.Telemetry() != nil {
 		age := s.lastIngestAge()
@@ -210,6 +294,31 @@ func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		st.LastIngestAgeSeconds = -1
+	}
+	st.FeedDrops = s.collector.cfg.Store.FeedDrops()
+	if fresh := s.feedDropsSince(st.FeedDrops); fresh > 0 {
+		s.failCheck(&st, "feed_subscribers",
+			fmt.Sprintf("%d change-feed subscriber(s) dropped since last probe (consumers resyncing)", fresh))
+	} else {
+		s.okCheck(&st, "feed_subscribers")
+	}
+	walLag := s.collector.cfg.Store.WALDirtyDuration()
+	st.WALSyncLagSeconds = walLag.Seconds()
+	if s.opts.maxWALLag > 0 && walLag > s.opts.maxWALLag {
+		s.failCheck(&st, "wal_sync",
+			fmt.Sprintf("oldest unsynced journal entry is %.1fs old (max %v)", walLag.Seconds(), s.opts.maxWALLag))
+	} else {
+		s.okCheck(&st, "wal_sync")
+	}
+	if s.opts.liveEngine != nil {
+		stale := s.opts.liveEngine.Staleness()
+		st.AuditStalenessSeconds = stale.Seconds()
+		if s.opts.maxStaleness > 0 && stale > s.opts.maxStaleness {
+			s.failCheck(&st, "audit_freshness",
+				fmt.Sprintf("streaming audit is %.1fs behind the change feed (max %v)", stale.Seconds(), s.opts.maxStaleness))
+		} else {
+			s.okCheck(&st, "audit_freshness")
+		}
 	}
 	for name, fn := range s.opts.checks {
 		if st.Checks == nil {
@@ -248,6 +357,30 @@ func (s *Server) BeaconURL() string {
 // finally the streaming-audit engine is stopped, after the drain, so it
 // applies every impression that committed before teardown.
 func (s *Server) Serve(ctx context.Context) error {
+	// Flight-recorder janitor: a trace is live for its whole beacon
+	// session, so only ages beyond MaxExposure (plus slack) indicate a
+	// leg that died without a commit — truncate those as "stale" so the
+	// active map stays bounded and orphan spans become visible instead
+	// of lingering forever.
+	if t := s.collector.Tracer(); t != nil {
+		if rec := t.Recorder(); rec != nil {
+			staleAfter := s.collector.cfg.MaxExposure + 5*time.Minute
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				tick := time.NewTicker(30 * time.Second)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+						rec.SweepStale(staleAfter)
+					}
+				}
+			}()
+		}
+	}
 	var engineDone chan struct{}
 	var engineCancel context.CancelFunc
 	if s.live != nil {

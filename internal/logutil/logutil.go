@@ -1,0 +1,101 @@
+// Package logutil is the shared structured-logging setup for the
+// repo's commands: one pair of flags (-log-level, -log-format) that
+// every binary registers the same way, building a log/slog logger
+// whose handler attaches the pipeline trace ID carried in a request's
+// context (trace.ContextWithID) to every record it emits — so a
+// sampled impression's server-side log lines and its flight-recorder
+// trace join on one ID.
+package logutil
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+
+	"adaudit/internal/trace"
+)
+
+// Flags holds the shared logging flag values after parsing.
+type Flags struct {
+	Level  string
+	Format string
+}
+
+// Register installs -log-level and -log-format on fs with the shared
+// defaults. Call before fs.Parse; read the logger with Flags.Logger
+// after.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Level, "log-level", "info", "minimum log level: debug, info, warn or error")
+	fs.StringVar(&f.Format, "log-format", "text", "log output format: text or json")
+	return f
+}
+
+// Logger builds the logger the parsed flags describe, writing to w.
+func (f *Flags) Logger(w io.Writer) (*slog.Logger, error) {
+	return New(w, f.Level, f.Format)
+}
+
+// New builds a trace-aware slog logger writing to w. level is one of
+// debug/info/warn/error; format is text or json.
+func New(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("logutil: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch format {
+	case "text", "":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("logutil: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(WithTraceIDs(h)), nil
+}
+
+// WithTraceIDs wraps h so every record logged through a context
+// carrying a pipeline trace ID (trace.ContextWithID) gains a trace_id
+// attribute. Records without one are passed through untouched.
+func WithTraceIDs(h slog.Handler) slog.Handler {
+	if _, ok := h.(traceHandler); ok {
+		return h
+	}
+	return traceHandler{inner: h}
+}
+
+type traceHandler struct {
+	inner slog.Handler
+}
+
+func (h traceHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.inner.Enabled(ctx, lvl)
+}
+
+func (h traceHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id, ok := trace.IDFromContext(ctx); ok {
+		r.AddAttrs(slog.String("trace_id", id.String()))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{inner: h.inner.WithGroup(name)}
+}

@@ -1,0 +1,125 @@
+package logutil
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"strings"
+	"testing"
+
+	"adaudit/internal/trace"
+)
+
+func TestRegisterDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Level != "info" || f.Format != "text" {
+		t.Fatalf("defaults = %q/%q, want info/text", f.Level, f.Format)
+	}
+	if _, err := f.Logger(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterParse(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	lg, err := f.Logger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hello", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.Bytes())
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Fatalf("unexpected record: %v", rec)
+	}
+}
+
+func TestBadValues(t *testing.T) {
+	if _, err := New(&bytes.Buffer{}, "loud", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := New(&bytes.Buffer{}, "info", "xml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := New(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("quiet")
+	lg.Warn("loud")
+	out := buf.String()
+	if strings.Contains(out, "quiet") || !strings.Contains(out, "loud") {
+		t.Fatalf("level filter broken: %q", out)
+	}
+}
+
+func TestTraceIDAttached(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := New(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := trace.NextID()
+	ctx := trace.ContextWithID(context.Background(), id)
+	lg.InfoContext(ctx, "traced")
+	lg.Info("untraced")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var traced, untraced map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &traced); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &untraced); err != nil {
+		t.Fatal(err)
+	}
+	if traced["trace_id"] != id.String() {
+		t.Fatalf("trace_id = %v, want %s", traced["trace_id"], id)
+	}
+	if _, ok := untraced["trace_id"]; ok {
+		t.Fatalf("untraced record has trace_id: %v", untraced)
+	}
+}
+
+func TestWithTraceIDsIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := New(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := WithTraceIDs(lg.Handler())
+	if h != lg.Handler() {
+		t.Fatal("double wrap")
+	}
+	// WithAttrs/WithGroup keep the wrapper.
+	id := trace.NextID()
+	ctx := trace.ContextWithID(context.Background(), id)
+	slog := lg.With("a", 1).WithGroup("g")
+	slog.InfoContext(ctx, "m", "b", 2)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := rec["g"].(map[string]any)
+	if g == nil || g["trace_id"] != id.String() {
+		t.Fatalf("trace_id lost through WithAttrs/WithGroup: %v", rec)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"adaudit/internal/ipmeta"
 	"adaudit/internal/store"
 	"adaudit/internal/streamaudit"
+	"adaudit/internal/trace"
 )
 
 // modelRecord is the oracle's prediction of one store record: what the
@@ -144,6 +145,12 @@ type oracle struct {
 	// feed; checkStreamAudit compares it against the batch audit at
 	// every checkpoint.
 	engine *streamaudit.Engine
+
+	// rec is the collector's flight recorder and traced the predicted
+	// trace set, both nil unless Config.TraceSample was set;
+	// checkTraces holds them to the completeness invariant.
+	rec    *trace.Recorder
+	traced map[trace.ID]*simSession
 }
 
 func (o *oracle) violate(format string, args ...any) {
@@ -469,12 +476,70 @@ func (o *oracle) auditInputs() []audit.CampaignInput {
 
 // checkFinal runs every end-of-run invariant. The streaming check runs
 // first so the engine is drained before the recovery check's replay
-// cross-comparison reads its report.
+// cross-comparison reads its report, and before the trace check — a
+// trace only finishes once its feed event is applied.
 func (o *oracle) checkFinal() {
 	o.checkModel()
 	o.checkStreamAudit("final")
 	o.checkRecovery("final")
 	o.checkAudit()
+	o.checkTraces()
+}
+
+// checkTraces is the trace-completeness invariant: with the engine
+// drained, every predicted trace must have reached the recorder and
+// finished — complete through the stream-apply stage or explicitly
+// truncated — and no spans may linger in the active set. Reconnects,
+// duplicates and reordered replays all re-adopt the session's wire ID,
+// so this proves merge legs finish too, never orphan.
+func (o *oracle) checkTraces() {
+	if o.rec == nil {
+		return
+	}
+	for _, snap := range o.rec.Active() {
+		o.violate("trace: orphan span: trace %s (nonce %s) still active after drain: stages %v",
+			snap.IDHex, snap.Nonce, stageNames(snap.Stages))
+	}
+	// A feed-buffer eviction means the engine was resyncing when some
+	// events published; the store legitimately finishes those traces
+	// at the feed stage instead of apply.
+	drops := o.store.FeedDrops()
+	for id, s := range o.traced {
+		snap, ok := o.rec.Get(id)
+		if !ok {
+			o.violate("trace: session %d (nonce %s): trace %s never reached the recorder",
+				s.idx, s.nonce, id)
+			continue
+		}
+		if snap.Nonce != s.nonce {
+			o.violate("trace: session %d: trace %s annotated with nonce %q, want %q",
+				s.idx, snap.IDHex, snap.Nonce, s.nonce)
+		}
+		if !snap.Done {
+			o.violate("trace: session %d (nonce %s): trace %s neither finished nor truncated: stages %v",
+				s.idx, s.nonce, snap.IDHex, stageNames(snap.Stages))
+			continue
+		}
+		if snap.Truncated != "" {
+			continue // explicitly truncated is an accounted-for ending
+		}
+		if snap.Complete(trace.StageApply) {
+			continue
+		}
+		if drops > 0 && snap.Complete(trace.StageFeed) {
+			continue
+		}
+		o.violate("trace: session %d (nonce %s): trace %s finished without reaching %s: stages %v",
+			s.idx, s.nonce, snap.IDHex, trace.StageApply, stageNames(snap.Stages))
+	}
+}
+
+func stageNames(stages []trace.StagePoint) []string {
+	out := make([]string, len(stages))
+	for i, sp := range stages {
+		out[i] = sp.Name
+	}
+	return out
 }
 
 // dumpStore copies the store's records in insertion order.

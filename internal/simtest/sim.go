@@ -14,7 +14,12 @@
 //   - exposure monotonicity: a record's exposure never decreases;
 //   - durability: WAL replay (over the latest snapshot) reconstructs
 //     the live store byte for byte, mid-run and at the end;
-//   - audit determinism: the parallel audit equals the serial audit.
+//   - audit determinism: the parallel audit equals the serial audit;
+//   - trace completeness (with Config.TraceSample set): every traced
+//     session's pipeline trace finishes — complete through the
+//     stream-apply stage or explicitly truncated — and no orphan spans
+//     linger in the flight recorder, even across reconnects,
+//     duplicates and reordered replays.
 //
 // Everything derives from the seed, so a failing schedule is a
 // one-line reproducer (go test ./internal/simtest -run TestSim
@@ -45,6 +50,7 @@ import (
 	"adaudit/internal/stats"
 	"adaudit/internal/store"
 	"adaudit/internal/streamaudit"
+	"adaudit/internal/trace"
 )
 
 // Config parameterises one simulation run. Seed is the only input that
@@ -73,6 +79,15 @@ type Config struct {
 	// keeps a permanent, executable proof that the oracle catches the
 	// dedup failure mode.
 	BreakDedup bool
+	// TraceSample > 0 stamps pipeline trace context (a deterministic
+	// trace ID derived from the nonce) on 1-in-N non-dropped sessions
+	// and runs the collector with a flight recorder attached. The
+	// oracle then checks trace completeness: every stamped session's
+	// trace must finish (through stream apply, or explicitly
+	// truncated), and the recorder's active set must drain to empty.
+	// 0 disables tracing. Stamping draws nothing from the schedule
+	// RNG, so digests are unaffected.
+	TraceSample int
 }
 
 // Result is the outcome of one run.
@@ -86,6 +101,9 @@ type Result struct {
 	// filtering.
 	Sessions   int
 	Deliveries int
+	// Traced counts the sessions that carried trace context (0 unless
+	// Config.TraceSample was set).
+	Traced int
 }
 
 // Failed reports whether the oracle found violations.
@@ -181,13 +199,13 @@ func generate(cfg Config, uni *publisher.Universe) []simSession {
 	rng := stats.NewRNG(cfg.Seed)
 	sessions := make([]simSession, cfg.Sessions)
 	for i := range sessions {
-		sessions[i] = genSession(cfg.Seed, i, rng.Fork(fmt.Sprintf("session/%d", i)), uni)
+		sessions[i] = genSession(cfg, i, rng.Fork(fmt.Sprintf("session/%d", i)), uni)
 	}
 	return sessions
 }
 
-func genSession(seed int64, idx int, rng *stats.RNG, uni *publisher.Universe) simSession {
-	s := simSession{idx: idx, nonce: fmt.Sprintf("sim-%x-%04d", uint64(seed), idx)}
+func genSession(cfg Config, idx int, rng *stats.RNG, uni *publisher.Universe) simSession {
+	s := simSession{idx: idx, nonce: fmt.Sprintf("sim-%x-%04d", uint64(cfg.Seed), idx)}
 	switch p := rng.Float64(); {
 	case p < 0.45:
 		s.kind = scenarioClean
@@ -216,6 +234,15 @@ func genSession(seed int64, idx int, rng *stats.RNG, uni *publisher.Universe) si
 
 	if s.kind == scenarioDrop {
 		return s
+	}
+	if cfg.TraceSample > 0 && idx%cfg.TraceSample == 0 {
+		// Trace context rides the payload exactly as a real beacon
+		// sends it; every segment (reconnect, duplicate, reorder) of
+		// the session carries the same wire ID, so merge legs adopt
+		// and re-finish it the way production replays do. Derived from
+		// the nonce, not the RNG: schedules and digests are unchanged.
+		payload.TraceID = traceIDFor(s.nonce)
+		payload.TraceSent = connectedAt.UnixNano()
 	}
 
 	nsegs := 1
@@ -279,6 +306,19 @@ func genSession(seed int64, idx int, rng *stats.RNG, uni *publisher.Universe) si
 	return s
 }
 
+// traceIDFor derives a session's wire trace ID from its nonce — a
+// pure function of the schedule, so the oracle can predict exactly
+// which traces must exist without threading state through delivery.
+func traceIDFor(nonce string) string {
+	h := fnv.New64a()
+	io.WriteString(h, "trace/"+nonce)
+	id := h.Sum64()
+	if id == 0 {
+		id = 1
+	}
+	return fmt.Sprintf("%016x", id)
+}
+
 func genEvents(rng *stats.RNG) []beacon.Event {
 	var evs []beacon.Event
 	for m := rng.Intn(3); m > 0; m-- {
@@ -295,6 +335,40 @@ func genEvents(rng *stats.RNG) []beacon.Event {
 			Fraction: float64(rng.Intn(21)) * 0.05})
 	}
 	return evs
+}
+
+// expectedTraces predicts the flight recorder's contents from the
+// schedule: the wire trace ID of every included, non-dropped session
+// that was stamped with trace context, mapped to the session itself so
+// violations name their reproducer.
+func expectedTraces(sessions []simSession, only []int, traceSample int) map[trace.ID]*simSession {
+	if traceSample <= 0 {
+		return nil
+	}
+	include := map[int]bool{}
+	for _, i := range only {
+		include[i] = true
+	}
+	out := map[trace.ID]*simSession{}
+	for i := range sessions {
+		s := &sessions[i]
+		if only != nil && !include[s.idx] {
+			continue
+		}
+		if len(s.segments) == 0 {
+			continue // dropped beacon: no trace may appear
+		}
+		hex := s.segments[0].obs.Payload.TraceID
+		if hex == "" {
+			continue
+		}
+		id, err := trace.ParseID(hex)
+		if err != nil {
+			continue
+		}
+		out[id] = s
+	}
+	return out
 }
 
 // deliveries flattens the included sessions into the global delivery
@@ -361,20 +435,35 @@ func Run(cfg Config) (*Result, error) {
 	defer wal.Close()
 	st.AttachWAL(wal)
 
+	// With tracing on, the collector gets a flight recorder and an
+	// always-adopt tracer: the schedule already made the 1-in-N
+	// sampling decision when it stamped (or withheld) trace context on
+	// each session's payload, exactly like a real sending client.
+	var rec *trace.Recorder
+	var tracer *trace.Tracer
+	if cfg.TraceSample > 0 {
+		rec = trace.NewRecorder(4 * len(flat))
+		tracer = trace.NewTracer(rec, 1)
+	}
+
 	coll, err := collector.New(collector.Config{
 		Store:             st,
 		Anonymizer:        ipmeta.NewAnonymizer([]byte("simtest")),
 		KeepAliveInterval: -1,
 		Clock:             clk,
 		Logger:            discardLogger(),
+		Tracer:            tracer,
 	})
 	if err != nil {
 		return nil, err
 	}
 
+	traced := expectedTraces(sessions, cfg.Only, cfg.TraceSample)
+
 	res := &Result{
 		Sessions:   len(sessions),
 		Deliveries: len(flat),
+		Traced:     len(traced),
 	}
 	if cfg.Only != nil {
 		res.Sessions = len(cfg.Only)
@@ -393,14 +482,16 @@ func Run(cfg Config) (*Result, error) {
 		snapDir:   dir,
 		auditMeta: meta,
 		engine:    eng,
+		rec:       rec,
+		traced:    traced,
 	}
 
 	if cfg.Workers > 1 {
 		runConcurrent(cfg, flat, coll, o)
 	} else {
 		h := fnv.New64a()
-		fmt.Fprintf(h, "schedule seed=%d sessions=%d only=%v breakdedup=%t\n",
-			cfg.Seed, cfg.Sessions, cfg.Only, cfg.BreakDedup)
+		fmt.Fprintf(h, "schedule seed=%d sessions=%d only=%v breakdedup=%t tracesample=%d\n",
+			cfg.Seed, cfg.Sessions, cfg.Only, cfg.BreakDedup, cfg.TraceSample)
 		runSerial(cfg, flat, coll, clk, o, h)
 		digestStore(h, st)
 		res.Digest = fmt.Sprintf("%016x", h.Sum64())

@@ -136,6 +136,36 @@ func TestSimDeterminism(t *testing.T) {
 	}
 }
 
+// TestSimTracePropagation runs the schedule with every other session
+// carrying wire trace context and holds the pipeline to the trace
+// invariant: each traced session's flight-recorder trace is complete
+// through the stream-apply stage (or explicitly truncated) and no
+// orphan spans remain — across reconnects, duplicate replays and
+// reordered segments, in both the serial phase and the concurrent
+// phase the -race sweep exercises.
+func TestSimTracePropagation(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		cfg := Config{
+			Seed:        5,
+			Sessions:    *flagSessions,
+			Workers:     workers,
+			Dir:         t.TempDir(),
+			TraceSample: 2,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Traced == 0 {
+			t.Fatalf("workers=%d: schedule stamped no trace context", workers)
+		}
+		if res.Failed() {
+			t.Errorf("workers=%d: trace run violated invariants (%d traced sessions):\n  %s",
+				workers, res.Traced, strings.Join(res.Violations, "\n  "))
+		}
+	}
+}
+
 // TestOracleCatchesDedupRegression re-breaks the nonce-dedup path (the
 // sim strips nonces from continuation segments, exactly what a
 // regressed collector cache would effect) and requires the oracle to

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"adaudit/internal/trace"
 )
 
 // This file is the store's change feed: a bounded broadcast bus that
@@ -89,6 +91,15 @@ type FeedEvent struct {
 	Prev MergePrev
 	// Conv is set for FeedConversion only.
 	Conv Conversion
+	// PublishedAt is the wall clock (unix nanoseconds) at publish —
+	// the commit side of the commit→apply freshness SLO. Consumers
+	// subtract it from their own clock to measure pipeline lag.
+	PublishedAt int64
+	// Trace is the impression's pipeline trace (nil for unsampled
+	// impressions). Consumers stamp their apply stage on it and finish
+	// it; all Trace methods tolerate concurrent use by multiple
+	// subscribers.
+	Trace *trace.Trace
 }
 
 // DefaultFeedBuffer is the per-subscriber channel capacity used when
@@ -203,23 +214,30 @@ func (s *Store) FeedSeq() int64 {
 	return f.seq
 }
 
-// publishFeed stamps ev with the next sequence number and offers it to
-// every subscriber. Called with the mutated log's lock held (s.mu for
-// impressions, conversions.mu for conversions) so that sequence order
-// equals mutation order. A subscriber whose buffer is full is dropped:
-// removed from the bus, marked, and its channel closed — the publisher
-// never blocks.
-func (s *Store) publishFeed(ev FeedEvent) {
+// publishFeed stamps ev with the next sequence number and the publish
+// wall clock and offers it to every subscriber, returning how many
+// subscribers received it. Called with the mutated log's lock held
+// (s.mu for impressions, conversions.mu for conversions) so that
+// sequence order equals mutation order. A subscriber whose buffer is
+// full is dropped: removed from the bus, marked, and its channel
+// closed — the publisher never blocks.
+func (s *Store) publishFeed(ev FeedEvent) int {
 	f := s.feed.Load()
 	if f == nil {
-		return
+		return 0
 	}
 	f.mu.Lock()
 	f.seq++
 	ev.Seq = f.seq
+	ev.PublishedAt = time.Now().UnixNano()
+	// Stamp before the sends: a subscriber may apply (and finish) the
+	// trace before this function returns.
+	ev.Trace.Stage(trace.StageFeed)
+	delivered := 0
 	for sub := range f.subs {
 		select {
 		case sub.ch <- ev:
+			delivered++
 		default:
 			sub.dropped.Store(true)
 			delete(f.subs, sub)
@@ -230,6 +248,15 @@ func (s *Store) publishFeed(ev FeedEvent) {
 	}
 	f.mu.Unlock()
 	s.tel.feedEvents.Inc()
+	return delivered
+}
+
+// FeedDrops returns the total number of subscribers the bus has
+// evicted for falling behind — the /healthz signal that live audit
+// consumers are resyncing instead of keeping up.
+func (s *Store) FeedDrops() int64 {
+	_, _, drops := s.feedStats()
+	return drops
 }
 
 // feedStats samples the feed for the scrape-time gauges: subscriber

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"adaudit/internal/trace"
 )
 
 // Impression is one fully enriched ad-impression record: the beacon
@@ -121,12 +123,23 @@ func New() *Store {
 // before the in-memory store mutates, so an insert that returned
 // survives a crash.
 func (s *Store) Insert(im Impression) (int64, error) {
+	return s.InsertTraced(im, nil)
+}
+
+// InsertTraced is Insert carrying the impression's pipeline trace
+// (nil for unsampled impressions — the common case, which costs only
+// predicted nil checks). The trace is stamped at each durability
+// stage in execution order — wal_append, commit, feed_publish — and
+// handed to the change feed; when no subscriber received it the store
+// finishes the trace here, since no downstream stage will.
+func (s *Store) InsertTraced(im Impression, tr *trace.Trace) (int64, error) {
 	var start time.Time
-	if s.tel.sampleTiming() {
+	if s.tel.sampleTiming() || tr != nil {
 		start = time.Now()
 	}
 	if err := im.Validate(); err != nil {
 		s.tel.insertFailures.Inc()
+		tr.Truncate("reject:store-validate")
 		return 0, err
 	}
 	s.mu.Lock()
@@ -139,8 +152,10 @@ func (s *Store) Insert(im Impression) (int64, error) {
 		if err := s.wal.append(walEntry{Op: "ins", Im: &w}); err != nil {
 			s.mu.Unlock()
 			s.tel.insertFailures.Inc()
+			tr.Truncate("reject:wal-append")
 			return 0, err
 		}
+		tr.Stage(trace.StageWAL)
 	}
 	s.recs = append(s.recs, im)
 	// Index while still holding the write lock: that is what keeps
@@ -148,12 +163,17 @@ func (s *Store) Insert(im Impression) (int64, error) {
 	s.byCampaign.add(im.CampaignID, idx)
 	s.byPublisher.add(im.Publisher, idx)
 	s.byUser.add(im.UserKey, idx)
+	tr.Stage(trace.StageCommit)
 	// Publish while still holding the write lock, so feed sequence
 	// order matches insertion order and a concurrent Subscribe either
 	// primes this record or receives this event, never both.
-	s.publishFeed(FeedEvent{Kind: FeedInsert, Im: im})
+	delivered := s.publishFeed(FeedEvent{Kind: FeedInsert, Im: im, Trace: tr})
 	s.mu.Unlock()
-	s.observeInsert(start)
+	s.observeInsertTraced(start, tr)
+	if delivered == 0 {
+		// No live-audit consumer: the commit is the trace's last stage.
+		tr.Finish()
+	}
 	return im.ID, nil
 }
 

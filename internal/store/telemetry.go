@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"adaudit/internal/telemetry"
+	"adaudit/internal/trace"
 )
 
 // storeTelemetry holds the store's instruments. The zero value is a
@@ -74,6 +75,9 @@ func (s *Store) Instrument(reg *telemetry.Registry) {
 	reg.GaugeFunc("adaudit_store_feed_depth",
 		"Deepest per-subscriber change-feed buffer.", nil,
 		func() float64 { _, depth, _ := s.feedStats(); return float64(depth) })
+	reg.GaugeFunc("adaudit_store_wal_dirty_seconds",
+		"Age of the oldest journal entry not yet fsynced (SyncInterval policy; 0 when clean).", nil,
+		func() float64 { return s.WALDirtyDuration().Seconds() })
 	reg.GaugeFunc("adaudit_store_records",
 		"Impression records held.", nil,
 		func() float64 { return float64(s.Len()) })
@@ -103,14 +107,20 @@ func (s *Store) indexKeys() (campaigns, publishers, users int) {
 	return s.byCampaign.numKeys(), s.byPublisher.numKeys(), s.byUser.numKeys()
 }
 
-// observeInsert records one successful insert; start is the zero time
-// on unsampled (or untimed) inserts, where only the counter moves.
-func (s *Store) observeInsert(start time.Time) {
+// observeInsertTraced records one successful insert; start is the
+// zero time on unsampled (or untimed) inserts, where only the counter
+// moves. A traced insert attaches its trace ID as the histogram's
+// exemplar, linking the latency aggregate to one concrete impression
+// in the flight recorder.
+func (s *Store) observeInsertTraced(start time.Time, tr *trace.Trace) {
 	if !s.tel.enabled {
 		return
 	}
 	if !start.IsZero() {
 		s.tel.insertLatency.ObserveDuration(time.Since(start))
+		if id := tr.ID(); id != 0 {
+			s.tel.insertLatency.SetExemplar(uint64(id))
+		}
 	}
 	s.tel.inserts.Inc()
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"adaudit/internal/simclock"
+	"adaudit/internal/trace"
 )
 
 // The write-ahead log makes acknowledged impressions survive a
@@ -87,6 +88,10 @@ type WAL struct {
 	policy SyncPolicy
 	clock  simclock.Clock
 	dirty  bool // appended since last fsync (SyncInterval bookkeeping)
+	// firstDirty is when dirty last flipped on: the age of the oldest
+	// acknowledged entry that is not yet on disk — the WAL sync-lag
+	// health signal.
+	firstDirty time.Time
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -178,9 +183,30 @@ func (w *WAL) append(e walEntry) error {
 			return fmt.Errorf("store: syncing wal: %w", err)
 		}
 	case SyncInterval:
-		w.dirty = true
+		if !w.dirty {
+			w.dirty = true
+			w.firstDirty = w.clock.Now()
+		}
 	}
 	return nil
+}
+
+// DirtyDuration reports how long acknowledged journal entries have
+// been waiting for an fsync: the age of the oldest unsynced append,
+// or 0 when the journal is clean. Only the SyncInterval policy
+// accumulates dirtiness (SyncAlways syncs inline; SyncOS delegates
+// flushing to the kernel), so this is the health signal that the
+// interval flusher is alive and keeping up.
+func (w *WAL) DirtyDuration() time.Duration {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.dirty {
+		return 0
+	}
+	return w.clock.Since(w.firstDirty)
 }
 
 // Sync forces buffered journal bytes to disk regardless of policy.
@@ -225,6 +251,15 @@ func (s *Store) AttachWAL(w *WAL) {
 	s.mu.Lock()
 	s.wal = w
 	s.mu.Unlock()
+}
+
+// WALDirtyDuration reports the attached journal's sync lag (see
+// WAL.DirtyDuration); 0 with no WAL attached.
+func (s *Store) WALDirtyDuration() time.Duration {
+	s.mu.RLock()
+	w := s.wal
+	s.mu.RUnlock()
+	return w.DirtyDuration()
 }
 
 // RecoverWAL replays the journal at path into base (nil starts an empty
@@ -375,12 +410,23 @@ type Continuation struct {
 // with the same nonce. The journal entry (when a WAL is attached)
 // records the absolute post-merge values, keeping replay idempotent.
 func (s *Store) Merge(id int64, cont Continuation) error {
+	return s.MergeTraced(id, cont, nil)
+}
+
+// MergeTraced is Merge carrying the resumed session's pipeline trace
+// (nil when unsampled). A reconnected beacon resends the original
+// trace ID, so the merge leg's trace shares the ID of the insert
+// leg's — the flight recorder then holds one trace per session leg of
+// the impression. Stamping and finishing mirror InsertTraced.
+func (s *Store) MergeTraced(id int64, cont Continuation, tr *trace.Trace) error {
 	if cont.Exposure < 0 {
+		tr.Truncate("reject:merge-validate")
 		return fmt.Errorf("store: negative continuation exposure %v", cont.Exposure)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if id < 1 || id > int64(len(s.recs)) {
+		s.mu.Unlock()
+		tr.Truncate("reject:merge-target")
 		return fmt.Errorf("store: merge target %d out of range (store length %d)", id, len(s.recs))
 	}
 	im := &s.recs[id-1]
@@ -409,15 +455,23 @@ func (s *Store) Merge(id int64, cont Continuation) error {
 			MaxVis:      maxVis,
 		})
 		if err != nil {
+			s.mu.Unlock()
+			tr.Truncate("reject:wal-append")
 			return err
 		}
+		tr.Stage(trace.StageWAL)
 	}
 	im.Exposure = exp
 	im.MouseMoves = moves
 	im.Clicks = clicks
 	im.VisibilityMeasured = vis
 	im.MaxVisibleFraction = maxVis
-	s.publishFeed(FeedEvent{Kind: FeedMerge, Im: *im, Prev: prev})
+	tr.Stage(trace.StageCommit)
+	delivered := s.publishFeed(FeedEvent{Kind: FeedMerge, Im: *im, Prev: prev, Trace: tr})
+	s.mu.Unlock()
+	if delivered == 0 {
+		tr.Finish()
+	}
 	return nil
 }
 

@@ -37,6 +37,7 @@ import (
 	"adaudit/internal/semsim"
 	"adaudit/internal/store"
 	"adaudit/internal/telemetry"
+	"adaudit/internal/trace"
 )
 
 // Config configures an Engine.
@@ -86,6 +87,13 @@ type Engine struct {
 
 	appliedSeq atomic.Int64
 	resyncs    atomic.Int64
+
+	// lastPub is the PublishedAt stamp (unix nanos) of the last applied
+	// feed event; attachedAt is when the engine last (re)subscribed.
+	// Together they bound the age of the oldest unapplied event for the
+	// freshness SLO without peeking into the feed buffer.
+	lastPub    atomic.Int64
+	attachedAt atomic.Int64
 
 	lmu       sync.Mutex
 	listeners map[*Updates]struct{}
@@ -153,6 +161,7 @@ func (e *Engine) attachLocked() {
 		func(im *store.Impression) { st.applyInsert(e, im) },
 		func(c *store.Conversion) { st.applyConversion(c) })
 	e.appliedSeq.Store(e.sub.StartSeq())
+	e.attachedAt.Store(time.Now().UnixNano())
 }
 
 // resyncLocked implements drop-then-resync: close the old
@@ -194,7 +203,17 @@ func (e *Engine) applyLocked(ev *store.FeedEvent, dirty map[string]struct{}) err
 		return fmt.Errorf("streamaudit: unknown feed event kind %v", ev.Kind)
 	}
 	e.appliedSeq.Store(ev.Seq)
+	if ev.PublishedAt > 0 {
+		e.lastPub.Store(ev.PublishedAt)
+	}
 	e.tel.observeEvent()
+	// Apply is the trace's terminal stage: stamp it, record the
+	// commit→apply freshness observation (with the trace as the
+	// histogram exemplar), then finish — idempotent, so a second
+	// subscriber finishing the same trace is harmless.
+	ev.Trace.Stage(trace.StageApply)
+	e.tel.observeFreshness(ev)
+	ev.Trace.Finish()
 	return nil
 }
 
@@ -286,6 +305,29 @@ func (e *Engine) Resyncs() int64 { return e.resyncs.Load() }
 // published so far.
 func (e *Engine) CaughtUp() bool {
 	return e.Applied() >= e.store.FeedSeq()
+}
+
+// Staleness returns how far behind the feed the engine is in wall
+// time: zero when caught up, otherwise the time elapsed since the
+// last applied event's publish stamp (or since the engine attached,
+// if nothing was applied yet). It upper-bounds the age of the oldest
+// unapplied event — the audit-freshness signal /healthz checks.
+func (e *Engine) Staleness() time.Duration {
+	if e.CaughtUp() {
+		return 0
+	}
+	since := e.lastPub.Load()
+	if at := e.attachedAt.Load(); at > since {
+		since = at
+	}
+	if since == 0 {
+		return 0
+	}
+	d := time.Duration(time.Now().UnixNano() - since)
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // WaitCaughtUp polls until the engine catches up with the feed or the

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adaudit/internal/store"
 	"adaudit/internal/telemetry"
 )
 
@@ -24,11 +25,13 @@ const (
 // sampleInterval events) so the apply path is not dominated by clock
 // reads; the counters stay exact. The zero value is fully disabled.
 type engineTelemetry struct {
-	enabled  bool
-	tick     atomic.Uint64
-	events   *telemetry.Counter
-	resyncs  *telemetry.Counter
-	sections map[string]*telemetry.Histogram
+	enabled   bool
+	tick      atomic.Uint64
+	freshTick atomic.Uint64
+	events    *telemetry.Counter
+	resyncs   *telemetry.Counter
+	freshness *telemetry.Histogram
+	sections  map[string]*telemetry.Histogram
 }
 
 const sampleInterval = 8
@@ -42,6 +45,9 @@ func (t *engineTelemetry) init(reg *telemetry.Registry, e *Engine) {
 		"Change-feed events applied by the streaming audit engine.", nil)
 	t.resyncs = reg.Counter("adaudit_streamaudit_resyncs_total",
 		"Snapshot resyncs after the feed dropped the engine (or a state mismatch).", nil)
+	t.freshness = reg.Histogram("adaudit_pipeline_commit_to_apply_seconds",
+		"Store-commit to streamaudit-apply pipeline latency — the freshness SLO (sampled; traced events always observed).",
+		telemetry.LatencyBuckets(), nil)
 	t.sections = map[string]*telemetry.Histogram{}
 	for _, dim := range []string{dimPublisher, dimPopularity, dimViewability, dimFraud, dimFrequency} {
 		t.sections[dim] = reg.Histogram("adaudit_streamaudit_apply_seconds",
@@ -61,6 +67,31 @@ func (t *engineTelemetry) init(reg *telemetry.Registry, e *Engine) {
 	reg.GaugeFunc("adaudit_streamaudit_applied_seq",
 		"Feed sequence number of the last applied event.", nil,
 		func() float64 { return float64(e.Applied()) })
+	reg.GaugeFunc("adaudit_pipeline_feed_queue_age_seconds",
+		"Age of the oldest published-but-unapplied feed event (0 when the engine is caught up).", nil,
+		func() float64 { return e.Staleness().Seconds() })
+}
+
+// observeFreshness records the commit→apply latency of one applied
+// feed event. Untraced events are sampled (1 in sampleInterval) to
+// keep clock reads off the apply hot path; traced events always
+// observe and attach their trace ID as the histogram's exemplar.
+func (t *engineTelemetry) observeFreshness(ev *store.FeedEvent) {
+	if !t.enabled || ev.PublishedAt <= 0 {
+		return
+	}
+	traced := ev.Trace.ID() != 0
+	if !traced && t.freshTick.Add(1)&(sampleInterval-1) != 1 {
+		return
+	}
+	d := time.Duration(time.Now().UnixNano() - ev.PublishedAt)
+	if d < 0 {
+		d = 0
+	}
+	t.freshness.ObserveDuration(d)
+	if traced {
+		t.freshness.SetExemplar(uint64(ev.Trace.ID()))
+	}
 }
 
 func (t *engineTelemetry) observeEvent() {

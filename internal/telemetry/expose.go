@@ -62,8 +62,18 @@ func writePromSeries(w io.Writer, s SeriesSnapshot) error {
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, promLabels(s.Labels, "", ""), formatValue(s.Hist.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels, "", ""), s.Hist.Count)
-	return err
+	if _, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels, "", ""), s.Hist.Count); err != nil {
+		return err
+	}
+	// Exemplar trace IDs ride in a comment so plain text-format parsers
+	// (which ignore # lines) stay compatible; the JSON view carries the
+	// same ID structurally.
+	if s.Hist.ExemplarTraceID != "" {
+		if _, err := fmt.Fprintf(w, "# EXEMPLAR %s%s trace_id=%s\n", s.Name, promLabels(s.Labels, "", ""), s.Hist.ExemplarTraceID); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // promLabels renders a label set, optionally appending one extra pair
@@ -110,27 +120,29 @@ func escapeHelp(h string) string {
 // dashboard can plot latency without re-deriving quantiles.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	type histJSON struct {
-		Count  uint64    `json:"count"`
-		Sum    float64   `json:"sum"`
-		Mean   float64   `json:"mean"`
-		P50    float64   `json:"p50"`
-		P90    float64   `json:"p90"`
-		P99    float64   `json:"p99"`
-		Bounds []float64 `json:"bounds"`
-		Counts []uint64  `json:"counts"`
+		Count    uint64    `json:"count"`
+		Sum      float64   `json:"sum"`
+		Mean     float64   `json:"mean"`
+		P50      float64   `json:"p50"`
+		P90      float64   `json:"p90"`
+		P99      float64   `json:"p99"`
+		Bounds   []float64 `json:"bounds"`
+		Counts   []uint64  `json:"counts"`
+		Exemplar string    `json:"exemplar_trace_id,omitempty"`
 	}
 	out := map[string]any{}
 	for _, s := range r.Snapshot() {
 		if s.Hist != nil {
 			out[s.Key()] = histJSON{
-				Count:  s.Hist.Count,
-				Sum:    s.Hist.Sum,
-				Mean:   s.Hist.Mean(),
-				P50:    s.Hist.Quantile(0.50),
-				P90:    s.Hist.Quantile(0.90),
-				P99:    s.Hist.Quantile(0.99),
-				Bounds: s.Hist.Bounds,
-				Counts: s.Hist.Counts,
+				Count:    s.Hist.Count,
+				Sum:      s.Hist.Sum,
+				Mean:     s.Hist.Mean(),
+				P50:      s.Hist.Quantile(0.50),
+				P90:      s.Hist.Quantile(0.90),
+				P99:      s.Hist.Quantile(0.99),
+				Bounds:   s.Hist.Bounds,
+				Counts:   s.Hist.Counts,
+				Exemplar: s.Hist.ExemplarTraceID,
 			}
 			continue
 		}

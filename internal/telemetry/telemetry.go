@@ -98,6 +98,10 @@ type Histogram struct {
 	nanoBounds []int64
 	counts     []atomic.Uint64 // len(bounds)+1
 	sumNanos   atomic.Int64
+	// exemplar holds the trace ID of a recent sampled observation (0 =
+	// none) — the bridge from an aggregate latency to one concrete
+	// impression in the flight recorder.
+	exemplar atomic.Uint64
 }
 
 func newHistogram(bounds []float64) (*Histogram, error) {
@@ -156,6 +160,16 @@ func (h *Histogram) observeNanos(n int64) {
 	h.sumNanos.Add(n)
 }
 
+// SetExemplar attaches a trace ID to the histogram: the most recent
+// traced observation wins. Only called for sampled (traced)
+// observations, so the untraced hot path never touches it. Nil-safe.
+func (h *Histogram) SetExemplar(traceID uint64) {
+	if h == nil || traceID == 0 {
+		return
+	}
+	h.exemplar.Store(traceID)
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram.
 type HistogramSnapshot struct {
 	// Bounds are the bucket upper bounds in seconds (exclusive of the
@@ -168,6 +182,10 @@ type HistogramSnapshot struct {
 	Count uint64 `json:"count"`
 	// Sum is the sum of observed values in seconds.
 	Sum float64 `json:"sum"`
+	// ExemplarTraceID is the 16-hex-digit trace ID of a recent traced
+	// observation, linking this histogram to the flight recorder
+	// (empty when no traced observation has been recorded).
+	ExemplarTraceID string `json:"exemplar_trace_id,omitempty"`
 }
 
 // Snapshot copies the histogram state. Nil-safe (returns zero snapshot).
@@ -185,6 +203,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Count += c
 	}
 	s.Sum = float64(h.sumNanos.Load()) / 1e9
+	if ex := h.exemplar.Load(); ex != 0 {
+		s.ExemplarTraceID = fmt.Sprintf("%016x", ex)
+	}
 	return s
 }
 

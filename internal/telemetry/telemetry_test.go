@@ -265,3 +265,48 @@ func TestSeriesKeyStable(t *testing.T) {
 		t.Fatalf("key = %q", a)
 	}
 }
+
+func TestHistogramExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("adaudit_test_exemplar_seconds", "latency with exemplar", LatencyBuckets(), nil)
+	h.ObserveDuration(3 * time.Millisecond)
+	if s := h.Snapshot(); s.ExemplarTraceID != "" {
+		t.Fatalf("untraced observation produced exemplar %q", s.ExemplarTraceID)
+	}
+	h.SetExemplar(0) // no-op
+	h.SetExemplar(0xdeadbeef)
+	h.SetExemplar(0xcafe) // last traced observation wins
+	s := h.Snapshot()
+	if s.ExemplarTraceID != "000000000000cafe" {
+		t.Fatalf("exemplar = %q", s.ExemplarTraceID)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "# EXEMPLAR adaudit_test_exemplar_seconds trace_id=000000000000cafe") {
+		t.Fatalf("prometheus text lacks exemplar comment:\n%s", sb.String())
+	}
+
+	var jb strings.Builder
+	if err := reg.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(jb.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	var hist struct {
+		Exemplar string `json:"exemplar_trace_id"`
+	}
+	if err := json.Unmarshal(out["adaudit_test_exemplar_seconds"], &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Exemplar != "000000000000cafe" {
+		t.Fatalf("JSON exemplar = %q", hist.Exemplar)
+	}
+
+	var nilH *Histogram
+	nilH.SetExemplar(1) // nil-safe
+}

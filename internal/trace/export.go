@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry in the Chrome trace-event JSON format,
+// loadable by chrome://tracing and https://ui.perfetto.dev.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes the snapshots as a Chrome trace-event JSON
+// document. Each trace becomes one "thread": consecutive stage stamps
+// are rendered as complete ("X") slices named for the stage they end
+// at, so the slice width is the time that stage took. Wall-clock
+// alignment across traces is preserved (ts is unix microseconds).
+func WriteChrome(w io.Writer, traces []Snapshot) error {
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, s := range traces {
+		tid := uint64(s.ID)
+		base := float64(s.StartUnix) / 1e3 // ns → µs
+		args := map[string]any{"trace_id": s.IDHex}
+		if s.Nonce != "" {
+			args["nonce"] = s.Nonce
+		}
+		if s.Campaign != "" {
+			args["campaign"] = s.Campaign
+		}
+		if s.Truncated != "" {
+			args["truncated"] = s.Truncated
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "trace", Ph: "M", Ts: base, Pid: 1, Tid: tid, Args: args,
+		})
+		prev := 0.0
+		for i, sp := range s.Stages {
+			off := float64(sp.Offset) / 1e3 // ns → µs
+			if i == 0 {
+				doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+					Name: sp.Name, Ph: "i", Ts: base + off, Pid: 1, Tid: tid,
+				})
+			} else {
+				doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+					Name: sp.Name, Ph: "X", Ts: base + prev, Dur: off - prev,
+					Pid: 1, Tid: tid,
+				})
+			}
+			prev = off
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"adaudit/internal/telemetry"
+)
+
+// stagePool recycles stage buffers between traces so steady-state
+// sampling allocates nothing per trace beyond the Trace header.
+var stagePool = sync.Pool{
+	New: func() any {
+		s := make([]StagePoint, 0, 8)
+		return &s
+	},
+}
+
+// Recorder is the flight recorder: it tracks in-flight (active)
+// traces and keeps the most recent finished traces in a bounded ring
+// buffer. All methods are nil-receiver-safe.
+type Recorder struct {
+	mu     sync.Mutex
+	active map[ID]*Trace
+	ring   []*Trace // fixed capacity, filled up to count
+	count  int
+	next   int
+
+	// Instrumentation (nil until Instrument; all nil-safe).
+	started   *telemetry.Counter
+	finished  *telemetry.Counter
+	truncated *telemetry.Counter
+}
+
+// DefaultCapacity is the flight-recorder ring size when none is given.
+const DefaultCapacity = 1024
+
+// NewRecorder builds a flight recorder holding up to capacity
+// finished traces (DefaultCapacity if capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{
+		active: make(map[ID]*Trace),
+		ring:   make([]*Trace, capacity),
+	}
+}
+
+// Instrument registers the recorder's metrics on reg.
+func (r *Recorder) Instrument(reg *telemetry.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	r.started = reg.Counter("adaudit_trace_started_total",
+		"Traces started or adopted by this process.", nil)
+	r.finished = reg.Counter("adaudit_trace_finished_total",
+		"Traces finished (including truncated).", nil)
+	r.truncated = reg.Counter("adaudit_trace_truncated_total",
+		"Traces explicitly truncated (reject, drop, staleness sweep).", nil)
+	reg.GaugeFunc("adaudit_trace_active",
+		"Traces currently in flight.", nil, func() float64 {
+			return float64(r.ActiveCount())
+		})
+	reg.GaugeFunc("adaudit_trace_recorded",
+		"Finished traces held in the flight recorder ring.", nil, func() float64 {
+			r.mu.Lock()
+			n := r.count
+			r.mu.Unlock()
+			return float64(n)
+		})
+}
+
+// newTrace allocates (or builds from the pool) a trace and registers
+// it as active. A nil recorder still returns a usable, unrecorded
+// trace so tracer plumbing never has to special-case it.
+func (r *Recorder) newTrace(id ID, base time.Time, wallStart int64, initialOff time.Duration) *Trace {
+	sp := stagePool.Get().(*[]StagePoint)
+	t := &Trace{
+		id:         id,
+		base:       base,
+		wallStart:  wallStart,
+		initialOff: initialOff,
+		rec:        r,
+		stages:     (*sp)[:0],
+	}
+	if r != nil {
+		r.mu.Lock()
+		r.active[id] = t
+		r.mu.Unlock()
+		r.started.Inc()
+	}
+	return t
+}
+
+// finish moves a trace from the active set into the ring, evicting
+// (and recycling the stage buffer of) the oldest finished trace when
+// the ring is full.
+func (r *Recorder) finish(t *Trace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.active, t.id)
+	var evicted *Trace
+	if r.count < len(r.ring) {
+		r.ring[r.next] = t
+		r.count++
+	} else {
+		evicted = r.ring[r.next]
+		r.ring[r.next] = t
+	}
+	r.next = (r.next + 1) % len(r.ring)
+	r.mu.Unlock()
+
+	r.finished.Inc()
+	t.mu.Lock()
+	trunc := t.truncated != ""
+	t.mu.Unlock()
+	if trunc {
+		r.truncated.Inc()
+	}
+	if evicted != nil {
+		evicted.mu.Lock()
+		s := evicted.stages[:0]
+		evicted.stages = nil
+		evicted.mu.Unlock()
+		stagePool.Put(&s)
+	}
+}
+
+// Get returns a snapshot of the trace with the given ID, searching
+// active traces first, then the ring.
+func (r *Recorder) Get(id ID) (Snapshot, bool) {
+	if r == nil {
+		return Snapshot{}, false
+	}
+	r.mu.Lock()
+	t := r.active[id]
+	if t == nil {
+		for i := 0; i < r.count; i++ {
+			if c := r.ring[i]; c != nil && c.id == id {
+				t = c
+				break
+			}
+		}
+	}
+	r.mu.Unlock()
+	if t == nil {
+		return Snapshot{}, false
+	}
+	return t.Snapshot(), true
+}
+
+// Recent returns up to n finished traces, newest first (all of them
+// when n <= 0).
+func (r *Recorder) Recent(n int) []Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	if n <= 0 || n > r.count {
+		n = r.count
+	}
+	out := make([]Snapshot, 0, n)
+	// next-1 is the newest slot; walk backwards.
+	for i := 0; i < n; i++ {
+		idx := (r.next - 1 - i + len(r.ring)*2) % len(r.ring)
+		if t := r.ring[idx]; t != nil {
+			out = append(out, t.Snapshot())
+		}
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Active returns snapshots of in-flight traces, oldest first.
+func (r *Recorder) Active() []Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Snapshot, 0, len(r.active))
+	for _, t := range r.active {
+		out = append(out, t.Snapshot())
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].StartUnix < out[j].StartUnix })
+	return out
+}
+
+// ActiveCount returns the number of in-flight traces.
+func (r *Recorder) ActiveCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	n := len(r.active)
+	r.mu.Unlock()
+	return n
+}
+
+// SweepStale truncates every active trace older than olderThan with
+// reason "stale" and returns how many it swept. This is the orphan
+// bound: a trace whose pipeline leg died (dropped feed subscriber,
+// killed session goroutine) is explicitly truncated rather than
+// leaking in the active set forever.
+func (r *Recorder) SweepStale(olderThan time.Duration) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	var stale []*Trace
+	for _, t := range r.active {
+		if t.age() > olderThan {
+			stale = append(stale, t)
+		}
+	}
+	r.mu.Unlock()
+	// Truncate re-enters the recorder lock via finish; do it unlocked.
+	for _, t := range stale {
+		t.Truncate("stale")
+	}
+	return len(stale)
+}

@@ -1,0 +1,474 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"adaudit/internal/telemetry"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	for _, id := range []ID{1, 0xdeadbeef, ID(1) << 63, NextID()} {
+		s := id.String()
+		if len(s) != 16 {
+			t.Fatalf("ID %d renders %q, want 16 hex digits", id, s)
+		}
+		got, err := ParseID(s)
+		if err != nil || got != id {
+			t.Fatalf("ParseID(%q) = %v, %v; want %v", s, got, err, id)
+		}
+	}
+	for _, bad := range []string{"", "zz", "01234567890123456", "0x12"} {
+		if _, err := ParseID(bad); err == nil {
+			t.Errorf("ParseID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNextIDUnique(t *testing.T) {
+	seen := map[ID]bool{}
+	for i := 0; i < 10000; i++ {
+		id := NextID()
+		if seen[id] {
+			t.Fatalf("duplicate ID %s after %d mints", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSamplerInterval(t *testing.T) {
+	rec := NewRecorder(64)
+	tr := NewTracer(rec, 4)
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		if s := tr.Start(); s != nil {
+			sampled++
+			s.Finish()
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("1-in-4 sampler took %d of 400", sampled)
+	}
+}
+
+func TestSamplerDisabledAndNil(t *testing.T) {
+	if s := NewTracer(NewRecorder(4), 0).Start(); s != nil {
+		t.Fatal("every=0 sampled")
+	}
+	var nilTr *Tracer
+	if s := nilTr.Start(); s != nil {
+		t.Fatal("nil tracer sampled")
+	}
+	if tr := nilTr.Adopt(NextID(), 0); tr != nil {
+		t.Fatal("nil tracer adopted")
+	}
+	// The whole nil-Trace surface must be a no-op.
+	var nt *Trace
+	nt.Stage(StageCommit)
+	nt.Annotate("n", "c")
+	nt.Finish()
+	nt.Truncate("x")
+	if nt.ID() != 0 {
+		t.Fatal("nil trace has an ID")
+	}
+	if s := nt.Snapshot(); s.Done || len(s.Stages) != 0 {
+		t.Fatal("nil trace snapshot not zero")
+	}
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	rec := NewRecorder(8)
+	tr := NewTracer(rec, 1)
+	s := tr.Start()
+	if s == nil {
+		t.Fatal("every=1 did not sample")
+	}
+	if rec.ActiveCount() != 1 {
+		t.Fatalf("active = %d, want 1", rec.ActiveCount())
+	}
+	s.Annotate("nonce-1", "camp-1")
+	s.Stage(StageDecode)
+	s.Stage(StageCommit)
+	s.Stage(StageApply)
+	s.Finish()
+	s.Finish() // idempotent
+	s.Stage("late")
+	if rec.ActiveCount() != 0 {
+		t.Fatalf("active = %d after finish", rec.ActiveCount())
+	}
+	snap, ok := rec.Get(s.ID())
+	if !ok {
+		t.Fatal("finished trace not in recorder")
+	}
+	if !snap.Done || snap.Truncated != "" {
+		t.Fatalf("snapshot done=%v truncated=%q", snap.Done, snap.Truncated)
+	}
+	if snap.Nonce != "nonce-1" || snap.Campaign != "camp-1" {
+		t.Fatalf("annotation lost: %+v", snap)
+	}
+	want := []string{StageDecode, StageCommit, StageApply}
+	if len(snap.Stages) != len(want) {
+		t.Fatalf("stages %v, want %v", snap.Stages, want)
+	}
+	var prev time.Duration = -1
+	for i, sp := range snap.Stages {
+		if sp.Name != want[i] {
+			t.Errorf("stage %d = %s, want %s", i, sp.Name, want[i])
+		}
+		if sp.Offset < prev {
+			t.Errorf("offsets not monotonic: %v then %v", prev, sp.Offset)
+		}
+		prev = sp.Offset
+	}
+	if !snap.Complete(StageApply) {
+		t.Fatal("trace with apply stage not Complete")
+	}
+	if snap.Complete("missing") {
+		t.Fatal("Complete(missing stage) true")
+	}
+	if snap.StageOffset(StageCommit) < 0 {
+		t.Fatal("StageOffset(commit) missing")
+	}
+	if snap.StageOffset("absent") != -1 {
+		t.Fatal("StageOffset(absent) != -1")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	rec := NewRecorder(8)
+	s := NewTracer(rec, 1).Start()
+	s.Stage(StageDecode)
+	s.Truncate("reject:payload")
+	s.Truncate("second") // first reason sticks
+	snap, _ := rec.Get(s.ID())
+	if snap.Truncated != "reject:payload" {
+		t.Fatalf("truncated = %q", snap.Truncated)
+	}
+	if snap.Complete(StageDecode) {
+		t.Fatal("truncated trace reported complete")
+	}
+}
+
+func TestAdopt(t *testing.T) {
+	rec := NewRecorder(8)
+	tr := NewTracer(rec, 0) // adoption honours the sender's decision even when local sampling is off
+	id := NextID()
+	sent := time.Now().Add(-10 * time.Millisecond).UnixNano()
+	s := tr.Adopt(id, sent)
+	if s == nil || s.ID() != id {
+		t.Fatal("adopt did not keep the wire ID")
+	}
+	s.Stage(StageCommit)
+	s.Finish()
+	snap, _ := rec.Get(id)
+	if len(snap.Stages) != 3 {
+		t.Fatalf("stages = %+v, want beacon_send, wire_recv, commit", snap.Stages)
+	}
+	if snap.Stages[0].Name != StageBeaconSend || snap.Stages[0].Offset != 0 {
+		t.Fatalf("first stage %+v", snap.Stages[0])
+	}
+	if w := snap.Stages[1]; w.Name != StageWireRecv || w.Offset < 10*time.Millisecond || w.Offset > time.Second {
+		t.Fatalf("wire_recv %+v", w)
+	}
+	if snap.StartUnix != sent {
+		t.Fatalf("wall start %d, want sender stamp %d", snap.StartUnix, sent)
+	}
+}
+
+func TestAdoptClampsSkew(t *testing.T) {
+	rec := NewRecorder(8)
+	tr := NewTracer(rec, 1)
+	// Sender clock far in the future: transit clamps to 0.
+	s := tr.Adopt(NextID(), time.Now().Add(time.Hour).UnixNano())
+	if got := s.Snapshot().Stages[1].Offset; got != 0 {
+		t.Fatalf("future skew transit = %v, want 0", got)
+	}
+	// Sender clock far in the past: transit clamps to maxAdoptSkew.
+	s2 := tr.Adopt(NextID(), time.Now().Add(-24*time.Hour).UnixNano())
+	if got := s2.Snapshot().Stages[1].Offset; got != maxAdoptSkew {
+		t.Fatalf("past skew transit = %v, want %v", got, maxAdoptSkew)
+	}
+	// Unknown send time: no wire_recv stamp.
+	s3 := tr.Adopt(NextID(), 0)
+	if n := len(s3.Snapshot().Stages); n != 1 {
+		t.Fatalf("no-send-time adopt has %d stages, want 1", n)
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	rec := NewRecorder(4)
+	tr := NewTracer(rec, 1)
+	var ids []ID
+	for i := 0; i < 10; i++ {
+		s := tr.Start()
+		s.Stage(StageCommit)
+		s.Finish()
+		ids = append(ids, s.ID())
+	}
+	recent := rec.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recent))
+	}
+	// Newest first: ids[9], ids[8], ids[7], ids[6].
+	for i, s := range recent {
+		if s.ID != ids[9-i] {
+			t.Fatalf("recent[%d] = %s, want %s", i, s.ID, ids[9-i])
+		}
+	}
+	if _, ok := rec.Get(ids[0]); ok {
+		t.Fatal("evicted trace still retrievable")
+	}
+	if _, ok := rec.Get(ids[9]); !ok {
+		t.Fatal("newest trace missing")
+	}
+	if got := rec.Recent(2); len(got) != 2 || got[0].ID != ids[9] {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+}
+
+func TestSweepStale(t *testing.T) {
+	rec := NewRecorder(8)
+	tr := NewTracer(rec, 1)
+	old := tr.Start()
+	old.Stage(StageCommit)
+	time.Sleep(5 * time.Millisecond)
+	fresh := tr.Start()
+	if n := rec.SweepStale(2 * time.Millisecond); n != 1 {
+		t.Fatalf("swept %d, want 1", n)
+	}
+	snap, _ := rec.Get(old.ID())
+	if snap.Truncated != "stale" {
+		t.Fatalf("swept trace truncated=%q", snap.Truncated)
+	}
+	if rec.ActiveCount() != 1 {
+		t.Fatalf("active = %d, want fresh trace only", rec.ActiveCount())
+	}
+	fresh.Finish()
+}
+
+func TestRecorderInstrument(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rec := NewRecorder(8)
+	rec.Instrument(reg)
+	tr := NewTracer(rec, 1)
+	tr.Start().Finish()
+	s := tr.Start()
+	s.Truncate("x")
+	tr.Start() // left active
+	find := func(name string) float64 {
+		ss, ok := reg.Find(name, nil)
+		if !ok {
+			t.Fatalf("metric %s not registered", name)
+		}
+		return ss.Value
+	}
+	if v := find("adaudit_trace_started_total"); v != 3 {
+		t.Errorf("started = %v", v)
+	}
+	if v := find("adaudit_trace_finished_total"); v != 2 {
+		t.Errorf("finished = %v", v)
+	}
+	if v := find("adaudit_trace_truncated_total"); v != 1 {
+		t.Errorf("truncated = %v", v)
+	}
+	if v := find("adaudit_trace_active"); v != 1 {
+		t.Errorf("active gauge = %v", v)
+	}
+	if v := find("adaudit_trace_recorded"); v != 2 {
+		t.Errorf("recorded gauge = %v", v)
+	}
+}
+
+func TestConcurrentTraces(t *testing.T) {
+	rec := NewRecorder(128)
+	tr := NewTracer(rec, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := tr.Start()
+				s.Annotate(fmt.Sprintf("n%d", i), "c")
+				s.Stage(StageDecode)
+				s.Stage(StageCommit)
+				s.Stage(StageApply)
+				if i%7 == 0 {
+					s.Truncate("chaos")
+				} else {
+					s.Finish()
+				}
+				rec.Get(s.ID())
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { // concurrent readers + sweeper
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			rec.Recent(16)
+			rec.Active()
+			rec.SweepStale(time.Minute)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if rec.ActiveCount() != 0 {
+		t.Fatalf("%d traces leaked active", rec.ActiveCount())
+	}
+}
+
+func TestContextID(t *testing.T) {
+	id := NextID()
+	ctx := ContextWithID(context.Background(), id)
+	got, ok := IDFromContext(ctx)
+	if !ok || got != id {
+		t.Fatalf("IDFromContext = %v, %v", got, ok)
+	}
+	if _, ok := IDFromContext(context.Background()); ok {
+		t.Fatal("empty context yielded an ID")
+	}
+	if ContextWithID(context.Background(), 0) != context.Background() {
+		t.Fatal("zero ID should not wrap the context")
+	}
+}
+
+func TestAPI(t *testing.T) {
+	rec := NewRecorder(16)
+	tr := NewTracer(rec, 1)
+	s := tr.Start()
+	s.Annotate("n1", "c1")
+	s.Stage(StageDecode)
+	s.Stage(StageCommit)
+	s.Finish()
+	active := tr.Start()
+
+	mux := http.NewServeMux()
+	RegisterAPI(mux, rec)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	defer active.Finish()
+
+	get := func(path string, want int) []byte {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+		var buf []byte
+		buf = make([]byte, 0, 4096)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		return buf
+	}
+
+	var recent struct {
+		Traces []Snapshot `json:"traces"`
+		Active int        `json:"active"`
+	}
+	if err := json.Unmarshal(get("/api/trace/recent", 200), &recent); err != nil {
+		t.Fatal(err)
+	}
+	if len(recent.Traces) != 1 || recent.Traces[0].IDHex != s.ID().String() {
+		t.Fatalf("recent = %+v", recent)
+	}
+	if recent.Active != 1 {
+		t.Fatalf("active = %d", recent.Active)
+	}
+
+	var one Snapshot
+	if err := json.Unmarshal(get("/api/trace/"+s.ID().String(), 200), &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.Nonce != "n1" || len(one.Stages) != 2 {
+		t.Fatalf("by-id = %+v", one)
+	}
+
+	get("/api/trace/zz", http.StatusBadRequest)
+	get("/api/trace/0123456789abcdef", http.StatusNotFound)
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(get("/api/trace/export", 200), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// metadata + instant(decode) + slice(commit)
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("export has %d events: %+v", len(doc.TraceEvents), doc.TraceEvents)
+	}
+
+	var act struct {
+		Traces []Snapshot `json:"traces"`
+	}
+	if err := json.Unmarshal(get("/api/trace/active", 200), &act); err != nil {
+		t.Fatal(err)
+	}
+	if len(act.Traces) != 1 || act.Traces[0].IDHex != active.ID().String() {
+		t.Fatalf("active list = %+v", act)
+	}
+}
+
+func TestWriteChromeTruncatedArgs(t *testing.T) {
+	rec := NewRecorder(4)
+	s := NewTracer(rec, 1).Start()
+	s.Annotate("n", "c")
+	s.Stage(StageDecode)
+	s.Truncate("reject:insert")
+	var buf jsonBuffer
+	if err := WriteChrome(&buf, rec.Recent(0)); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(buf.b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	meta := doc.TraceEvents[0]
+	if meta.Args["truncated"] != "reject:insert" || meta.Args["nonce"] != "n" {
+		t.Fatalf("metadata args = %+v", meta.Args)
+	}
+}
+
+type jsonBuffer struct{ b []byte }
+
+func (j *jsonBuffer) Write(p []byte) (int, error) {
+	j.b = append(j.b, p...)
+	return len(p), nil
+}
+
+func BenchmarkStartUnsampled(b *testing.B) {
+	tr := NewTracer(NewRecorder(64), 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s := tr.Start(); s != nil {
+			b.Fatal("sampled")
+		}
+	}
+}
+
+func BenchmarkStartSampled(b *testing.B) {
+	tr := NewTracer(NewRecorder(1024), 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start()
+		s.Stage(StageDecode)
+		s.Stage(StageCommit)
+		s.Finish()
+	}
+}

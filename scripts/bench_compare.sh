@@ -11,6 +11,13 @@
 # BENCH_stream.json — per-delta apply cost and derived deltas/sec for
 # the incremental engine.
 #
+# Also runs the impression-tracing overhead gate: the ingest funnel
+# with a tracer attached but no sampled payloads (BenchmarkIngestUntraced)
+# must stay within 5% of the tracer-less funnel
+# (BenchmarkCollectorIngestUninstrumented); the fully traced funnel
+# (BenchmarkIngestTraced) is recorded alongside. Summary lands in
+# BENCH_trace.json.
+#
 # Usage:
 #   scripts/bench_compare.sh            # run, compare, rewrite BENCH_audit.json + BENCH_stream.json
 #   COUNT=5 scripts/bench_compare.sh    # more repetitions
@@ -142,5 +149,62 @@ if ! grep -q '"name": "BenchmarkStreamApply"' "$STREAM_JSON"; then
     echo "bench_compare: BenchmarkStreamApply missing from results" >&2
     exit 1
 fi
+
+# Impression-tracing overhead: an attached-but-idle tracer must cost
+# the unsampled ingest path (near) nothing.
+TRACE_JSON=BENCH_trace.json
+trace_tmp=$(mktemp)
+trap 'rm -f "$tmp" "$stream_tmp" "$trace_tmp"' EXIT
+
+echo "==> go test -bench trace overhead ($COUNT runs: IngestUninstrumented, IngestUntraced, IngestTraced) ./internal/collector/"
+go test -run '^$' \
+    -bench 'BenchmarkCollectorIngestUninstrumented$|BenchmarkIngestUntraced$|BenchmarkIngestTraced$' \
+    -benchmem -count "$COUNT" ./internal/collector/ | tee "$trace_tmp"
+
+{
+    echo "# bench_compare(trace) $(go env GOOS)/$(go env GOARCH), count=$COUNT"
+    grep '^Benchmark' "$trace_tmp"
+} >> "$RAW"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        if (unit == "ns/op")     { ns[name] += $i;     runs[name]++ }
+        if (unit == "B/op")      { bytes[name] += $i }
+        if (unit == "allocs/op") { allocs[name] += $i }
+    }
+}
+END {
+    printf "{\n  \"benchmarks\": [\n"
+    for (k = 1; k <= n; k++) {
+        name = order[k]
+        r = runs[name]; if (r == 0) continue
+        printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f}%s\n", \
+            name, r, ns[name] / r, bytes[name] / r, allocs[name] / r, (k < n ? "," : "")
+    }
+    printf "  ],\n"
+    base = ns["BenchmarkCollectorIngestUninstrumented"] / runs["BenchmarkCollectorIngestUninstrumented"]
+    untraced = ns["BenchmarkIngestUntraced"] / runs["BenchmarkIngestUntraced"]
+    printf "  \"untraced_overhead\": %.3f\n}\n", untraced / base
+}' "$trace_tmp" > "$TRACE_JSON"
+
+echo "==> wrote $TRACE_JSON"
+
+overhead=$(sed -n 's/.*"untraced_overhead": \([0-9.]*\).*/\1/p' "$TRACE_JSON")
+if [ -z "$overhead" ]; then
+    echo "bench_compare: trace benchmarks missing from results" >&2
+    exit 1
+fi
+echo "==> untraced ingest overhead vs tracer-less funnel: ${overhead}x (budget 1.05)"
+awk -v r="$overhead" 'BEGIN {
+    if (r > 1.05) {
+        printf "bench_compare: untraced tracing overhead %.3fx exceeds the 5%% budget\n", r
+        exit 1
+    }
+}' || exit 1
 
 echo "==> bench-compare ok"

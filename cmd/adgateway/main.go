@@ -1,0 +1,111 @@
+// Command adgateway runs the trusted edge ingest gateway: it
+// terminates beacon WebSockets close to users, enforces origin
+// admission policy, and forwards impressions to the central collector
+// (auditd) over a small pool of persistent trunk connections with
+// batching, circuit breaking and an in-gateway spill buffer — a client
+// the gateway acknowledged is delivered even across a collector
+// outage (replayed through the collector's nonce/stream dedup, so
+// never double-counted).
+//
+// Usage:
+//
+//	adgateway -collector ws://127.0.0.1:8080/trunk
+//	          [-listen 127.0.0.1:8081] [-trunk-token TOKEN] [-trunks 2]
+//	          [-origins ads.example.com,cdn.example.net] [-max-sessions N]
+//	          [-gateway-id ID] [-spill-limit 65536] [-drain-grace 5s]
+//	          [-log-level info] [-log-format text]
+//
+// The listen address serves the beacon endpoint on /beacon plus the
+// operational surface: GET /healthz (ok → degraded → unhealthy as
+// trunks break), GET /metrics (Prometheus text) and GET /api/metrics
+// (JSON). On SIGINT/SIGTERM the gateway drains: admission flips to
+// shedding, open sessions are handed back with the resumable 1012
+// close code and a Retry-After hint (the beacon client reconnects
+// elsewhere and resumes with its nonce), and the spill buffer is given
+// -drain-grace to flush every acknowledged commit into the collector.
+//
+// Each gateway instance needs a distinct -gateway-id (commits are
+// deduped per gateway+stream); the default is random per run, which is
+// safe but makes collector-side dedup state unreusable across gateway
+// restarts. -trunk-token must match auditd's -trunk-token.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"adaudit/internal/gateway"
+	"adaudit/internal/logutil"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:8081", "host:port for the beacon endpoint")
+		collectorWS = flag.String("collector", "", "collector trunk endpoint (ws://host:port/trunk); required")
+		trunkToken  = flag.String("trunk-token", "", "shared secret presented on trunk handshakes (must match auditd -trunk-token)")
+		trunks      = flag.Int("trunks", 2, "persistent trunk connections to the collector")
+		origins     = flag.String("origins", "", "comma-separated page origins admitted to /beacon (subdomains included; empty admits all)")
+		maxSessions = flag.Int("max-sessions", 0, "concurrent beacon session cap (0 disables)")
+		gatewayID   = flag.String("gateway-id", "", "stable gateway identity on the trunk wire (default: random per run)")
+		spillLimit  = flag.Int("spill-limit", 0, "unacked commits held across a collector outage before shedding (0 = default 65536)")
+		drainGrace  = flag.Duration("drain-grace", 5*time.Second, "shutdown budget for flushing acked commits to the collector")
+		logFlags    = logutil.Register(flag.CommandLine)
+	)
+	flag.Parse()
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adgateway:", err)
+		os.Exit(2)
+	}
+	if *collectorWS == "" {
+		fmt.Fprintln(os.Stderr, "adgateway: -collector is required (ws://host:port/trunk)")
+		os.Exit(2)
+	}
+
+	var allowed []string
+	for _, o := range strings.Split(*origins, ",") {
+		if o = strings.TrimSpace(o); o != "" {
+			allowed = append(allowed, o)
+		}
+	}
+
+	g, err := gateway.New(gateway.Config{
+		CollectorURL:   *collectorWS,
+		TrunkToken:     *trunkToken,
+		GatewayID:      *gatewayID,
+		Trunks:         *trunks,
+		AllowedOrigins: allowed,
+		MaxSessions:    *maxSessions,
+		SpillLimit:     *spillLimit,
+		Logger:         logger,
+	})
+	if err != nil {
+		logger.Error("gateway init failed", "err", err)
+		os.Exit(1)
+	}
+	srv, err := gateway.NewServer(g, *listen, gateway.WithDrainGrace(*drainGrace))
+	if err != nil {
+		logger.Error("gateway listen failed", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("gateway listening",
+		"beacon", srv.BeaconURL(),
+		"collector", *collectorWS,
+		"trunks", *trunks,
+		"healthz", fmt.Sprintf("http://%s/healthz", srv.Addr()))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx); err != nil {
+		logger.Error("gateway failed", "err", err)
+		os.Exit(1)
+	}
+	st := g.Health()
+	logger.Info("gateway stopped", "spill_pending", st.SpillPending)
+}

@@ -6,20 +6,35 @@
 //
 //	adsim [-seed N] [-publishers N] [-snapshot imps.jsonl] [-csv imps.csv]
 //	      [-metrics metrics.json] [-report]
+//	      [-gateway ws://host:port/beacon] [-gateway-limit 1000]
 //	      [-log-level info|debug|warn|error] [-log-format text|json]
+//
+// With -gateway the collected dataset is additionally replayed through
+// a live edge gateway (or directly against a collector's beacon
+// endpoint) as real WebSocket beacon sessions — each impression becomes
+// a payload with a deterministic nonce, so replaying twice cannot
+// double-count. This is the load path for exercising the
+// adgateway → auditd tier with realistic campaign traffic;
+// -gateway-limit caps how many impressions are replayed (0 = all).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"adaudit"
 	"adaudit/internal/adnet"
+	"adaudit/internal/beacon"
 	"adaudit/internal/logutil"
+	"adaudit/internal/store"
 )
 
 func main() {
@@ -32,6 +47,8 @@ func main() {
 		conversions = flag.String("conversions", "", "write the conversion dataset (JSON lines) to this path")
 		metricsPath = flag.String("metrics", "", "write the run's telemetry (JSON metrics view) to this path")
 		printRep    = flag.Bool("report", true, "print the full audit report (tables 1-4, figures 1-3)")
+		gatewayURL  = flag.String("gateway", "", "replay the dataset through this beacon endpoint (ws://host:port/beacon of an adgateway or auditd)")
+		gatewayLim  = flag.Int("gateway-limit", 1000, "impressions to replay through -gateway (0 = the whole dataset)")
 		logFlags    = logutil.Register(flag.CommandLine)
 	)
 	flag.Parse()
@@ -40,13 +57,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "adsim:", err)
 		os.Exit(2)
 	}
-	if err := run(*seed, *publishers, *snapshot, *csvPath, *reports, *conversions, *metricsPath, *printRep, logger); err != nil {
+	if err := run(*seed, *publishers, *snapshot, *csvPath, *reports, *conversions, *metricsPath, *printRep, *gatewayURL, *gatewayLim, logger); err != nil {
 		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversionsPath, metricsPath string, printRep bool, logger *slog.Logger) error {
+func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversionsPath, metricsPath string, printRep bool, gatewayURL string, gatewayLim int, logger *slog.Logger) error {
 	ws, err := adaudit.NewWorkspace(adaudit.Options{Seed: seed, NumPublishers: publishers})
 	if err != nil {
 		return err
@@ -95,6 +112,11 @@ func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversions
 			return err
 		}
 	}
+	if gatewayURL != "" {
+		if err := replayThroughGateway(gatewayURL, gatewayLim, ws.Store, logger); err != nil {
+			return fmt.Errorf("gateway replay: %w", err)
+		}
+	}
 	// Metrics are written last so the telemetry view covers the audit
 	// stages (when -report ran one), not just ingest.
 	if metricsPath != "" {
@@ -105,6 +127,77 @@ func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversions
 		if err := writeTo(metricsPath, reg.WriteJSON); err != nil {
 			return fmt.Errorf("writing metrics: %w", err)
 		}
+	}
+	return nil
+}
+
+// replayThroughGateway re-emits the collected dataset as real beacon
+// sessions against url — the load path for driving an adgateway →
+// auditd deployment with the simulator's campaign mix. Each impression
+// carries a nonce derived from its store ID, so an interrupted replay
+// can be rerun without double-counting, and interaction events are
+// regenerated from the recorded mousemove/click counts. Exposures are
+// compressed (capped at 100ms): a beacon session holds its connection
+// open for the exposure in real time, and replaying minutes-long
+// exposures faithfully would turn a dataset into hours of wall clock.
+func replayThroughGateway(url string, limit int, st *store.Store, logger *slog.Logger) error {
+	var todo []store.Impression
+	st.ForEach(func(im store.Impression) bool {
+		todo = append(todo, im)
+		return limit == 0 || len(todo) < limit
+	})
+	logger.Info("replaying dataset through gateway", "endpoint", url, "impressions", len(todo))
+
+	const workers = 8
+	var acked, failed atomic.Int64
+	jobs := make(chan store.Impression)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := &beacon.Client{CollectorURL: url, MaxAttempts: 5}
+			for im := range jobs {
+				exposure := im.Exposure
+				if exposure > 100*time.Millisecond {
+					exposure = 100 * time.Millisecond
+				}
+				var events []beacon.Event
+				for i := 0; i < im.MouseMoves; i++ {
+					events = append(events, beacon.Event{Kind: beacon.EventMouseMove, At: exposure / 2})
+				}
+				for i := 0; i < im.Clicks; i++ {
+					events = append(events, beacon.Event{Kind: beacon.EventClick, At: exposure / 2})
+				}
+				p := beacon.Payload{
+					CampaignID: im.CampaignID,
+					CreativeID: im.CreativeID,
+					PageURL:    im.PageURL,
+					UserAgent:  im.UserAgent,
+					Nonce:      fmt.Sprintf("adsim-replay-%d", im.ID),
+					Events:     events,
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				err := cl.Report(ctx, p, exposure)
+				cancel()
+				if err != nil {
+					failed.Add(1)
+					logger.Debug("replay report failed", "impression", im.ID, "err", err)
+				} else {
+					acked.Add(1)
+				}
+			}
+		}()
+	}
+	for _, im := range todo {
+		jobs <- im
+	}
+	close(jobs)
+	wg.Wait()
+
+	logger.Info("gateway replay done", "acked", acked.Load(), "failed", failed.Load())
+	if failed.Load() > 0 {
+		return fmt.Errorf("%d of %d replayed impressions were never acknowledged", failed.Load(), len(todo))
 	}
 	return nil
 }

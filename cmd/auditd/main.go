@@ -12,7 +12,14 @@
 //	       [-debug-addr 127.0.0.1:6060] [-selfreport 60s]
 //	       [-unhealthy-after 5m] [-wal journal.wal] [-wal-sync os]
 //	       [-live] [-live-seed 1] [-live-publishers 150000]
-//	       [-trace-sample N] [-log-level info] [-log-format text]
+//	       [-trace-sample N] [-trunk-token TOKEN]
+//	       [-log-level info] [-log-format text]
+//
+// With -trunk-token the daemon accepts trunk connections from edge
+// ingest gateways (cmd/adgateway) on /trunk: gateways terminate beacon
+// sessions close to users and forward batched, stream-multiplexed
+// commits over a few persistent connections, authenticated by the
+// shared token. Without the flag, /trunk refuses all handshakes.
 //
 // With -trace-sample N one in N impressions is traced end to end —
 // beacon context, decode, enrichment, WAL append, store commit,
@@ -96,6 +103,7 @@ func main() {
 		liveSeed       = flag.Int64("live-seed", 1, "seed of the synthetic metadata universe for -live (must match the dataset's)")
 		livePubs       = flag.Int("live-publishers", 150000, "size of the synthetic metadata universe for -live")
 		traceSample    = flag.Int("trace-sample", 0, "trace 1 in N impressions end to end and serve the flight recorder on /api/trace/ (0 disables)")
+		trunkToken     = flag.String("trunk-token", "", "shared secret edge gateways present on /trunk handshakes (empty refuses trunks)")
 		logFlags       = logutil.Register(flag.CommandLine)
 	)
 	flag.Parse()
@@ -116,6 +124,7 @@ func main() {
 		liveSeed:       *liveSeed,
 		livePubs:       *livePubs,
 		traceSample:    *traceSample,
+		trunkToken:     *trunkToken,
 	}
 	logger, err := logFlags.Logger(os.Stderr)
 	if err != nil {
@@ -145,6 +154,7 @@ type daemonOptions struct {
 	liveSeed       int64
 	livePubs       int
 	traceSample    int
+	trunkToken     string
 	// logger overrides the default stderr text logger (tests pass a
 	// quiet one; main passes the -log-level/-log-format one).
 	logger *slog.Logger
@@ -185,7 +195,11 @@ func run(ctx context.Context, opts daemonOptions, out io.Writer) error {
 		Anonymizer: ipmeta.NewAnonymizer(key),
 		Logger:     logger,
 		Tracer:     tracer,
+		TrunkToken: opts.trunkToken,
 	})
+	if opts.trunkToken != "" {
+		logger.Info("trunk endpoint enabled for edge gateways", "path", "/trunk")
+	}
 	if err != nil {
 		return err
 	}

@@ -8,8 +8,11 @@ import (
 	"fmt"
 	mathrand "math/rand"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
+	"adaudit/internal/simclock"
 	"adaudit/internal/trace"
 	"adaudit/internal/wsproto"
 )
@@ -32,8 +35,12 @@ var ErrSessionDead = errors.New("beacon: session connection died")
 // exponential backoff plus jitter, and Report reconnects a session that
 // dies mid-exposure, resuming the exposure clock under the same
 // impression nonce so the collector deduplicates instead of
-// double-counting. The zero value keeps the historical single-attempt
-// behaviour.
+// double-counting. An explicit Retry-After hint from the server — a 503
+// handshake rejection header, or a 1012/1013 close frame with a
+// "retry-after=<dur>" reason — floors the next backoff delay, so shed
+// clients return when the server expects capacity rather than when the
+// jitter schedule guesses. The zero value keeps the historical
+// single-attempt behaviour.
 type Client struct {
 	// CollectorURL is the ws:// endpoint of the collector.
 	CollectorURL string
@@ -54,6 +61,11 @@ type Client struct {
 	// Jitter overrides the jitter draw (a func returning [0,1)); nil
 	// uses math/rand. Tests pin it for determinism.
 	Jitter func() float64
+	// Clock schedules the backoff sleeps; nil uses the real clock.
+	// Exposure holds stay on real time regardless — only the retry
+	// discipline is virtualized, so tests can prove backoff timing
+	// without slowing the impression itself.
+	Clock simclock.Clock
 	// Tracer, when set, samples impressions for end-to-end pipeline
 	// tracing: a sampled payload carries a trace ID and send timestamp
 	// (payload keys tr/trts) that the collector adopts. Nil disables
@@ -106,16 +118,57 @@ func (c *Client) backoff(retry int) time.Duration {
 	return d/2 + time.Duration(j()*float64(d/2))
 }
 
-// sleepBackoff waits out the retry delay, respecting ctx.
-func (c *Client) sleepBackoff(ctx context.Context, retry int) error {
-	t := time.NewTimer(c.backoff(retry))
+// sleepBackoff waits out the retry delay, respecting ctx. A positive
+// floor — the server's explicit Retry-After hint — overrides the
+// jittered schedule when it asks for more patience: the server knows
+// when it will have capacity again, the client's schedule is a guess.
+func (c *Client) sleepBackoff(ctx context.Context, retry int, floor time.Duration) error {
+	d := c.backoff(retry)
+	if floor > d {
+		d = floor
+	}
+	t := simclock.Or(c.Clock).NewTimer(d)
 	defer t.Stop()
 	select {
-	case <-t.C:
+	case <-t.C():
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// parseRetryAfterValue parses a server retry hint: integer seconds (the
+// HTTP Retry-After form) or a Go duration string. 0 means no hint.
+func parseRetryAfterValue(s string) time.Duration {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if d, err := time.ParseDuration(s); err == nil && d > 0 {
+		return d
+	}
+	return 0
+}
+
+// retryAfterFromReason extracts a "retry-after=<value>" token from a
+// close-frame reason, e.g. "draining retry-after=2s".
+func retryAfterFromReason(reason string) time.Duration {
+	const key = "retry-after="
+	i := strings.Index(reason, key)
+	if i < 0 {
+		return 0
+	}
+	v := reason[i+len(key):]
+	if j := strings.IndexByte(v, ' '); j >= 0 {
+		v = v[:j]
+	}
+	return parseRetryAfterValue(v)
 }
 
 // stampTrace makes the client-side sampling decision, stamping a
@@ -139,21 +192,35 @@ type Session struct {
 	// dead closes when the connection's read side fails — the earliest
 	// client-side signal that the collector is gone.
 	dead chan struct{}
+	// retryAfter is the server's reconnect hint from a received close
+	// frame (a 1012/1013 "retry-after=<dur>" reason). Written before
+	// dead closes, read after — the channel close orders the accesses.
+	retryAfter time.Duration
 }
 
 // Done returns a channel closed when the session's connection has died.
 func (s *Session) Done() <-chan struct{} { return s.dead }
+
+// RetryAfter returns the server's explicit reconnect-delay hint, if the
+// session ended with a close frame carrying one (a draining or
+// overloaded endpoint). Zero means no hint. Only valid once Done() has
+// closed.
+func (s *Session) RetryAfter() time.Duration { return s.retryAfter }
 
 // serviceControlFrames keeps a reader on the connection so protocol
 // control traffic is handled for the session's lifetime — in particular
 // the collector's keep-alive pings get their automatic pongs, exactly
 // as a browser's WebSocket implementation pongs beneath the page's
 // JavaScript. It exits (closing the dead channel) when the connection
-// dies.
+// dies, capturing any Retry-After hint the close frame carried.
 func (s *Session) serviceControlFrames() {
 	defer close(s.dead)
 	for {
 		if _, _, err := s.conn.ReadMessage(); err != nil {
+			var ce *wsproto.CloseError
+			if errors.As(err, &ce) {
+				s.retryAfter = retryAfterFromReason(ce.Reason)
+			}
 			return
 		}
 	}
@@ -170,17 +237,18 @@ func (c *Client) Open(ctx context.Context, p Payload) (*Session, error) {
 	}
 	c.stampTrace(&p)
 	var lastErr error
+	var hint time.Duration
 	for attempt := 0; attempt < c.attempts(); attempt++ {
 		if attempt > 0 {
-			if err := c.sleepBackoff(ctx, attempt-1); err != nil {
+			if err := c.sleepBackoff(ctx, attempt-1, hint); err != nil {
 				return nil, err
 			}
 		}
-		sess, err := c.openOnce(ctx, p)
+		sess, h, err := c.openOnce(ctx, p)
 		if err == nil {
 			return sess, nil
 		}
-		lastErr = err
+		lastErr, hint = err, h
 		if ctx.Err() != nil {
 			return nil, lastErr
 		}
@@ -188,7 +256,10 @@ func (c *Client) Open(ctx context.Context, p Payload) (*Session, error) {
 	return nil, lastErr
 }
 
-func (c *Client) openOnce(ctx context.Context, p Payload) (*Session, error) {
+// openOnce makes one dial-and-send attempt. When the server rejects the
+// handshake (e.g. a 503 from an overloaded endpoint), the returned
+// duration carries its Retry-After hint for the caller's next backoff.
+func (c *Client) openOnce(ctx context.Context, p Payload) (*Session, time.Duration, error) {
 	d := c.Dialer
 	if d.Header == nil {
 		d.Header = http.Header{}
@@ -198,17 +269,21 @@ func (c *Client) openOnce(ctx context.Context, p Payload) (*Session, error) {
 			d.Header.Set("User-Agent", p.UserAgent)
 		}
 	}
-	conn, _, err := d.Dial(ctx, c.CollectorURL)
+	conn, resp, err := d.Dial(ctx, c.CollectorURL)
 	if err != nil {
-		return nil, fmt.Errorf("beacon: dialing collector: %w", err)
+		var hint time.Duration
+		if resp != nil {
+			hint = parseRetryAfterValue(resp.Header.Get("Retry-After"))
+		}
+		return nil, hint, fmt.Errorf("beacon: dialing collector: %w", err)
 	}
 	if err := conn.WriteText(p.Encode()); err != nil {
 		conn.Close(wsproto.CloseInternalError, "write failed")
-		return nil, fmt.Errorf("beacon: sending impression: %w", err)
+		return nil, 0, fmt.Errorf("beacon: sending impression: %w", err)
 	}
 	sess := &Session{conn: conn, dead: make(chan struct{})}
 	go sess.serviceControlFrames()
-	return sess, nil
+	return sess, 0, nil
 }
 
 // SendEvent streams an interaction update on the open session.
@@ -289,7 +364,16 @@ func (c *Client) Report(ctx context.Context, p Payload, exposure time.Duration) 
 		if reconnects >= c.attempts() {
 			return err
 		}
-		if serr := c.sleepBackoff(ctx, reconnects-1); serr != nil {
+		// If the server closed the session with an explicit reconnect
+		// hint (a draining gateway, an overloaded collector), floor the
+		// backoff on it. Only read once the session is fully dead.
+		var hint time.Duration
+		select {
+		case <-sess.Done():
+			hint = sess.RetryAfter()
+		default:
+		}
+		if serr := c.sleepBackoff(ctx, reconnects-1, hint); serr != nil {
 			return serr
 		}
 	}

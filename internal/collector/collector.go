@@ -69,6 +69,11 @@ type Config struct {
 	// inflates its exposure measurement — until MaxExposure fires.
 	// Default 30 s; negative disables.
 	KeepAliveInterval time.Duration
+	// TrunkToken, when set, is the shared secret an edge gateway must
+	// present (in the trunk.TokenHeader header) to open a trunk
+	// connection on /trunk. Empty leaves the endpoint open — fine for
+	// tests and single-host deployments, not for a public collector.
+	TrunkToken string
 	// MaxSessions caps concurrent beacon sessions. At the cap new
 	// beacon requests are shed with a fast HTTP 503 (plus a Retry-After
 	// hint) before the WebSocket upgrade spends any further resources —
@@ -138,6 +143,8 @@ const (
 	RejectConvValidate = "conv-validate"  // conversion payload incomplete
 	RejectConvInsert   = "conv-insert"    // store refused the conversion
 	RejectConvPeerAddr = "conv-peer-addr" // unresolvable pixel peer address
+	RejectTrunkAuth    = "trunk-auth"     // gateway presented a bad trunk token
+	RejectTrunkProto   = "trunk-proto"    // malformed trunk frame or batch
 )
 
 // Session close reasons used for
@@ -183,6 +190,9 @@ type collectorTelemetry struct {
 	panics          *telemetry.Counter
 	dedupHits       *telemetry.Counter
 	partialCommits  *telemetry.Counter
+	trunksActive    *telemetry.Gauge
+	trunkFrames     *telemetry.CounterVec
+	trunkDuplicates *telemetry.Counter
 	exposure        *telemetry.Histogram
 	upgrade         *telemetry.Histogram
 	decode          *telemetry.Histogram
@@ -224,6 +234,16 @@ type Collector struct {
 	nonceMu   sync.Mutex
 	nonceCur  map[string]int64
 	noncePrev map[string]int64
+
+	// Trunk stream dedup: "gatewayID/streamID" of commits already
+	// ingested, so a gateway replaying an unacked commit (lost ack,
+	// trunk re-homing) gets an ack without a second ingest. Same
+	// two-generation bound as the nonce cache. Across a collector
+	// restart this cache starts empty and the nonce path catches the
+	// replay instead.
+	streamMu   sync.Mutex
+	streamCur  map[string]struct{}
+	streamPrev map[string]struct{}
 }
 
 // nonceCacheLimit is the per-generation nonce map size; two generations
@@ -263,9 +283,10 @@ func New(cfg Config) (*Collector, error) {
 		reg = telemetry.NewRegistry()
 	}
 	c := &Collector{
-		cfg:      cfg,
-		clock:    simclock.Or(cfg.Clock),
-		nonceCur: map[string]int64{},
+		cfg:       cfg,
+		clock:     simclock.Or(cfg.Clock),
+		nonceCur:  map[string]int64{},
+		streamCur: map[string]struct{}{},
 		upgrader: wsproto.Upgrader{
 			MaxMessageSize: cfg.MaxMessageSize,
 			// Ad beacons are cross-origin by design: the iframe origin
@@ -314,6 +335,12 @@ func New(cfg Config) (*Collector, error) {
 				"Reconnected sessions merged into their original impression by nonce.", nil),
 			partialCommits: reg.Counter("adaudit_collector_partial_commits_total",
 				"Impressions committed from sessions that ended abnormally.", nil),
+			trunksActive: reg.Gauge("adaudit_collector_trunks_active",
+				"Gateway trunk connections currently open.", nil),
+			trunkFrames: reg.CounterVec("adaudit_collector_trunk_frames_total",
+				"Trunk frames received from gateways, by frame type.", "type"),
+			trunkDuplicates: reg.Counter("adaudit_collector_trunk_duplicates_total",
+				"Replayed trunk commits deduplicated by stream ID.", nil),
 			exposure: reg.Histogram("adaudit_collector_exposure_seconds",
 				"Measured ad-exposure durations (connection lifetimes).",
 				telemetry.ExposureBuckets(), nil),

@@ -176,6 +176,7 @@ func NewServer(c *Collector, addr string, opts ...ServerOption) (*Server, error)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/beacon", c)
+	mux.HandleFunc("/trunk", c.ServeTrunk)
 	mux.HandleFunc("/conv", c.ServeConversionPixel)
 	(&queryAPI{st: c.cfg.Store}).register(mux)
 	if o.liveEngine != nil {

@@ -54,6 +54,17 @@ type Plan struct {
 	// moved, so large frames take realistically long on the wire.
 	BytesPerSecond int
 
+	// SlowLinkProb is the probability a wrapped connection is a slow
+	// link for its whole lifetime: its byte rate is capped at a seeded
+	// per-connection draw from [SlowLinkBytesPerSecond/2,
+	// SlowLinkBytesPerSecond]. Unlike BytesPerSecond (a uniform cap on
+	// every connection), a slow link models the long tail of throttled
+	// mobile paths: most connections run clean while an unlucky few
+	// crawl, which is what actually exercises per-session backpressure
+	// upstream. When both caps apply the tighter one wins.
+	SlowLinkProb           float64
+	SlowLinkBytesPerSecond int
+
 	// PartialWriteProb is the probability a Write delivers only a
 	// prefix of its buffer and then fails with ErrInjectedReset — the
 	// torn write a connection dying mid-frame produces.
@@ -84,6 +95,10 @@ type Plan struct {
 	Kills         atomic.Uint64
 	PartialWrites atomic.Uint64
 	Truncations   atomic.Uint64
+
+	// SlowLinks counts connections that drew a slow-link byte-rate cap.
+	// Kept out of Stats() so its four-value signature stays stable.
+	SlowLinks atomic.Uint64
 }
 
 // Stats summarises the faults a plan has injected so far.
@@ -100,6 +115,17 @@ func (p *Plan) Wrap(nc net.Conn) net.Conn {
 		Conn: nc,
 		plan: p,
 		rng:  stats.NewRNG(p.Seed).Fork(fmt.Sprintf("conn-%d", n)),
+	}
+	if p.SlowLinkProb > 0 && p.SlowLinkBytesPerSecond > 0 {
+		c.draw(func(r *stats.RNG) {
+			if r.Bool(p.SlowLinkProb) {
+				// Draw the cap inside [ceil/2, ceil] so two same-seed
+				// plans give each connection the same rate.
+				ceil := p.SlowLinkBytesPerSecond
+				c.byteRate = ceil - r.Intn(ceil/2+1)
+				p.SlowLinks.Add(1)
+			}
+		})
 	}
 	if p.KillAfter > 0 {
 		d := p.KillAfter
@@ -173,6 +199,10 @@ type Conn struct {
 
 	killed    atomic.Bool
 	killTimer *time.Timer
+
+	// byteRate is this connection's slow-link cap in bytes/second, drawn
+	// once at Wrap time; 0 means the connection did not draw a slow link.
+	byteRate int
 }
 
 // draw runs fn under the RNG lock; kept tiny so the lock never spans a
@@ -191,8 +221,12 @@ func (c *Conn) delay(n int) {
 	if p.LatencyJitter > 0 {
 		c.draw(func(r *stats.RNG) { d += time.Duration(r.Int63n(int64(p.LatencyJitter) + 1)) })
 	}
-	if p.BytesPerSecond > 0 && n > 0 {
-		d += time.Duration(float64(n) / float64(p.BytesPerSecond) * float64(time.Second))
+	rate := p.BytesPerSecond
+	if c.byteRate > 0 && (rate == 0 || c.byteRate < rate) {
+		rate = c.byteRate
+	}
+	if rate > 0 && n > 0 {
+		d += time.Duration(float64(n) / float64(rate) * float64(time.Second))
 	}
 	if d > 0 {
 		time.Sleep(d)

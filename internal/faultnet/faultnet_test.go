@@ -294,3 +294,87 @@ func TestProxyKillSeversBothSides(t *testing.T) {
 		t.Fatal("kill never fired")
 	}
 }
+
+func TestSlowLinkThrottlesDrawnConnections(t *testing.T) {
+	// With probability 1 every connection draws a cap in
+	// [ceil/2, ceil]; 32 KiB at <= 128 KiB/s takes >= 250ms.
+	plan := Plan{Seed: 7, SlowLinkProb: 1, SlowLinkBytesPerSecond: 128 << 10}
+	c, s := tcpPair(t)
+	fc := plan.Wrap(c)
+	if got := fc.(*Conn).byteRate; got < 64<<10 || got > 128<<10 {
+		t.Fatalf("drawn byte rate %d outside [%d, %d]", got, 64<<10, 128<<10)
+	}
+	go io.Copy(io.Discard, s)
+	start := time.Now()
+	if _, err := fc.Write(make([]byte, 32<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 200*time.Millisecond {
+		t.Fatalf("32KiB moved in %v, want >= ~250ms on a <=128KiB/s slow link", d)
+	}
+	if n := plan.SlowLinks.Load(); n != 1 {
+		t.Fatalf("slow-link counter = %d, want 1", n)
+	}
+}
+
+func TestSlowLinkDeterministicAcrossPlans(t *testing.T) {
+	// Two same-seed plans hand identical per-connection rates to the
+	// same wrap sequence; a different seed diverges somewhere.
+	rates := func(seed int64) []int {
+		plan := Plan{Seed: seed, SlowLinkProb: 0.5, SlowLinkBytesPerSecond: 100_000}
+		var out []int
+		for i := 0; i < 16; i++ {
+			c, s := tcpPair(t)
+			fc := plan.Wrap(c)
+			out = append(out, fc.(*Conn).byteRate)
+			fc.Close()
+			s.Close()
+		}
+		return out
+	}
+	a, b := rates(21), rates(21)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed plans diverged at conn %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	drew := 0
+	for _, r := range a {
+		if r > 0 {
+			if r < 50_000 || r > 100_000 {
+				t.Fatalf("drawn rate %d outside [50000, 100000]", r)
+			}
+			drew++
+		}
+	}
+	if drew == 0 || drew == len(a) {
+		t.Fatalf("SlowLinkProb=0.5 drew %d/%d slow links, want a mix", drew, len(a))
+	}
+	c := rates(22)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical slow-link draws")
+	}
+}
+
+func TestSlowLinkTighterCapWins(t *testing.T) {
+	// A plan-wide 512 KiB/s cap plus a guaranteed ~64-128 KiB/s slow
+	// link: the slow link dominates.
+	plan := Plan{Seed: 3, BytesPerSecond: 512 << 10, SlowLinkProb: 1, SlowLinkBytesPerSecond: 128 << 10}
+	c, s := tcpPair(t)
+	fc := plan.Wrap(c)
+	go io.Copy(io.Discard, s)
+	start := time.Now()
+	if _, err := fc.Write(make([]byte, 32<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 200*time.Millisecond {
+		t.Fatalf("32KiB moved in %v under the looser plan cap, want the slow link to dominate", d)
+	}
+}

@@ -1,0 +1,97 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"adaudit/internal/beacon"
+)
+
+// -update regenerates the golden files from the live fixture:
+//
+//	go test ./internal/gateway -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("response differs from %s (re-run with -update if the change is intended)\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestMetricsJSONShapeGolden pins the shape of the gateway's
+// /api/metrics — every registered instrument's key and kind (scalar or
+// histogram). Values are timing-dependent, so the golden captures the
+// schema a dashboard binds to, not the numbers. One report is pushed
+// through the full edge path first so the forward/batch histograms are
+// live, not hypothetical.
+func TestMetricsJSONShapeGolden(t *testing.T) {
+	c, st := testCollector(t, nil)
+	csrv, _ := startCollectorServer(t, c, "127.0.0.1:0")
+	_, gsrv := startGateway(t, fastConfig(trunkURL(csrv)))
+
+	cl := &beacon.Client{CollectorURL: gsrv.BeaconURL()}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cl.Report(ctx, beacon.Payload{
+		CampaignID: "camp-golden", CreativeID: "cr",
+		PageURL: "http://pub.example.com/p", UserAgent: "UA",
+		Nonce: "golden-0001",
+	}, 30*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, "report committed through trunk", func() bool {
+		return st.Len() == 1
+	})
+
+	resp, err := http.Get("http://" + gsrv.Addr().String() + "/api/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /api/metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]json.RawMessage
+	if err := json.Unmarshal(body, &metrics); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	var lines []string
+	for key, raw := range metrics {
+		kind := "scalar"
+		if strings.HasPrefix(strings.TrimSpace(string(raw)), "{") {
+			kind = "histogram"
+		}
+		lines = append(lines, key+" "+kind+"\n")
+	}
+	sort.Strings(lines)
+	golden(t, "metrics_shape.txt", []byte(strings.Join(lines, "")))
+}

@@ -1,0 +1,148 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// serverOptions collects the tunables NewServer accepts as options.
+type serverOptions struct {
+	drainGrace time.Duration
+	listener   net.Listener
+}
+
+// ServerOption customises a Server.
+type ServerOption func(*serverOptions)
+
+// WithDrainGrace bounds how long Serve waits on shutdown for in-flight
+// beacon sessions to commit and for the spill buffer to empty into the
+// collector (default 5 s).
+func WithDrainGrace(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.drainGrace = d }
+}
+
+// WithListener serves on ln instead of opening a fresh TCP listener
+// (addr is then ignored) — the hook the chaos tests use to put a
+// fault-injected accept path under the gateway's client leg.
+func WithListener(ln net.Listener) ServerOption {
+	return func(o *serverOptions) { o.listener = ln }
+}
+
+// Server runs a Gateway behind an HTTP listener with the standard
+// operational sidecar: the beacon endpoint, GET /healthz (trunk pool
+// health, ok → degraded → unhealthy), GET /metrics (Prometheus text)
+// and GET /api/metrics (JSON). It owns listener lifecycle and graceful
+// drain, so cmd/adgateway and the tests share one serving path.
+type Server struct {
+	gw      *Gateway
+	httpSrv *http.Server
+	ln      net.Listener
+	opts    serverOptions
+	start   time.Time
+}
+
+// NewServer wraps g in a Server listening on addr (host:port; port 0
+// picks a free port).
+func NewServer(g *Gateway, addr string, opts ...ServerOption) (*Server, error) {
+	o := serverOptions{drainGrace: 5 * time.Second}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	ln := o.listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: listening on %s: %w", addr, err)
+		}
+	}
+	s := &Server{gw: g, ln: ln, opts: o, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.Handle("/beacon", g)
+	mux.HandleFunc("/healthz", s.serveHealthz)
+	if reg := g.Telemetry(); reg != nil {
+		reg.GaugeFunc("adaudit_gateway_uptime_seconds",
+			"Time since the gateway server started.", nil,
+			func() float64 { return time.Since(s.start).Seconds() })
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/api/metrics", reg.JSONHandler())
+	}
+	s.httpSrv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s, nil
+}
+
+// serveHealthz reports the trunk pool's degradation ladder: "ok" with
+// every trunk up, "degraded" while at least one still carries traffic,
+// "unhealthy" (503) when the collector is unreachable on all of them.
+// Degraded stays 200: the gateway is still doing its job, and flapping
+// a load balancer off a functioning edge node would convert a partial
+// trunk outage into real client loss.
+func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	st := s.gw.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if st.Status == "unhealthy" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(st)
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// BeaconURL returns the ws:// URL beacon clients should dial.
+func (s *Server) BeaconURL() string {
+	return fmt.Sprintf("ws://%s/beacon", s.ln.Addr().String())
+}
+
+// Serve blocks serving requests until ctx is cancelled, then drains:
+// admission flips to shedding, open sessions are closed with the
+// resumable 1012 close code and a Retry-After hint, and the spill
+// buffer is given until the drain grace to flush acked commits into the
+// collector before the trunks are torn down.
+func (s *Server) Serve(ctx context.Context) error {
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- s.httpSrv.Serve(s.ln)
+	}()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = s.httpSrv.Shutdown(shutdownCtx)
+		left := s.gw.Drain(s.opts.drainGrace)
+		if left > 0 {
+			s.gw.log.Warn("gateway: drain deadline hit with unflushed commits", "pending", left)
+		}
+		_ = s.httpSrv.Close()
+		<-errCh
+		s.gw.Close()
+		return nil
+	case err := <-errCh:
+		s.gw.Close()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return fmt.Errorf("gateway: serving: %w", err)
+	}
+}
+
+// Close tears the server down immediately.
+func (s *Server) Close() error {
+	err := s.httpSrv.Close()
+	s.gw.Close()
+	return err
+}

@@ -1,0 +1,462 @@
+package gateway
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"adaudit/internal/trunk"
+	"adaudit/internal/wsproto"
+)
+
+// trunkMaxMessage mirrors the collector's trunk batch bound.
+const trunkMaxMessage = 1 << 20
+
+// trunkDialTimeout bounds one trunk connection attempt.
+const trunkDialTimeout = 5 * time.Second
+
+// trunkConn is one slot in the persistent trunk pool: a WebSocket to
+// the collector's /trunk endpoint carrying batched frames for many
+// beacon sessions. Each slot runs its own dial/read lifecycle with a
+// circuit breaker, so a dead collector costs bounded probing, not a
+// dial storm.
+type trunkConn struct {
+	gw  *Gateway
+	idx int
+
+	mu sync.Mutex
+	// conn is the live connection (nil while down); buf the pending
+	// batch, firstAppend when its oldest frame was buffered.
+	conn        *wsproto.Conn
+	buf         []byte
+	firstAppend time.Time
+	healthy     bool
+	// fails counts consecutive dial failures for the breaker; reset on
+	// a successful dial.
+	fails int
+}
+
+func (t *trunkConn) isHealthy() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.healthy
+}
+
+// run is the trunk slot's lifecycle loop: breaker-gated dial, hello,
+// then reading acks until the connection dies.
+func (t *trunkConn) run() {
+	g := t.gw
+	defer g.runnersWG.Done()
+	for {
+		select {
+		case <-g.stopCh:
+			return
+		default:
+		}
+		if t.fails >= g.cfg.BreakerThreshold {
+			// Breaker open: wait out the cooldown, then the next dial is
+			// the half-open probe. Success closes the breaker (fails
+			// resets); failure re-opens it for another cooldown.
+			if !sleepOrStop(g.stopCh, g.cfg.BreakerCooldown) {
+				return
+			}
+		} else if t.fails > 0 {
+			// Below the breaker threshold, space retries briefly so a
+			// transient blip does not burn the whole failure budget at
+			// once.
+			if !sleepOrStop(g.stopCh, g.cfg.BreakerCooldown/4) {
+				return
+			}
+		}
+		conn, err := t.dial()
+		if err != nil {
+			t.fails++
+			if t.fails == g.cfg.BreakerThreshold {
+				g.tel.breakerOpens.Add(1)
+				g.log.Warn("gateway: trunk breaker opened",
+					"trunk", t.idx, "fails", t.fails, "err", err)
+			}
+			continue
+		}
+		t.fails = 0
+		t.attach(conn)
+		t.reader(conn)
+		t.detach(conn)
+	}
+}
+
+// sleepOrStop waits d unless stop closes first; reports whether the
+// full wait elapsed.
+func sleepOrStop(stop <-chan struct{}, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// dial opens the trunk connection and performs the Hello exchange.
+func (t *trunkConn) dial() (*wsproto.Conn, error) {
+	g := t.gw
+	d := g.cfg.Dialer
+	d.MaxMessageSize = trunkMaxMessage
+	hdr := http.Header{}
+	for k, vs := range g.cfg.Dialer.Header {
+		hdr[k] = vs
+	}
+	if g.cfg.TrunkToken != "" {
+		hdr.Set(trunk.TokenHeader, g.cfg.TrunkToken)
+	}
+	d.Header = hdr
+	ctx, cancel := context.WithTimeout(context.Background(), trunkDialTimeout)
+	defer cancel()
+	conn, _, err := d.Dial(ctx, g.cfg.CollectorURL)
+	if err != nil {
+		return nil, err
+	}
+	hello := trunk.AppendFrame(nil, trunk.Frame{
+		Type: trunk.Hello, Version: trunk.Version, GatewayID: g.cfg.GatewayID,
+	})
+	if err := conn.WriteMessage(wsproto.OpBinary, hello); err != nil {
+		_ = conn.NetConn().Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// attach publishes the fresh connection: the trunk becomes eligible for
+// session traffic and the replay loop is nudged to push spilled commits
+// through it.
+func (t *trunkConn) attach(conn *wsproto.Conn) {
+	g := t.gw
+	t.mu.Lock()
+	t.conn = conn
+	t.buf = nil
+	t.healthy = true
+	t.mu.Unlock()
+	g.tel.trunksHealthy.Add(1)
+	g.gen.Add(1)
+	select {
+	case g.replayWake <- struct{}{}:
+	default:
+	}
+	g.log.Info("gateway: trunk established", "trunk", t.idx, "collector", g.cfg.CollectorURL)
+}
+
+// detach withdraws a dead connection. The generation bump makes the
+// replay loop re-send every commit whose ack may have died with this
+// trunk, onto whichever trunk is healthy — session re-homing needs no
+// per-session state because commits are self-contained.
+func (t *trunkConn) detach(conn *wsproto.Conn) {
+	g := t.gw
+	t.mu.Lock()
+	wasHealthy := t.healthy
+	t.conn = nil
+	t.healthy = false
+	t.buf = nil
+	t.mu.Unlock()
+	_ = conn.NetConn().Close()
+	if wasHealthy {
+		g.tel.trunksHealthy.Add(-1)
+	}
+	g.gen.Add(1)
+	g.log.Warn("gateway: trunk lost", "trunk", t.idx)
+}
+
+// reader consumes collector replies (acks and rejects) and runs the
+// trunk's keepalive until the connection dies. It also hosts the
+// age-based batch flusher, so a trickle of frames below the size
+// threshold still leaves within BatchAge.
+func (t *trunkConn) reader(conn *wsproto.Conn) {
+	g := t.gw
+	stop := make(chan struct{})
+	defer close(stop)
+
+	renewDeadline := func() {
+		if ka := g.cfg.KeepAliveInterval; ka > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(2 * ka))
+		}
+	}
+	conn.SetPongHandler(func([]byte) { renewDeadline() })
+	renewDeadline()
+	if ka := g.cfg.KeepAliveInterval; ka > 0 {
+		go func() {
+			tick := time.NewTicker(ka)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					_ = conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+					err := conn.Ping(nil)
+					_ = conn.SetWriteDeadline(time.Time{})
+					if err != nil {
+						_ = conn.NetConn().Close()
+						return
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		period := g.cfg.BatchAge / 2
+		if period < 5*time.Millisecond {
+			period = 5 * time.Millisecond
+		}
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				t.flushAged()
+			}
+		}
+	}()
+
+	for {
+		op, msg, err := conn.ReadMessage()
+		if err != nil {
+			return
+		}
+		renewDeadline()
+		if op != wsproto.OpBinary {
+			continue
+		}
+		frames, err := trunk.DecodeBatch(msg)
+		if err != nil {
+			g.log.Warn("gateway: malformed trunk reply", "trunk", t.idx, "err", err)
+			return
+		}
+		for _, f := range frames {
+			switch f.Type {
+			case trunk.Ack:
+				g.ackStream(f.Stream)
+			case trunk.Reject:
+				g.rejectStream(f.Stream, f.Reason)
+			}
+		}
+	}
+}
+
+// enqueue buffers one encoded frame onto the trunk's pending batch,
+// flushing when the size threshold is reached. Reports false when the
+// trunk is down (the caller re-homes or drops).
+func (t *trunkConn) enqueue(frame []byte) bool {
+	g := t.gw
+	t.mu.Lock()
+	if !t.healthy || t.conn == nil {
+		t.mu.Unlock()
+		return false
+	}
+	if len(t.buf) == 0 {
+		t.firstAppend = time.Now()
+	}
+	t.buf = append(t.buf, frame...)
+	var out []byte
+	var conn *wsproto.Conn
+	if len(t.buf) >= g.cfg.BatchBytes {
+		out, t.buf = t.buf, nil
+		conn = t.conn
+	}
+	t.mu.Unlock()
+	if out != nil {
+		t.write(conn, out)
+	}
+	return true
+}
+
+// flush forces the pending batch out now.
+func (t *trunkConn) flush() {
+	t.mu.Lock()
+	out := t.buf
+	conn := t.conn
+	t.buf = nil
+	t.mu.Unlock()
+	if len(out) > 0 && conn != nil {
+		t.write(conn, out)
+	}
+}
+
+// flushAged flushes the batch when its oldest frame has waited past
+// BatchAge.
+func (t *trunkConn) flushAged() {
+	t.mu.Lock()
+	var out []byte
+	var conn *wsproto.Conn
+	if len(t.buf) > 0 && time.Since(t.firstAppend) >= t.gw.cfg.BatchAge {
+		out, t.buf = t.buf, nil
+		conn = t.conn
+	}
+	t.mu.Unlock()
+	if len(out) > 0 && conn != nil {
+		t.write(conn, out)
+	}
+}
+
+// write sends one batch message. On failure the transport is closed so
+// the reader notices and the slot recycles; the frames in the batch are
+// either advisory (droppable) or commits the replay loop will re-send.
+func (t *trunkConn) write(conn *wsproto.Conn, batch []byte) {
+	g := t.gw
+	g.tel.trunkBatches.Add(1)
+	g.tel.batchBytes.Observe(float64(len(batch)))
+	if err := conn.WriteMessage(wsproto.OpBinary, batch); err != nil {
+		_ = conn.NetConn().Close()
+	}
+}
+
+// closeConn tears down the live connection (shutdown path).
+func (t *trunkConn) closeConn() {
+	t.mu.Lock()
+	conn := t.conn
+	t.mu.Unlock()
+	if conn != nil {
+		_ = conn.NetConn().Close()
+	}
+}
+
+// replayLoop is the single sender for commits: it pushes fresh spill
+// entries immediately (woken by spillCommit and trunk attach) and
+// re-sends entries whose trunk died or whose ack timed out. Having one
+// sender means a commit can never race its own retransmission onto two
+// trunks.
+func (g *Gateway) replayLoop() {
+	defer g.runnersWG.Done()
+	tick := time.NewTicker(g.cfg.ReplayInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-g.stopCh:
+			return
+		case <-g.replayWake:
+		case <-tick.C:
+		}
+		g.replayPending()
+	}
+}
+
+// replayPending sends every due spill entry over a healthy trunk: never
+// sent, sent under an older trunk generation (its trunk may have died
+// with the ack in flight), or unacked past AckTimeout.
+func (g *Gateway) replayPending() {
+	t := g.pickTrunk()
+	if t == nil {
+		return
+	}
+	gen := g.gen.Load()
+	now := time.Now()
+	type item struct {
+		stream uint64
+		e      *spillEntry
+	}
+	var due []item
+	g.spillMu.Lock()
+	for s, e := range g.spill {
+		if e.sentGen != gen || now.Sub(e.sentAt) > g.cfg.AckTimeout {
+			due = append(due, item{s, e})
+		}
+	}
+	g.spillMu.Unlock()
+	if len(due) == 0 {
+		return
+	}
+	sent := 0
+	for _, it := range due {
+		if !t.enqueue(it.e.frame) {
+			break // trunk died mid-replay; the next wake retries
+		}
+		resend := it.e.sentGen != 0
+		g.spillMu.Lock()
+		if _, ok := g.spill[it.stream]; ok {
+			it.e.sentGen = gen
+			it.e.sentAt = now
+		}
+		g.spillMu.Unlock()
+		if resend {
+			g.tel.replays.Add(1)
+		}
+		sent++
+	}
+	if sent > 0 {
+		t.flush()
+	}
+}
+
+// sessionQueue is a bounded frame queue between one session's read loop
+// and its forwarder, with watermark hysteresis: pushes stall at the
+// high watermark and resume only once the forwarder has drained the
+// queue to the low watermark, so a slow trunk throttles the client's
+// TCP window instead of growing gateway memory.
+type sessionQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	frames  [][]byte
+	high    int
+	low     int
+	stalled bool
+	closed  bool
+}
+
+func newSessionQueue(high, low int) *sessionQueue {
+	q := &sessionQueue{high: high, low: low}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends a frame, blocking while the queue is over its high
+// watermark. Reports false when the queue closed while waiting.
+func (q *sessionQueue) push(frame []byte) bool {
+	q.mu.Lock()
+	if len(q.frames) >= q.high {
+		q.stalled = true
+	}
+	for q.stalled && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.frames = append(q.frames, frame)
+	q.mu.Unlock()
+	q.cond.Broadcast()
+	return true
+}
+
+// pop removes the oldest frame, blocking until one is available or the
+// queue is closed and empty (ok == false). A closed queue still drains:
+// the forwarder finishes in-flight advisory frames before the session
+// builds its commit.
+func (q *sessionQueue) pop() ([]byte, bool) {
+	q.mu.Lock()
+	for len(q.frames) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.frames) == 0 {
+		q.mu.Unlock()
+		return nil, false
+	}
+	f := q.frames[0]
+	q.frames = q.frames[1:]
+	if q.stalled && len(q.frames) <= q.low {
+		q.stalled = false
+	}
+	q.mu.Unlock()
+	q.cond.Broadcast()
+	return f, true
+}
+
+// close wakes every waiter; pending frames remain poppable.
+func (q *sessionQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

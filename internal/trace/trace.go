@@ -29,9 +29,17 @@ import (
 // Stage names, in causal pipeline order. Stored as strings so the
 // flight recorder and the Chrome export need no lookup tables.
 const (
-	StageBeaconSend = "beacon_send"  // client stamped the payload
-	StageWireRecv   = "wire_recv"    // collector session read the frame
-	StageDecode     = "decode"       // payload parsed
+	StageBeaconSend = "beacon_send" // client stamped the payload
+	// StageGatewayRecv / StageTrunkForward are stamped by the edge
+	// gateway tier (internal/gateway): the gateway read the beacon's
+	// payload, and the gateway flushed the session's commit onto a
+	// collector trunk. They ride the trunk frame as explicit offsets and
+	// are injected into the collector's adopted trace via StageAt, so a
+	// gatewayed impression's trace shows both hops.
+	StageGatewayRecv  = "gateway_recv"
+	StageTrunkForward = "trunk_forward"
+	StageWireRecv     = "wire_recv" // collector session read the frame
+	StageDecode       = "decode"    // payload parsed
 	StageEnrich     = "enrich"       // geo/UA enrichment done
 	StageCommit     = "commit"       // store accepted the impression
 	StageWAL        = "wal_append"   // write-ahead journal entry appended
@@ -143,6 +151,26 @@ func (t *Trace) Stage(name string) {
 	t.mu.Lock()
 	if !t.done {
 		t.stages = append(t.stages, StagePoint{Name: name, Offset: off})
+	}
+	t.mu.Unlock()
+}
+
+// StageAt stamps a named stage at an explicit offset from the trace
+// origin, instead of the local monotonic clock. A forwarding tier (the
+// gateway) measures its stages against the sender's stamped send time
+// and ships the offsets in its trunk frames; the collector injects them
+// here so the adopted trace carries the remote hops it never observed
+// locally. Negative offsets (sender clock skew) clamp to zero.
+func (t *Trace) StageAt(name string, offset time.Duration) {
+	if t == nil {
+		return
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.stages = append(t.stages, StagePoint{Name: name, Offset: offset})
 	}
 	t.mu.Unlock()
 }

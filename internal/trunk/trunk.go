@@ -1,0 +1,291 @@
+// Package trunk defines the wire protocol the edge gateway
+// (internal/gateway) speaks to the collector's /trunk endpoint: a small
+// pool of persistent WebSocket connections multiplexing every beacon
+// session a gateway terminates. Each WebSocket binary message is a
+// batch of length-prefixed frames; each frame names a logical stream
+// (one per beacon session) so a single trunk carries thousands of
+// sessions without per-session sockets.
+//
+// The protocol is deliberately asymmetric about reliability. Open and
+// Event frames are advisory — they let the collector watch stream
+// liveness but carry no accounting state, so losing them to a trunk
+// failure costs nothing. The Commit frame is the unit of record: it is
+// self-contained (full payload, connection facts, measured exposure,
+// gateway trace stages), so the gateway can replay an unacknowledged
+// commit on any trunk, to a freshly restarted collector, with no
+// per-stream state transfer. Delivery is at-least-once; the collector
+// deduplicates retransmissions by stream ID and, across its own
+// restarts, by the impression nonce every gatewayed payload carries.
+//
+// Frames encode as [type byte][uvarint stream][fields], strings as
+// uvarint-length-prefixed bytes, and batches as a concatenation of
+// uvarint-length-prefixed frames.
+package trunk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Version is the trunk protocol version carried in the Hello frame.
+const Version = 1
+
+// TokenHeader is the HTTP header a gateway presents during the trunk
+// handshake when the collector requires a shared admission token.
+const TokenHeader = "X-Adaudit-Trunk-Token"
+
+// Type discriminates trunk frames.
+type Type byte
+
+const (
+	// Hello is the first frame on a fresh trunk: protocol version and
+	// the gateway's identity (gateway → collector).
+	Hello Type = 1
+	// Open announces a new beacon stream: remote address, connection
+	// time and the initial payload. Advisory (gateway → collector).
+	Open Type = 2
+	// Event relays one in-session interaction update. Advisory
+	// (gateway → collector).
+	Event Type = 3
+	// Commit closes a stream's accounting: the full final payload plus
+	// the connection-derived facts the gateway measured. The only frame
+	// with delivery guarantees (gateway → collector, at-least-once).
+	Commit Type = 4
+	// Ack confirms a Commit was durably ingested (collector → gateway).
+	Ack Type = 5
+	// Reject refuses a Commit permanently — replaying it cannot succeed
+	// (collector → gateway).
+	Reject Type = 6
+)
+
+// String names the frame type for logs and metrics labels.
+func (t Type) String() string {
+	switch t {
+	case Hello:
+		return "hello"
+	case Open:
+		return "open"
+	case Event:
+		return "event"
+	case Commit:
+		return "commit"
+	case Ack:
+		return "ack"
+	case Reject:
+		return "reject"
+	}
+	return fmt.Sprintf("type-%d", byte(t))
+}
+
+// Stage is one gateway-measured trace stage riding a Commit frame:
+// the offset is measured from the beacon's stamped send time, the same
+// origin the collector's adopted trace uses.
+type Stage struct {
+	Name   string
+	Offset time.Duration
+}
+
+// Frame is one decoded trunk frame. Fields beyond Type and Stream are
+// populated per type; unused fields are zero.
+type Frame struct {
+	Type   Type
+	Stream uint64
+
+	// Hello.
+	Version   int
+	GatewayID string
+
+	// Open and Commit: the connection-derived facts.
+	RemoteIP    string
+	ConnectedAt int64 // unix nanoseconds
+
+	// Open: initial payload. Event: the "ev:" update text.
+	// Commit: the full final payload (events merged, nonce present).
+	Payload string
+
+	// Commit.
+	Exposure time.Duration
+	Stages   []Stage
+
+	// Reject.
+	Reason string
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendBody encodes the frame without its batch length prefix.
+func appendBody(dst []byte, f Frame) []byte {
+	dst = append(dst, byte(f.Type))
+	dst = binary.AppendUvarint(dst, f.Stream)
+	switch f.Type {
+	case Hello:
+		dst = binary.AppendUvarint(dst, uint64(f.Version))
+		dst = appendString(dst, f.GatewayID)
+	case Open:
+		dst = appendString(dst, f.RemoteIP)
+		dst = binary.AppendVarint(dst, f.ConnectedAt)
+		dst = appendString(dst, f.Payload)
+	case Event:
+		dst = appendString(dst, f.Payload)
+	case Commit:
+		dst = appendString(dst, f.RemoteIP)
+		dst = binary.AppendVarint(dst, f.ConnectedAt)
+		dst = binary.AppendVarint(dst, int64(f.Exposure))
+		dst = appendString(dst, f.Payload)
+		dst = binary.AppendUvarint(dst, uint64(len(f.Stages)))
+		for _, st := range f.Stages {
+			dst = appendString(dst, st.Name)
+			dst = binary.AppendVarint(dst, int64(st.Offset))
+		}
+	case Ack:
+		// Stream only.
+	case Reject:
+		dst = appendString(dst, f.Reason)
+	}
+	return dst
+}
+
+// AppendFrame appends f to a batch buffer: a uvarint length prefix
+// followed by the frame body. The result of successive AppendFrame
+// calls is a valid batch for DecodeBatch.
+func AppendFrame(dst []byte, f Frame) []byte {
+	body := appendBody(nil, f)
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...)
+}
+
+// decoder walks one frame body.
+type decoder struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("trunk: "+format, args...)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail("truncated uvarint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail("truncated varint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.pos) {
+		d.fail("string length %d exceeds remaining %d bytes", n, len(d.b)-d.pos)
+		return ""
+	}
+	s := string(d.b[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+// maxStages bounds the per-commit stage list so a corrupt length
+// cannot drive a huge allocation.
+const maxStages = 64
+
+// decodeBody parses one frame body.
+func decodeBody(b []byte) (Frame, error) {
+	if len(b) == 0 {
+		return Frame{}, fmt.Errorf("trunk: empty frame")
+	}
+	d := &decoder{b: b, pos: 1}
+	f := Frame{Type: Type(b[0])}
+	f.Stream = d.uvarint()
+	switch f.Type {
+	case Hello:
+		f.Version = int(d.uvarint())
+		f.GatewayID = d.string()
+	case Open:
+		f.RemoteIP = d.string()
+		f.ConnectedAt = d.varint()
+		f.Payload = d.string()
+	case Event:
+		f.Payload = d.string()
+	case Commit:
+		f.RemoteIP = d.string()
+		f.ConnectedAt = d.varint()
+		f.Exposure = time.Duration(d.varint())
+		f.Payload = d.string()
+		n := d.uvarint()
+		if n > maxStages {
+			d.fail("commit carries %d stages (max %d)", n, maxStages)
+		}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			name := d.string()
+			off := time.Duration(d.varint())
+			if d.err == nil {
+				f.Stages = append(f.Stages, Stage{Name: name, Offset: off})
+			}
+		}
+	case Ack:
+		// Stream only.
+	case Reject:
+		f.Reason = d.string()
+	default:
+		return Frame{}, fmt.Errorf("trunk: unknown frame type %d", b[0])
+	}
+	if d.err != nil {
+		return Frame{}, d.err
+	}
+	if d.pos != len(b) {
+		return Frame{}, fmt.Errorf("trunk: %d trailing bytes after %s frame", len(b)-d.pos, f.Type)
+	}
+	return f, nil
+}
+
+// DecodeBatch parses a batch message into its frames. Any framing error
+// fails the whole batch: trunks are trusted infrastructure links, so a
+// malformed batch means a broken peer, not a hostile client to tolerate.
+func DecodeBatch(b []byte) ([]Frame, error) {
+	var frames []Frame
+	pos := 0
+	for pos < len(b) {
+		n, w := binary.Uvarint(b[pos:])
+		if w <= 0 {
+			return nil, fmt.Errorf("trunk: truncated batch length at offset %d", pos)
+		}
+		pos += w
+		if n > uint64(len(b)-pos) {
+			return nil, fmt.Errorf("trunk: frame length %d exceeds remaining %d bytes", n, len(b)-pos)
+		}
+		f, err := decodeBody(b[pos : pos+int(n)])
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, f)
+		pos += int(n)
+	}
+	return frames, nil
+}

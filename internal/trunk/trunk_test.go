@@ -1,0 +1,114 @@
+package trunk
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sampleFrames() []Frame {
+	return []Frame{
+		{Type: Hello, Version: Version, GatewayID: "gw-test-1"},
+		{
+			Type: Open, Stream: 7, RemoteIP: "203.0.113.9",
+			ConnectedAt: 1459242000123456789,
+			Payload:     "v=1&cid=c1&crid=cr1&url=http%3A%2F%2Fnews.example%2Fa&ua=sim&n=abc",
+		},
+		{Type: Event, Stream: 7, Payload: "ev:click"},
+		{
+			Type: Commit, Stream: 7, RemoteIP: "203.0.113.9",
+			ConnectedAt: 1459242000123456789,
+			Exposure:    2500 * time.Millisecond,
+			Payload:     "v=1&cid=c1&crid=cr1&url=http%3A%2F%2Fnews.example%2Fa&ua=sim&n=abc&ev=click",
+			Stages: []Stage{
+				{Name: "gateway_recv", Offset: 3 * time.Millisecond},
+				{Name: "trunk_forward", Offset: 9 * time.Millisecond},
+			},
+		},
+		{Type: Ack, Stream: 7},
+		{Type: Reject, Stream: 9, Reason: "payload: bad campaign"},
+		// Negative ConnectedAt and zero-value strings must survive too.
+		{Type: Commit, Stream: 0, ConnectedAt: -5, Exposure: 0, Payload: ""},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	want := sampleFrames()
+	var batch []byte
+	for _, f := range want {
+		batch = AppendFrame(batch, f)
+	}
+	got, err := DecodeBatch(batch)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("frame %d (%s): got %+v want %+v", i, want[i].Type, got[i], want[i])
+		}
+	}
+}
+
+func TestSingleFrameBatches(t *testing.T) {
+	for _, f := range sampleFrames() {
+		got, err := DecodeBatch(AppendFrame(nil, f))
+		if err != nil {
+			t.Fatalf("%s: %v", f.Type, err)
+		}
+		if len(got) != 1 || !reflect.DeepEqual(got[0], f) {
+			t.Errorf("%s: got %+v want %+v", f.Type, got, f)
+		}
+	}
+}
+
+func TestDecodeBatchEmpty(t *testing.T) {
+	frames, err := DecodeBatch(nil)
+	if err != nil || len(frames) != 0 {
+		t.Fatalf("empty batch: frames=%v err=%v", frames, err)
+	}
+}
+
+func TestDecodeBatchRejectsMalformed(t *testing.T) {
+	valid := AppendFrame(nil, sampleFrames()[3]) // a Commit with stages
+	cases := map[string][]byte{
+		"zero-length frame":      {0},
+		"truncated batch length": {0x80}, // uvarint continuation with no next byte
+		"length beyond buffer":   {10, 1, 2},
+		"unknown type":           AppendFrame(nil, Frame{Type: Type(99)}),
+		"truncated frame body":   valid[:len(valid)-3],
+		"trailing bytes in body": append(append([]byte{}, 3, byte(Ack), 0), 0xFF),
+		"string length overrun":  {4, byte(Event), 1, 200, 0},
+	}
+	for name, b := range cases {
+		if _, err := DecodeBatch(b); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestDecodeBatchRejectsHugeStageCount(t *testing.T) {
+	// Hand-build a Commit body claiming maxStages+1 stages.
+	body := []byte{byte(Commit), 1}
+	body = appendString(body, "ip")
+	body = append(body, 0, 0)           // ConnectedAt=0, Exposure=0 (varint zeros)
+	body = appendString(body, "p")      // payload
+	body = append(body, maxStages+1)    // stage count
+	batch := append([]byte{byte(len(body))}, body...)
+	if _, err := DecodeBatch(batch); err == nil {
+		t.Fatal("oversized stage count decoded without error")
+	}
+}
+
+func TestTruncatedPrefixesAllFail(t *testing.T) {
+	// Every strict prefix of a valid single-frame batch must error, not
+	// silently decode a partial frame.
+	full := AppendFrame(nil, sampleFrames()[3])
+	for i := 1; i < len(full); i++ {
+		if frames, err := DecodeBatch(full[:i]); err == nil && len(frames) > 0 {
+			t.Fatalf("prefix of %d/%d bytes decoded %d frames", i, len(full), len(frames))
+		}
+	}
+}

@@ -255,6 +255,13 @@ const (
 	ClosePolicyViolation CloseCode = 1008
 	CloseMessageTooBig   CloseCode = 1009
 	CloseInternalError   CloseCode = 1011
+	// CloseServiceRestart (1012) tells the peer the endpoint is
+	// restarting or draining: the session ended through no fault of the
+	// client, which should reconnect (after any hinted delay) and resume.
+	CloseServiceRestart CloseCode = 1012
+	// CloseTryAgainLater (1013) tells the peer the endpoint is
+	// overloaded: reconnecting immediately will not help; back off first.
+	CloseTryAgainLater CloseCode = 1013
 )
 
 // EncodeClosePayload builds a close-frame payload from a status code and

@@ -207,4 +207,85 @@ awk -v r="$overhead" 'BEGIN {
     }
 }' || exit 1
 
+# Edge gateway forwarding vs the direct ingest path: the gateway hop
+# is allowed to cost whatever the extra network leg costs, but adding
+# the gateway tier must not make the direct (no-gateway) path itself
+# more expensive. The gate is on allocs/op of BenchmarkIngest — the
+# direct funnel — against the committed BENCH_gateway.json baseline;
+# allocation counts are stable across machines where ns/op is not.
+GW_JSON=BENCH_gateway.json
+gw_tmp=$(mktemp)
+trap 'rm -f "$tmp" "$stream_tmp" "$trace_tmp" "$gw_tmp"' EXIT
+
+direct_allocs() {
+    sed -n 's/.*"name": "BenchmarkIngest".*"allocs_per_op": \([0-9][0-9]*\).*/\1/p' "$1"
+}
+
+baseline_direct=""
+if [ -f "$GW_JSON" ]; then
+    baseline_direct=$(direct_allocs "$GW_JSON")
+fi
+
+echo "==> go test -bench BenchmarkGatewayForward ($COUNT runs) ./internal/gateway/"
+go test -run '^$' -bench 'BenchmarkGatewayForward$' -benchmem -count "$COUNT" \
+    ./internal/gateway/ 2>/dev/null | grep -E '^Benchmark|^PASS|^ok' | tee "$gw_tmp"
+echo "==> go test -bench direct path ($COUNT runs: Ingest, WebSocketSession) ./internal/collector/"
+go test -run '^$' -bench 'BenchmarkIngest$|BenchmarkWebSocketSession$' -benchmem -count "$COUNT" \
+    ./internal/collector/ | tee -a "$gw_tmp"
+
+{
+    echo "# bench_compare(gateway) $(go env GOOS)/$(go env GOARCH), count=$COUNT"
+    grep '^Benchmark' "$gw_tmp"
+} >> "$RAW"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        if (unit == "ns/op")     { ns[name] += $i;     runs[name]++ }
+        if (unit == "B/op")      { bytes[name] += $i }
+        if (unit == "allocs/op") { allocs[name] += $i }
+    }
+}
+END {
+    printf "{\n  \"benchmarks\": [\n"
+    for (k = 1; k <= n; k++) {
+        name = order[k]
+        r = runs[name]; if (r == 0) continue
+        printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f}%s\n", \
+            name, r, ns[name] / r, bytes[name] / r, allocs[name] / r, (k < n ? "," : "")
+    }
+    printf "  ],\n"
+    fwd = ns["BenchmarkGatewayForward"] / runs["BenchmarkGatewayForward"]
+    direct = ns["BenchmarkWebSocketSession"] / runs["BenchmarkWebSocketSession"]
+    printf "  \"gateway_hop_overhead\": %.3f\n}\n", fwd / direct
+}' "$gw_tmp" > "$GW_JSON"
+
+echo "==> wrote $GW_JSON"
+
+new_direct=$(direct_allocs "$GW_JSON")
+if [ -z "$new_direct" ]; then
+    echo "bench_compare: BenchmarkIngest missing from gateway comparison results" >&2
+    exit 1
+fi
+if ! grep -q '"name": "BenchmarkGatewayForward"' "$GW_JSON"; then
+    echo "bench_compare: BenchmarkGatewayForward missing from results" >&2
+    exit 1
+fi
+
+if [ -n "$baseline_direct" ]; then
+    echo "==> direct ingest allocs/op: baseline $baseline_direct, now $new_direct (budget 5%)"
+    awk -v old="$baseline_direct" -v cur="$new_direct" 'BEGIN {
+        if (old > 0 && cur > old * 1.05) {
+            printf "bench_compare: direct ingest path regressed: %.0f -> %.0f allocs/op (> 5%%)\n", old, cur
+            exit 1
+        }
+    }' || exit 1
+else
+    echo "==> no committed direct-path baseline; $GW_JSON is the new baseline"
+fi
+
 echo "==> bench-compare ok"

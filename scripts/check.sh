@@ -14,7 +14,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-RACE_PKGS="./internal/collector/ ./internal/wsproto/ ./internal/store/ ./internal/telemetry/ ./internal/faultnet/ ./internal/beacon/ ./internal/semsim/ ./internal/audit/ ./internal/simclock/ ./internal/simtest/ ./internal/streamaudit/ ./internal/trace/ ./internal/logutil/"
+RACE_PKGS="./internal/collector/ ./internal/wsproto/ ./internal/store/ ./internal/telemetry/ ./internal/faultnet/ ./internal/beacon/ ./internal/semsim/ ./internal/audit/ ./internal/simclock/ ./internal/simtest/ ./internal/streamaudit/ ./internal/trace/ ./internal/logutil/ ./internal/gateway/ ./internal/trunk/"
 
 echo "==> go build ./..."
 go build ./...
@@ -47,6 +47,13 @@ if [ "${1:-}" = "-chaos" ]; then
     go test -race -count 1 ./internal/faultnet/
     go test -race -count 1 -run 'TestChaos|TestReportReconnects|TestWAL' \
         ./internal/collector/ ./internal/beacon/ ./internal/store/ -v
+    # Edge-tier chaos: both legs fault-injected around the gateway with
+    # a full collector restart mid-run, plus the simtest gateway wire
+    # schedules (collector restart behind the gateway, oracle
+    # invariants on the survivor).
+    echo "==> gateway chaos (both legs + collector restart, -race)"
+    go test -race -count 1 -run 'TestChaosGatewayZeroLoss' ./internal/gateway/ -v
+    go test -race -count 1 -run 'TestSimGatewayWire' ./internal/simtest/ -v
 fi
 
 if [ "${1:-}" = "-bench-compare" ]; then

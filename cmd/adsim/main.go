@@ -49,6 +49,7 @@ func main() {
 		printRep    = flag.Bool("report", true, "print the full audit report (tables 1-4, figures 1-3)")
 		gatewayURL  = flag.String("gateway", "", "replay the dataset through this beacon endpoint (ws://host:port/beacon of an adgateway or auditd)")
 		gatewayLim  = flag.Int("gateway-limit", 1000, "impressions to replay through -gateway (0 = the whole dataset)")
+		wire        = flag.String("wire", "text", "beacon wire for -gateway replay: text, binary, or mixed (alternate per session)")
 		logFlags    = logutil.Register(flag.CommandLine)
 	)
 	flag.Parse()
@@ -57,13 +58,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "adsim:", err)
 		os.Exit(2)
 	}
-	if err := run(*seed, *publishers, *snapshot, *csvPath, *reports, *conversions, *metricsPath, *printRep, *gatewayURL, *gatewayLim, logger); err != nil {
+	if err := run(*seed, *publishers, *snapshot, *csvPath, *reports, *conversions, *metricsPath, *printRep, *gatewayURL, *gatewayLim, *wire, logger); err != nil {
 		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversionsPath, metricsPath string, printRep bool, gatewayURL string, gatewayLim int, logger *slog.Logger) error {
+func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversionsPath, metricsPath string, printRep bool, gatewayURL string, gatewayLim int, wire string, logger *slog.Logger) error {
 	ws, err := adaudit.NewWorkspace(adaudit.Options{Seed: seed, NumPublishers: publishers})
 	if err != nil {
 		return err
@@ -113,7 +114,7 @@ func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversions
 		}
 	}
 	if gatewayURL != "" {
-		if err := replayThroughGateway(gatewayURL, gatewayLim, ws.Store, logger); err != nil {
+		if err := replayThroughGateway(gatewayURL, gatewayLim, wire, ws.Store, logger); err != nil {
 			return fmt.Errorf("gateway replay: %w", err)
 		}
 	}
@@ -140,13 +141,18 @@ func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversions
 // compressed (capped at 100ms): a beacon session holds its connection
 // open for the exposure in real time, and replaying minutes-long
 // exposures faithfully would turn a dataset into hours of wall clock.
-func replayThroughGateway(url string, limit int, st *store.Store, logger *slog.Logger) error {
+func replayThroughGateway(url string, limit int, wire string, st *store.Store, logger *slog.Logger) error {
+	switch wire {
+	case "text", "binary", "mixed":
+	default:
+		return fmt.Errorf("unknown -wire %q (want text, binary or mixed)", wire)
+	}
 	var todo []store.Impression
 	st.ForEach(func(im store.Impression) bool {
 		todo = append(todo, im)
 		return limit == 0 || len(todo) < limit
 	})
-	logger.Info("replaying dataset through gateway", "endpoint", url, "impressions", len(todo))
+	logger.Info("replaying dataset through gateway", "endpoint", url, "wire", wire, "impressions", len(todo))
 
 	const workers = 8
 	var acked, failed atomic.Int64
@@ -157,6 +163,12 @@ func replayThroughGateway(url string, limit int, st *store.Store, logger *slog.L
 		go func() {
 			defer wg.Done()
 			cl := &beacon.Client{CollectorURL: url, MaxAttempts: 5}
+			if wire == "binary" {
+				cl.Wire = beacon.WireBinary
+			}
+			// "mixed" alternates the wire per session on a second
+			// client, exercising both codecs against one endpoint.
+			binCl := &beacon.Client{CollectorURL: url, MaxAttempts: 5, Wire: beacon.WireBinary}
 			for im := range jobs {
 				exposure := im.Exposure
 				if exposure > 100*time.Millisecond {
@@ -178,7 +190,11 @@ func replayThroughGateway(url string, limit int, st *store.Store, logger *slog.L
 					Events:     events,
 				}
 				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-				err := cl.Report(ctx, p, exposure)
+				rep := cl
+				if wire == "mixed" && im.ID%2 == 0 {
+					rep = binCl
+				}
+				err := rep.Report(ctx, p, exposure)
 				cancel()
 				if err != nil {
 					failed.Add(1)

@@ -11,6 +11,7 @@
 //	       [-flush 30s] [-print-script CAMPAIGN:CREATIVE]
 //	       [-debug-addr 127.0.0.1:6060] [-selfreport 60s]
 //	       [-unhealthy-after 5m] [-wal journal.wal] [-wal-sync os]
+//	       [-wal-group-latency 0]
 //	       [-live] [-live-seed 1] [-live-publishers 150000]
 //	       [-trace-sample N] [-trunk-token TOKEN]
 //	       [-log-level info] [-log-format text]
@@ -43,7 +44,11 @@
 // a crash loses nothing the collector acknowledged. Snapshots compact
 // the journal. -wal-sync picks the fsync policy: os (default; survives
 // process crashes), always (fsync per impression; survives power loss),
-// or interval (fsync on a 100ms timer).
+// interval (fsync on a 100ms timer), or group (group commit: the
+// power-loss durability of always at a fraction of the fsync count —
+// concurrently-committing sessions share one flush, and each ack still
+// waits for the flush covering its entry; -wal-group-latency optionally
+// delays each flush to widen the batch).
 //
 // With -print-script the daemon prints the embeddable JavaScript tag
 // for the given campaign/creative pair and the running endpoint.
@@ -98,7 +103,8 @@ func main() {
 		selfReport     = flag.Duration("selfreport", 60*time.Second, "self-report log interval (0 disables)")
 		unhealthyAfter = flag.Duration("unhealthy-after", 0, "/healthz flips unhealthy when no record committed for this long (0 disables)")
 		walPath        = flag.String("wal", "", "write-ahead log path (empty disables the journal)")
-		walSync        = flag.String("wal-sync", "os", "WAL fsync policy: os, always or interval")
+		walSync        = flag.String("wal-sync", "os", "WAL fsync policy: os, always, interval or group")
+		walGroupLat    = flag.Duration("wal-group-latency", 0, "extra wait before each group-commit fsync to widen batches (0 flushes immediately; only with -wal-sync=group)")
 		live           = flag.Bool("live", false, "serve streaming audit views (/api/live/...) from the store change feed")
 		liveSeed       = flag.Int64("live-seed", 1, "seed of the synthetic metadata universe for -live (must match the dataset's)")
 		livePubs       = flag.Int("live-publishers", 150000, "size of the synthetic metadata universe for -live")
@@ -120,6 +126,7 @@ func main() {
 		unhealthyAfter: *unhealthyAfter,
 		walPath:        *walPath,
 		walSync:        *walSync,
+		walGroupLat:    *walGroupLat,
 		live:           *live,
 		liveSeed:       *liveSeed,
 		livePubs:       *livePubs,
@@ -150,6 +157,7 @@ type daemonOptions struct {
 	unhealthyAfter time.Duration
 	walPath        string
 	walSync        string
+	walGroupLat    time.Duration
 	live           bool
 	liveSeed       int64
 	livePubs       int
@@ -339,7 +347,7 @@ func openStore(opts daemonOptions, logger *slog.Logger) (*store.Store, *store.WA
 		logger.Info("replayed write-ahead log", "path", opts.walPath,
 			"entries", applied, "records", st.Len())
 	}
-	wal, err := store.OpenWAL(opts.walPath, store.WALOptions{Policy: policy})
+	wal, err := store.OpenWAL(opts.walPath, store.WALOptions{Policy: policy, GroupLatency: opts.walGroupLat})
 	if err != nil {
 		return nil, nil, err
 	}

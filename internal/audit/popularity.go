@@ -59,10 +59,12 @@ func (a *Auditor) Popularity(campaignID string, base float64, maxRank float64) (
 	if a.Meta == nil {
 		return PopularityResult{}, fmt.Errorf("audit: popularity analysis requires metadata")
 	}
-	var pubRanks, impRanks []int
+	pubs := a.Store.Publishers(campaignID)
+	pubRanks := make([]int, 0, len(pubs))
+	impRanks := make([]int, 0, a.impressionCount(campaignID))
 	unknown := 0
-	ranks := map[string]int{}
-	for _, pub := range a.Store.Publishers(campaignID) {
+	ranks := make(map[string]int, len(pubs))
+	for _, pub := range pubs {
 		meta, ok := a.Meta.PublisherMeta(pub)
 		if !ok {
 			continue
@@ -79,6 +81,14 @@ func (a *Auditor) Popularity(campaignID string, base float64, maxRank float64) (
 		impRanks = append(impRanks, rank)
 		return true
 	})
+	// Empty rank lists stay nil so the result is deep-equal to the
+	// streaming engine's view, which never allocates them.
+	if len(pubRanks) == 0 {
+		pubRanks = nil
+	}
+	if len(impRanks) == 0 {
+		impRanks = nil
+	}
 	return PopularityFromRanks(campaignID, base, maxRank, pubRanks, impRanks, unknown)
 }
 

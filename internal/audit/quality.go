@@ -1,7 +1,9 @@
 package audit
 
 import (
-	"sort"
+	"cmp"
+	"slices"
+	"strings"
 	"time"
 
 	"adaudit/internal/stats"
@@ -52,7 +54,8 @@ const ViewabilityThreshold = time.Second
 // Viewability runs the Table 3 analysis for one campaign ("" for all).
 func (a *Auditor) Viewability(campaignID string) ViewabilityResult {
 	res := ViewabilityResult{CampaignID: campaignID}
-	exposures := make([]float64, 0, a.impressionCount(campaignID))
+	exposures := floatScratch(a.impressionCount(campaignID))
+	defer putFloatScratch(exposures)
 	a.visitImpressions(campaignID, func(im *store.Impression) bool {
 		res.Impressions++
 		if im.Exposure >= ViewabilityThreshold {
@@ -67,7 +70,7 @@ func (a *Auditor) Viewability(campaignID string) ViewabilityResult {
 		exposures = append(exposures, im.Exposure.Seconds())
 		return true
 	})
-	res.ExposureSummary = stats.Summarize(exposures)
+	res.ExposureSummary = stats.SummarizeInPlace(exposures)
 	return res
 }
 
@@ -126,8 +129,30 @@ type FrequencyKey struct {
 // Frequency runs the Figure 3 analysis across all campaigns: a user is
 // an (IP pseudonym, User-Agent) pair, and each campaign's ad is counted
 // separately for the same user.
+//
+// Grouping is done in two passes over the store: the first counts
+// impressions per (campaign, user) key, the second fills exact-capacity
+// sub-slices carved out of one shared timestamp arena. Compared with
+// the obvious one-pass append-per-impression build, this replaces the
+// per-key slice growth chains (tens of thousands of reallocations at
+// paper scale) with two map builds and a single arena allocation.
 func (a *Auditor) Frequency() FrequencyResult {
-	times := map[FrequencyKey][]time.Time{}
+	counts := map[FrequencyKey]int{}
+	total := 0
+	a.Store.Visit(func(im *store.Impression) bool {
+		counts[FrequencyKey{im.CampaignID, im.UserKey}]++
+		total++
+		return true
+	})
+	arena := make([]time.Time, total)
+	times := make(map[FrequencyKey][]time.Time, len(counts))
+	next := 0
+	for k, n := range counts {
+		// Full slices (len 0, cap n) so the fill pass cannot spill past
+		// its key's region even on a miscount.
+		times[k] = arena[next : next : next+n]
+		next += n
+	}
 	a.Store.Visit(func(im *store.Impression) bool {
 		k := FrequencyKey{im.CampaignID, im.UserKey}
 		times[k] = append(times[k], im.Timestamp)
@@ -140,9 +165,11 @@ func (a *Auditor) Frequency() FrequencyResult {
 // user) impression timestamps — the shared fold behind the batch
 // analysis and the streaming engine's incremental view. The timestamp
 // slices are sorted in place (the result depends only on the multiset);
-// the map itself is not retained.
+// the map itself is not retained. One inter-arrival scratch buffer is
+// reused across all keys, so the fold allocates only the Points slice.
 func FrequencyFromTimes(times map[FrequencyKey][]time.Time) FrequencyResult {
 	res := FrequencyResult{Points: make([]UserFrequency, 0, len(times))}
+	var gaps []float64
 	for k, ts := range times {
 		p := UserFrequency{
 			CampaignID:  k.CampaignID,
@@ -150,12 +177,19 @@ func FrequencyFromTimes(times map[FrequencyKey][]time.Time) FrequencyResult {
 			Impressions: len(ts),
 		}
 		if len(ts) >= 2 {
-			sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
-			gaps := make([]time.Duration, len(ts)-1)
-			for i := 1; i < len(ts); i++ {
-				gaps[i-1] = ts[i].Sub(ts[i-1])
+			slices.SortFunc(ts, func(a, b time.Time) int { return a.Compare(b) })
+			if cap(gaps) < len(ts)-1 {
+				gaps = make([]float64, 0, len(ts)-1)
 			}
-			p.MedianInterArrival = stats.MedianDurations(gaps)
+			gaps = gaps[:0]
+			for i := 1; i < len(ts); i++ {
+				// float64 nanoseconds, the representation
+				// stats.MedianDurations reduces to — kept bit-identical so
+				// the streaming engine's view cannot drift.
+				gaps = append(gaps, float64(ts[i].Sub(ts[i-1])))
+			}
+			slices.Sort(gaps)
+			p.MedianInterArrival = time.Duration(stats.QuantileSorted(gaps, 0.5))
 		}
 		if p.Impressions > 10 {
 			res.UsersOver10++
@@ -165,14 +199,14 @@ func FrequencyFromTimes(times map[FrequencyKey][]time.Time) FrequencyResult {
 		}
 		res.Points = append(res.Points, p)
 	}
-	sort.Slice(res.Points, func(i, j int) bool {
-		if res.Points[i].Impressions != res.Points[j].Impressions {
-			return res.Points[i].Impressions > res.Points[j].Impressions
+	slices.SortFunc(res.Points, func(a, b UserFrequency) int {
+		if a.Impressions != b.Impressions {
+			return cmp.Compare(b.Impressions, a.Impressions)
 		}
-		if res.Points[i].UserKey != res.Points[j].UserKey {
-			return res.Points[i].UserKey < res.Points[j].UserKey
+		if c := strings.Compare(a.UserKey, b.UserKey); c != 0 {
+			return c
 		}
-		return res.Points[i].CampaignID < res.Points[j].CampaignID
+		return strings.Compare(a.CampaignID, b.CampaignID)
 	})
 	return res
 }

@@ -71,7 +71,18 @@ type Client struct {
 	// (payload keys tr/trts) that the collector adopts. Nil disables
 	// client-side trace origination.
 	Tracer *trace.Tracer
+	// Wire selects the payload encoding: WireText (the default, what
+	// the JavaScript beacon speaks) or WireBinary (the length-prefixed
+	// encoding Go beacons negotiate by sending their first message as a
+	// WebSocket binary frame). Both wires store identical records.
+	Wire string
 }
+
+// Wire encodings for Client.Wire.
+const (
+	WireText   = "text"
+	WireBinary = "binary"
+)
 
 // NewNonce returns a fresh impression nonce: 16 random bytes, hex.
 func NewNonce() string {
@@ -189,6 +200,9 @@ func (c *Client) stampTrace(p *Payload) {
 // Session is a live beacon connection for one ad impression.
 type Session struct {
 	conn *wsproto.Conn
+	// binary is true when the session negotiated the binary wire; event
+	// updates then go out as binary frames too.
+	binary bool
 	// dead closes when the connection's read side fails — the earliest
 	// client-side signal that the collector is gone.
 	dead chan struct{}
@@ -277,18 +291,31 @@ func (c *Client) openOnce(ctx context.Context, p Payload) (*Session, time.Durati
 		}
 		return nil, hint, fmt.Errorf("beacon: dialing collector: %w", err)
 	}
-	if err := conn.WriteText(p.Encode()); err != nil {
+	binary := c.Wire == WireBinary
+	if binary {
+		err = conn.WriteMessage(wsproto.OpBinary, p.EncodeBinary())
+	} else {
+		err = conn.WriteText(p.Encode())
+	}
+	if err != nil {
 		conn.Close(wsproto.CloseInternalError, "write failed")
 		return nil, 0, fmt.Errorf("beacon: sending impression: %w", err)
 	}
-	sess := &Session{conn: conn, dead: make(chan struct{})}
+	sess := &Session{conn: conn, binary: binary, dead: make(chan struct{})}
 	go sess.serviceControlFrames()
 	return sess, 0, nil
 }
 
-// SendEvent streams an interaction update on the open session.
+// SendEvent streams an interaction update on the open session, using
+// whichever wire the session's opening payload negotiated.
 func (s *Session) SendEvent(e Event) error {
-	if err := s.conn.WriteText(EncodeEventUpdate(e)); err != nil {
+	var err error
+	if s.binary {
+		err = s.conn.WriteMessage(wsproto.OpBinary, EncodeBinaryEventUpdate(e))
+	} else {
+		err = s.conn.WriteText(EncodeEventUpdate(e))
+	}
+	if err != nil {
 		return fmt.Errorf("beacon: sending event: %w: %w", ErrSessionDead, err)
 	}
 	return nil

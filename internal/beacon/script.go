@@ -42,9 +42,21 @@ func Script(cfg ScriptConfig) (string, error) {
 	}
 	// JSON-encode the strings so arbitrary IDs cannot break out of the
 	// script context.
-	u, _ := json.Marshal(cfg.CollectorURL)
-	cid, _ := json.Marshal(cfg.CampaignID)
-	crid, _ := json.Marshal(cfg.CreativeID)
+	u, err := json.Marshal(cfg.CollectorURL)
+	if err != nil {
+		// json.Marshal of a plain string cannot fail (invalid UTF-8 is
+		// replaced, not rejected); a non-nil error here means the
+		// encoder's contract changed under us — make that loud.
+		panic(fmt.Sprintf("beacon: marshaling collector URL: %v", err))
+	}
+	cid, err := json.Marshal(cfg.CampaignID)
+	if err != nil {
+		panic(fmt.Sprintf("beacon: marshaling campaign id: %v", err))
+	}
+	crid, err := json.Marshal(cfg.CreativeID)
+	if err != nil {
+		panic(fmt.Sprintf("beacon: marshaling creative id: %v", err))
+	}
 
 	return fmt.Sprintf(`(function () {
   "use strict";

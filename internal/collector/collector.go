@@ -133,7 +133,7 @@ type Metrics struct {
 // operational signals: the former blames the peer (or the network), the
 // latter blames the collector's own pipeline.
 const (
-	RejectHandshake    = "handshake"      // first message missing, late, or non-text
+	RejectHandshake    = "handshake"      // first message missing, late, or not a data frame
 	RejectDecode       = "decode"         // payload failed to parse
 	RejectPayload      = "payload"        // payload parsed but unusable (bad page URL)
 	RejectInsert       = "insert"         // store refused the record
@@ -225,6 +225,11 @@ type Collector struct {
 	sessWG    sync.WaitGroup
 	draining  atomic.Bool
 
+	// icache holds the bounded ingest caches (interned wire strings,
+	// URL → publisher, address → enrichment, user keys) that make
+	// steady-state ingest allocation-free.
+	icache ingestCache
+
 	// Nonce dedup: impression nonce → store record ID, so a beacon that
 	// reconnects mid-exposure merges into its original record instead of
 	// double-counting. Two generations bound the memory: when the
@@ -234,6 +239,14 @@ type Collector struct {
 	nonceMu   sync.Mutex
 	nonceCur  map[string]int64
 	noncePrev map[string]int64
+	// nonceInflight marks nonces whose first insert has been claimed
+	// but has not yet committed — the claim/wait handshake that makes
+	// lookup-miss → insert → record atomic against a concurrent replay
+	// of the same nonce. The window was always there, but group-commit
+	// WAL stretches it from microseconds to a whole fsync, so a racing
+	// replay waits on the claimer's channel instead of inserting a
+	// duplicate record.
+	nonceInflight map[string]chan struct{}
 
 	// Trunk stream dedup: "gatewayID/streamID" of commits already
 	// ingested, so a gateway replaying an unacked commit (lost ack,
@@ -283,10 +296,11 @@ func New(cfg Config) (*Collector, error) {
 		reg = telemetry.NewRegistry()
 	}
 	c := &Collector{
-		cfg:       cfg,
-		clock:     simclock.Or(cfg.Clock),
-		nonceCur:  map[string]int64{},
-		streamCur: map[string]struct{}{},
+		cfg:           cfg,
+		clock:         simclock.Or(cfg.Clock),
+		nonceCur:      map[string]int64{},
+		nonceInflight: map[string]chan struct{}{},
+		streamCur:     map[string]struct{}{},
 		upgrader: wsproto.Upgrader{
 			MaxMessageSize: cfg.MaxMessageSize,
 			// Ad beacons are cross-origin by design: the iframe origin
@@ -380,7 +394,9 @@ func (c *Collector) nonceLookup(nonce string) (int64, bool) {
 	return id, ok
 }
 
-// nonceRecord remembers nonce → id, rotating generations at the cap.
+// nonceRecord remembers nonce → id, rotating generations at the cap,
+// and releases any in-flight claim so racing replays of the same nonce
+// re-check and take the merge path.
 func (c *Collector) nonceRecord(nonce string, id int64) {
 	c.nonceMu.Lock()
 	defer c.nonceMu.Unlock()
@@ -389,6 +405,42 @@ func (c *Collector) nonceRecord(nonce string, id int64) {
 		c.nonceCur = make(map[string]int64, nonceCacheLimit/4)
 	}
 	c.nonceCur[nonce] = id
+	if ch, ok := c.nonceInflight[nonce]; ok {
+		delete(c.nonceInflight, nonce)
+		close(ch)
+	}
+}
+
+// nonceClaim atomically resolves what an ingest holding this nonce
+// should do: merge into id (ok), wait for a concurrent first insert of
+// the same nonce to commit (wait non-nil — receive, then re-claim), or
+// proceed as the claimed first insert (ok false, wait nil; the caller
+// MUST follow with nonceRecord on success or nonceRelease on failure).
+func (c *Collector) nonceClaim(nonce string) (id int64, ok bool, wait <-chan struct{}) {
+	c.nonceMu.Lock()
+	defer c.nonceMu.Unlock()
+	if id, ok := c.nonceCur[nonce]; ok {
+		return id, true, nil
+	}
+	if id, ok := c.noncePrev[nonce]; ok {
+		return id, true, nil
+	}
+	if ch, inflight := c.nonceInflight[nonce]; inflight {
+		return 0, false, ch
+	}
+	c.nonceInflight[nonce] = make(chan struct{})
+	return 0, false, nil
+}
+
+// nonceRelease abandons a claim whose insert failed, waking waiters to
+// re-claim (the next one becomes the first insert).
+func (c *Collector) nonceRelease(nonce string) {
+	c.nonceMu.Lock()
+	defer c.nonceMu.Unlock()
+	if ch, ok := c.nonceInflight[nonce]; ok {
+		delete(c.nonceInflight, nonce)
+		close(ch)
+	}
 }
 
 // Telemetry returns the collector's metrics registry (nil when built
@@ -427,6 +479,11 @@ func (c *Collector) reject(class string) {
 // enrichment: the decoded payload plus the connection-derived facts.
 type Observation struct {
 	Payload beacon.Payload
+	// Publisher, when non-empty, is the pre-extracted publisher for
+	// Payload.PageURL — a fast path for callers that already resolved
+	// it. Empty means Ingest derives it (through the collector's URL
+	// cache) from the page URL.
+	Publisher string
 	// RemoteIP is the peer address of the beacon connection.
 	RemoteIP netip.Addr
 	// ConnectedAt is the connection-establishment time — the paper's
@@ -462,11 +519,15 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 	if tr == nil {
 		tr = c.adoptTrace(obs.Payload)
 	}
-	pub, err := obs.Payload.Publisher()
-	if err != nil {
-		c.reject(RejectPayload)
-		tr.Truncate("reject:" + RejectPayload)
-		return 0, fmt.Errorf("collector: extracting publisher: %w", err)
+	pub := obs.Publisher
+	if pub == "" {
+		var err error
+		pub, err = c.publisherFor(obs.Payload)
+		if err != nil {
+			c.reject(RejectPayload)
+			tr.Truncate("reject:" + RejectPayload)
+			return 0, fmt.Errorf("collector: extracting publisher: %w", err)
+		}
 	}
 	tr.Annotate(obs.Payload.Nonce, obs.Payload.CampaignID)
 	if obs.Exposure < 0 {
@@ -498,21 +559,33 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 	// measures exposure as total connection time) instead of counting a
 	// second impression. Enrichment is skipped: the record already
 	// carries the ISP/country/fraud verdict from the first connection.
+	// The claim/wait handshake makes lookup-miss → insert → record atomic
+	// against a concurrent replay of the same nonce: the race window was
+	// always there, but group-commit WAL stretches the insert from
+	// microseconds to a whole fsync, so a racing replay now waits for the
+	// first insert to commit and then takes the merge path.
 	if nonce := obs.Payload.Nonce; nonce != "" {
-		if id, ok := c.nonceLookup(nonce); ok {
-			err := c.cfg.Store.MergeTraced(id, store.Continuation{
-				Exposure:           obs.Exposure,
-				MouseMoves:         moves,
-				Clicks:             clicks,
-				VisibilityMeasured: visMeasured,
-				MaxVisibleFraction: maxVis,
-			}, tr)
-			if err != nil {
-				c.reject(RejectInsert)
-				return 0, fmt.Errorf("collector: merging resumed impression: %w", err)
+		for {
+			id, ok, wait := c.nonceClaim(nonce)
+			if ok {
+				err := c.cfg.Store.MergeTraced(id, store.Continuation{
+					Exposure:           obs.Exposure,
+					MouseMoves:         moves,
+					Clicks:             clicks,
+					VisibilityMeasured: visMeasured,
+					MaxVisibleFraction: maxVis,
+				}, tr)
+				if err != nil {
+					c.reject(RejectInsert)
+					return 0, fmt.Errorf("collector: merging resumed impression: %w", err)
+				}
+				c.tel.dedupHits.Inc()
+				return id, nil
 			}
-			c.tel.dedupHits.Inc()
-			return id, nil
+			if wait == nil {
+				break // claimed: this ingest is the nonce's first insert
+			}
+			<-wait
 		}
 	}
 
@@ -521,17 +594,7 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 	if sampled {
 		enrichStart = c.clock.Now()
 	}
-	var isp, country string
-	if c.cfg.IPDB != nil {
-		if rec, ok := c.cfg.IPDB.Lookup(obs.RemoteIP); ok {
-			isp, country = rec.Org.Name, rec.Org.Country
-		}
-	}
-	verdict := ipmeta.VerdictNotDataCenter
-	if c.cfg.Classifier != nil {
-		verdict = c.cfg.Classifier.Classify(obs.RemoteIP)
-	}
-	pseud := c.cfg.Anonymizer.Pseudonym(obs.RemoteIP)
+	enr := c.enrichFor(obs.RemoteIP)
 	if sampled {
 		c.tel.enrich.ObserveDuration(c.clock.Since(enrichStart))
 		if id := tr.ID(); id != 0 {
@@ -546,11 +609,11 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 		Publisher:   pub,
 		PageURL:     obs.Payload.PageURL,
 		UserAgent:   obs.Payload.UserAgent,
-		IPPseudonym: pseud,
-		UserKey:     UserKey(pseud, obs.Payload.UserAgent),
-		ISP:         isp,
-		Country:     country,
-		DataCenter:  verdict.String(),
+		IPPseudonym: enr.pseud,
+		UserKey:     c.userKeyFor(enr.pseud, obs.Payload.UserAgent),
+		ISP:         enr.isp,
+		Country:     enr.country,
+		DataCenter:  enr.dataCenter,
 		Nonce:       obs.Payload.Nonce,
 		Timestamp:   obs.ConnectedAt,
 		Exposure:    obs.Exposure,
@@ -562,6 +625,9 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 	}
 	id, err := c.cfg.Store.InsertTraced(im, tr)
 	if err != nil {
+		if im.Nonce != "" {
+			c.nonceRelease(im.Nonce)
+		}
 		c.reject(RejectInsert)
 		return 0, fmt.Errorf("collector: storing impression: %w", err)
 	}
@@ -579,9 +645,40 @@ func (c *Collector) Ingest(obs Observation) (int64, error) {
 	return id, nil
 }
 
+// payloadPool recycles decode targets for the binary direct-ingest
+// path: IngestBinary borrows a Payload, decodes into it (reusing its
+// Events capacity), ingests, and returns it. Safe because the store
+// never retains the Events slice and every retained string is either
+// interned or freshly copied.
+var payloadPool = sync.Pool{New: func() any { return new(beacon.Payload) }}
+
+// IngestBinary decodes one binary impression message (see
+// beacon.DecodeBinary for the format) and ingests it through the same
+// funnel as Ingest. The decode goes through a pooled payload and the
+// collector's intern tables, so the steady-state path — hot campaign,
+// known URL, seen address — allocates nothing. This is the
+// direct-path twin of a binary WebSocket session, used by the
+// simulator's binary-wire replay.
+func (c *Collector) IngestBinary(raw []byte, remoteIP netip.Addr, connectedAt time.Time, exposure time.Duration) (int64, error) {
+	p := payloadPool.Get().(*beacon.Payload)
+	defer payloadPool.Put(p)
+	if err := c.icache.decodeBinary(p, raw); err != nil {
+		c.reject(RejectDecode)
+		return 0, fmt.Errorf("collector: decoding binary payload: %w", err)
+	}
+	return c.Ingest(Observation{
+		Payload:     *p,
+		RemoteIP:    remoteIP,
+		ConnectedAt: connectedAt,
+		Exposure:    exposure,
+	})
+}
+
 // ServeHTTP upgrades the request to a WebSocket and runs the beacon
-// session protocol: first text message is the impression payload,
-// subsequent "ev:" messages are interaction updates, and the connection
+// session protocol: the first data message is the impression payload —
+// a text frame carries the JavaScript beacon's query-string encoding, a
+// binary frame the length-prefixed binary encoding — subsequent event
+// messages are interaction updates on the same wire, and the connection
 // lifetime measures exposure. The impression is committed when the
 // connection ends (or the exposure cap fires).
 func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -614,6 +711,9 @@ func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		_ = conn.Close(wsproto.CloseGoingAway, "collector shutting down")
 		return
 	}
+	// Session messages are decoded (text) or copied/interned (binary)
+	// before the next read, so the frame buffer can recycle.
+	conn.ReuseReadBuffer()
 	c.trackSession(conn)
 	go func() {
 		defer c.untrackSession(conn)
@@ -701,10 +801,13 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 	// exposure, keepalive, hard stop — becomes deterministic.
 	connectedAt := c.clock.Now()
 
-	// The beacon must identify itself promptly.
+	// The beacon must identify itself promptly. The opcode of this
+	// first message negotiates the session's wire: text selects the
+	// JavaScript beacon's query-string encoding, binary the
+	// length-prefixed binary encoding.
 	_ = conn.SetReadDeadline(connectedAt.Add(c.cfg.HandshakeTimeout))
 	op, msg, err := conn.ReadMessage()
-	if err != nil || op != wsproto.OpText {
+	if err != nil || !op.IsData() {
 		c.reject(RejectHandshake)
 		return
 	}
@@ -712,7 +815,12 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 	if c.tel.enabled {
 		decodeStart = c.clock.Now()
 	}
-	payload, err := beacon.Decode(string(msg))
+	var payload beacon.Payload
+	if op == wsproto.OpBinary {
+		payload, err = beacon.DecodeBinary(msg)
+	} else {
+		payload, err = beacon.Decode(string(msg))
+	}
 	if c.tel.enabled {
 		c.tel.decode.ObserveDuration(c.clock.Since(decodeStart))
 	}
@@ -786,13 +894,21 @@ func (c *Collector) runSession(conn *wsproto.Conn) {
 	}
 	closeReason := CloseError
 	for {
-		_, msg, err := conn.ReadMessage()
+		op, msg, err := conn.ReadMessage()
 		if err != nil {
 			closeReason = c.classifyClose(err, hardStop)
 			break
 		}
 		renewDeadline()
-		e, isEvent, err := beacon.DecodeEventUpdate(string(msg))
+		// Event updates are dispatched per message opcode, so a session
+		// may mix wires (the negotiation only fixes the payload's).
+		var e beacon.Event
+		var isEvent bool
+		if op == wsproto.OpBinary {
+			e, isEvent, err = beacon.DecodeBinaryEventUpdate(msg)
+		} else {
+			e, isEvent, err = beacon.DecodeEventUpdate(string(msg))
+		}
 		if err != nil {
 			c.cfg.Logger.DebugContext(ctx, "collector: bad event update", "err", err, "remote", remote)
 			continue

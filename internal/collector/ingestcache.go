@@ -1,0 +1,169 @@
+package collector
+
+import (
+	"net/netip"
+	"sync"
+
+	"adaudit/internal/beacon"
+	"adaudit/internal/ipmeta"
+)
+
+// ingestCacheLimit is the per-generation size bound of each ingest
+// cache map. Two generations are live, so at most 2x this many entries
+// are remembered per cache.
+const ingestCacheLimit = 1 << 15
+
+// gen2 is a bounded two-generation map: when the current generation
+// fills it becomes the previous one, so an entry survives at least one
+// and at most two generations of distinct keys — the same rotation
+// discipline as the nonce and trunk-stream dedup caches.
+type gen2[K comparable, V any] struct {
+	cur, prev map[K]V
+}
+
+// get looks k up in both generations, promoting a previous-generation
+// hit into the current one so hot entries survive rotation.
+func (g *gen2[K, V]) get(k K) (V, bool) {
+	if v, ok := g.cur[k]; ok {
+		return v, true
+	}
+	v, ok := g.prev[k]
+	if ok {
+		g.put(k, v)
+	}
+	return v, ok
+}
+
+func (g *gen2[K, V]) put(k K, v V) {
+	if g.cur == nil || len(g.cur) >= ingestCacheLimit {
+		g.prev = g.cur
+		g.cur = make(map[K]V, ingestCacheLimit/4)
+	}
+	g.cur[k] = v
+}
+
+// enrichment is the cached per-address result of the IP pipeline: LPM
+// metadata lookup, fraud-cascade verdict (pre-rendered to its store
+// string) and pseudonym. All four are pure functions of the address
+// for a given collector configuration, so caching them only skips
+// recomputation — records are byte-identical either way. (The
+// classifier's internal per-verdict counters then count distinct
+// classifications rather than impressions; nothing outside its own
+// unit tests reads them per-impression.)
+type enrichment struct {
+	isp, country, dataCenter, pseud string
+}
+
+// userKeyPair keys the user-key cache by the two interned strings it
+// concatenates. A struct key costs no allocation to look up.
+type userKeyPair struct {
+	pseud, ua string
+}
+
+// ingestCache holds the bounded caches that make steady-state ingest
+// allocation-free: canonical copies of the hot wire strings, page URL →
+// publisher, address → enrichment, and (pseudonym, UA) → user key. One
+// mutex guards all four; every critical section is a map operation or
+// two, and the binary decode path batches its intern lookups under a
+// single acquisition.
+type ingestCache struct {
+	mu  sync.Mutex
+	str gen2[string, string]
+	pub gen2[string, string]
+	enr gen2[netip.Addr, enrichment]
+	uk  gen2[userKeyPair, string]
+}
+
+// internLocked returns the canonical copy of b, copying at most once
+// per two generations. The caller holds mu. The map index expressions
+// use the string(b) conversion directly so the compiler elides the
+// conversion's allocation on the lookup path.
+func (ic *ingestCache) internLocked(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := ic.str.cur[string(b)]; ok {
+		return s
+	}
+	if s, ok := ic.str.prev[string(b)]; ok {
+		ic.str.put(s, s)
+		return s
+	}
+	s := string(b)
+	ic.str.put(s, s)
+	return s
+}
+
+// decodeBinary parses a binary impression message into p through the
+// intern tables, holding the cache lock once for all of the payload's
+// fields.
+func (ic *ingestCache) decodeBinary(p *beacon.Payload, raw []byte) error {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	return beacon.DecodeBinaryInto(p, raw, ic.internLocked)
+}
+
+// publisherFor resolves the publisher for a page URL, consulting the
+// cache before paying for url.Parse. Failures are not cached: a
+// malformed URL is a rejected impression, not a hot path.
+func (c *Collector) publisherFor(p beacon.Payload) (string, error) {
+	ic := &c.icache
+	ic.mu.Lock()
+	pub, ok := ic.pub.get(p.PageURL)
+	ic.mu.Unlock()
+	if ok {
+		return pub, nil
+	}
+	pub, err := p.Publisher()
+	if err != nil {
+		return "", err
+	}
+	ic.mu.Lock()
+	ic.pub.put(p.PageURL, pub)
+	ic.mu.Unlock()
+	return pub, nil
+}
+
+// enrichFor runs the per-address enrichment pipeline, consulting the
+// cache before paying for the LPM lookup, the fraud cascade and the
+// HMAC pseudonym.
+func (c *Collector) enrichFor(addr netip.Addr) enrichment {
+	ic := &c.icache
+	ic.mu.Lock()
+	enr, ok := ic.enr.get(addr)
+	ic.mu.Unlock()
+	if ok {
+		return enr
+	}
+	if c.cfg.IPDB != nil {
+		if rec, ok := c.cfg.IPDB.Lookup(addr); ok {
+			enr.isp, enr.country = rec.Org.Name, rec.Org.Country
+		}
+	}
+	verdict := ipmeta.VerdictNotDataCenter
+	if c.cfg.Classifier != nil {
+		verdict = c.cfg.Classifier.Classify(addr)
+	}
+	enr.dataCenter = verdict.String()
+	enr.pseud = c.cfg.Anonymizer.Pseudonym(addr)
+	ic.mu.Lock()
+	ic.enr.put(addr, enr)
+	ic.mu.Unlock()
+	return enr
+}
+
+// userKeyFor derives (and caches) the paper's user identity for a
+// pseudonym/user-agent pair, skipping the concatenation allocation on
+// repeat visitors.
+func (c *Collector) userKeyFor(pseud, ua string) string {
+	ic := &c.icache
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	k := userKeyPair{pseud: pseud, ua: ua}
+	if uk, ok := ic.uk.get(k); ok {
+		return uk
+	}
+	uk := UserKey(pseud, ua)
+	ic.uk.put(k, uk)
+	return uk
+}

@@ -75,6 +75,9 @@ func (c *Collector) ServeTrunk(w http.ResponseWriter, r *http.Request) {
 		_ = conn.Close(wsproto.CloseGoingAway, "collector shutting down")
 		return
 	}
+	// DecodeBatch copies every string out of the message, so the batch
+	// buffer can recycle across reads.
+	conn.ReuseReadBuffer()
 	// Trunks ride the same session tracking as beacon connections, so
 	// Drain tears them down too: the gateway spills unacked commits and
 	// replays them against the restarted collector.

@@ -34,9 +34,18 @@ func TestChaosGatewayZeroLoss(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos test needs real time for kills, restarts and replays")
 	}
+	// Both restart legs (pre-crash journal, post-recovery journal) run
+	// under each policy: "os" is the historical baseline, "group"
+	// proves group commit keeps the zero-loss invariant while batching
+	// fsyncs across the concurrently-committing trunk sessions.
+	for name, policy := range map[string]store.SyncPolicy{"os": store.SyncOS, "group": store.SyncGroup} {
+		t.Run(name, func(t *testing.T) { runChaosGatewayZeroLoss(t, policy) })
+	}
+}
 
+func runChaosGatewayZeroLoss(t *testing.T, policy store.SyncPolicy) {
 	walPath := filepath.Join(t.TempDir(), "gwchaos.wal")
-	wal, err := store.OpenWAL(walPath, store.WALOptions{Policy: store.SyncOS})
+	wal, err := store.OpenWAL(walPath, store.WALOptions{Policy: policy})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +166,7 @@ func TestChaosGatewayZeroLoss(t *testing.T) {
 	}
 	t.Logf("chaos: collector restarted mid-run with %d WAL entries recovered, %d commits spilled during outage",
 		applied, spilledDuringOutage)
-	wal2, err := store.OpenWAL(walPath, store.WALOptions{Policy: store.SyncOS})
+	wal2, err := store.OpenWAL(walPath, store.WALOptions{Policy: policy})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -409,6 +409,9 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		_ = conn.Close(wsproto.CloseServiceRestart, g.drainCloseReason())
 		return
 	}
+	// Session messages are decoded or copied before the next read, so
+	// the frame buffer can recycle.
+	conn.ReuseReadBuffer()
 	g.trackSession(conn)
 	go func() {
 		defer g.untrackSession(conn)
@@ -467,12 +470,21 @@ func (g *Gateway) runSession(conn *wsproto.Conn) {
 
 	_ = conn.SetReadDeadline(connectedAt.Add(g.cfg.HandshakeTimeout))
 	op, msg, err := conn.ReadMessage()
-	if err != nil || op != wsproto.OpText {
+	if err != nil || !op.IsData() {
 		_ = conn.Close(wsproto.ClosePolicyViolation, "no payload")
 		return
 	}
 	recvAt := time.Now()
-	payload, err := beacon.Decode(string(msg))
+	// The first message's opcode selects the session wire, mirroring
+	// the collector's negotiation. Trunk frames re-encode as text
+	// either way: the trunk protocol predates the binary wire and the
+	// collector ingests both identically.
+	var payload beacon.Payload
+	if op == wsproto.OpBinary {
+		payload, err = beacon.DecodeBinary(msg)
+	} else {
+		payload, err = beacon.Decode(string(msg))
+	}
 	if err != nil {
 		g.log.Debug("gateway: bad payload", "err", err, "remote", remote)
 		_ = conn.Close(wsproto.ClosePolicyViolation, "bad payload")
@@ -554,12 +566,18 @@ func (g *Gateway) runSession(conn *wsproto.Conn) {
 	}
 
 	for {
-		_, msg, err := conn.ReadMessage()
+		op, msg, err := conn.ReadMessage()
 		if err != nil {
 			break
 		}
 		renewDeadline()
-		e, isEvent, err := beacon.DecodeEventUpdate(string(msg))
+		var e beacon.Event
+		var isEvent bool
+		if op == wsproto.OpBinary {
+			e, isEvent, err = beacon.DecodeBinaryEventUpdate(msg)
+		} else {
+			e, isEvent, err = beacon.DecodeEventUpdate(string(msg))
+		}
 		if err != nil {
 			g.log.Debug("gateway: bad event update", "err", err, "remote", remote)
 			continue
@@ -567,8 +585,14 @@ func (g *Gateway) runSession(conn *wsproto.Conn) {
 		if isEvent {
 			g.tel.events.Add(1)
 			payload.Events = append(payload.Events, e)
+			var evText string
+			if op == wsproto.OpBinary {
+				evText = beacon.EncodeEventUpdate(e)
+			} else {
+				evText = string(msg)
+			}
 			q.push(trunk.AppendFrame(nil, trunk.Frame{
-				Type: trunk.Event, Stream: stream, Payload: string(msg),
+				Type: trunk.Event, Stream: stream, Payload: evText,
 			}))
 		}
 	}

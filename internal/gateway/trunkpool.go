@@ -118,6 +118,8 @@ func (t *trunkConn) dial() (*wsproto.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Ack/reject batches are fully decoded before the next read.
+	conn.ReuseReadBuffer()
 	hello := trunk.AppendFrame(nil, trunk.Frame{
 		Type: trunk.Hello, Version: trunk.Version, GatewayID: g.cfg.GatewayID,
 	})

@@ -88,6 +88,21 @@ type Config struct {
 	// 0 disables tracing. Stamping draws nothing from the schedule
 	// RNG, so digests are unaffected.
 	TraceSample int
+	// WireMix delivers roughly half the sessions as pre-encoded binary
+	// wire frames through Collector.IngestBinary instead of decoded
+	// Observations — the mixed text+binary fleet a real deployment
+	// sees. The per-session wire pick hashes the nonce, drawing
+	// nothing from the schedule RNG, so a WireMix run's digest must be
+	// byte-identical to the all-text run's: that equality IS the
+	// binary codec's end-to-end correctness invariant.
+	WireMix bool
+	// GroupWAL journals under the group-commit fsync policy
+	// (store.SyncGroup) instead of the default interval policy, so the
+	// WAL-replay-equals-live-store invariant and the mid-run recovery
+	// probes exercise the batched-fsync path. GroupLatency stays 0:
+	// the flusher must never wait on a timer the virtual clock would
+	// have to advance.
+	GroupWAL bool
 }
 
 // Result is the outcome of one run.
@@ -104,6 +119,11 @@ type Result struct {
 	// Traced counts the sessions that carried trace context (0 unless
 	// Config.TraceSample was set).
 	Traced int
+	// BinaryDeliveries counts the deliveries routed over the binary
+	// wire (0 unless Config.WireMix) — the degenerate-mix guard: a
+	// wire-mix run whose digest matches all-text proves nothing if no
+	// delivery actually took the binary path.
+	BinaryDeliveries int
 }
 
 // Failed reports whether the oracle found violations.
@@ -330,9 +350,15 @@ func genEvents(rng *stats.RNG) []beacon.Event {
 			At: time.Duration(1+rng.Intn(30)) * time.Second})
 	}
 	if rng.Bool(0.7) {
+		// Divide rather than multiply by 0.05: k/20 is the correctly
+		// rounded float for a 2-decimal value, a fixed point of the
+		// wire codecs' 3-decimal quantisation — so a payload delivered
+		// as wire bytes (Config.WireMix) decodes to the exact fraction
+		// the oracle's model holds. k*0.05 is not (3*0.05 ≠ 0.15 in
+		// float64). The digest prints %.4f, so this is digest-neutral.
 		evs = append(evs, beacon.Event{Kind: beacon.EventVisibility,
 			At:       time.Duration(rng.Intn(10)) * time.Second,
-			Fraction: float64(rng.Intn(21)) * 0.05})
+			Fraction: float64(rng.Intn(21)) / 20})
 	}
 	return evs
 }
@@ -424,11 +450,15 @@ func Run(cfg Config) (*Result, error) {
 	clk := simclock.NewVirtual(simBase)
 	st := store.New()
 	walPath := filepath.Join(dir, "sim.wal")
-	wal, err := store.OpenWAL(walPath, store.WALOptions{
+	walOpts := store.WALOptions{
 		Policy:   store.SyncInterval,
 		Interval: 5 * time.Second,
 		Clock:    clk,
-	})
+	}
+	if cfg.GroupWAL {
+		walOpts = store.WALOptions{Policy: store.SyncGroup, Clock: clk}
+	}
+	wal, err := store.OpenWAL(walPath, walOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -464,6 +494,13 @@ func Run(cfg Config) (*Result, error) {
 		Sessions:   len(sessions),
 		Deliveries: len(flat),
 		Traced:     len(traced),
+	}
+	if cfg.WireMix {
+		for _, seg := range flat {
+			if binaryWire(seg) {
+				res.BinaryDeliveries++
+			}
+		}
 	}
 	if cfg.Only != nil {
 		res.Sessions = len(cfg.Only)
@@ -526,7 +563,7 @@ func runSerial(cfg Config, flat []segment, coll *collector.Collector,
 		if cfg.BreakDedup && seg.index > 0 {
 			obs.Payload.Nonce = ""
 		}
-		id, err := coll.Ingest(obs)
+		id, err := deliver(cfg, coll, seg, obs)
 		fmt.Fprintf(h, "deliver %d session=%d seg=%d id=%d err=%v\n",
 			di, seg.session, seg.index, id, err)
 		o.afterDelivery(seg, id, err)
@@ -578,12 +615,36 @@ func runConcurrent(cfg Config, flat []segment, coll *collector.Collector, o *ora
 				if cfg.BreakDedup && seg.index > 0 {
 					obs.Payload.Nonce = ""
 				}
-				id, err := coll.Ingest(obs)
+				id, err := deliver(cfg, coll, seg, obs)
 				o.afterDeliveryConcurrent(seg, id, err)
 			}
 		}(lane)
 	}
 	wg.Wait()
+}
+
+// deliver hands one observation to the collector over the session's
+// wire: text sessions pass the decoded payload straight to Ingest (how
+// every run delivered before wire mixing existed), binary sessions
+// encode to wire bytes and let IngestBinary decode them back — the
+// same codec path a real OpBinary beacon exercises. The payload is
+// encoded after any BreakDedup mutation so both wires inject the same
+// fault.
+func deliver(cfg Config, coll *collector.Collector, seg segment, obs collector.Observation) (int64, error) {
+	if cfg.WireMix && binaryWire(seg) {
+		return coll.IngestBinary(obs.Payload.EncodeBinary(), obs.RemoteIP, obs.ConnectedAt, obs.Exposure)
+	}
+	return coll.Ingest(obs)
+}
+
+// binaryWire picks the session's wire by hashing its (pre-mutation)
+// nonce — stable per session across segments, replays and runs, and
+// independent of the schedule RNG so digests stay comparable to
+// all-text runs.
+func binaryWire(seg segment) bool {
+	h := fnv.New32a()
+	io.WriteString(h, seg.obs.Payload.Nonce)
+	return h.Sum32()&1 == 1
 }
 
 // digestStore folds the final store content into the trace digest in

@@ -214,3 +214,94 @@ func TestOracleCatchesDedupRegression(t *testing.T) {
 			strings.Join(cres.Violations, "\n  "))
 	}
 }
+
+// TestSimWireMix sweeps schedules with roughly half the sessions
+// delivered as binary wire frames and demands the digest be
+// byte-identical to the all-text run of the same seed — the end-to-end
+// proof that the binary codec is observationally equivalent to text,
+// through dedup, merges, duplicate replays, WAL recovery probes and
+// the full oracle. The concurrent phase then races mixed wires under
+// the order-insensitive invariants.
+func TestSimWireMix(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		base := Config{Seed: seed, Sessions: *flagSessions, Dir: t.TempDir()}
+		text, err := Run(base)
+		if err != nil {
+			t.Fatalf("seed %d text: %v", seed, err)
+		}
+		if text.Failed() {
+			reportFailure(t, base, text)
+			continue
+		}
+		mixed := base
+		mixed.WireMix = true
+		mres, err := Run(mixed)
+		if err != nil {
+			t.Fatalf("seed %d mixed: %v", seed, err)
+		}
+		if mres.Failed() {
+			t.Errorf("seed %d: wire-mix run violated invariants:\n  %s",
+				seed, strings.Join(mres.Violations, "\n  "))
+		}
+		if mres.Digest != text.Digest {
+			t.Errorf("seed %d: wire-mix digest %s != all-text digest %s (binary codec not equivalent)",
+				seed, mres.Digest, text.Digest)
+		}
+		if mres.BinaryDeliveries == 0 || mres.BinaryDeliveries == mres.Deliveries {
+			t.Errorf("seed %d: degenerate wire mix (%d/%d binary) — equality proves nothing",
+				seed, mres.BinaryDeliveries, mres.Deliveries)
+		}
+		conc := mixed
+		conc.Workers = 4
+		cres, err := Run(conc)
+		if err != nil {
+			t.Fatalf("seed %d mixed concurrent: %v", seed, err)
+		}
+		if cres.Failed() {
+			t.Errorf("seed %d: concurrent wire-mix violated invariants:\n  %s",
+				seed, strings.Join(cres.Violations, "\n  "))
+		}
+	}
+}
+
+// TestSimGroupWAL runs the schedule with the journal under the
+// group-commit fsync policy: the mid-run recovery probes and the final
+// WAL-replay-equals-live-store invariant then hold against batched
+// fsyncs, and the digest must match the interval-policy run — the
+// sync policy may never change what is journaled, only when it hits
+// the disk. Wire mixing rides along so group commit also sees the
+// binary ingest path.
+func TestSimGroupWAL(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		base := Config{Seed: seed, Sessions: *flagSessions, Dir: t.TempDir()}
+		ref, err := Run(base)
+		if err != nil {
+			t.Fatalf("seed %d baseline: %v", seed, err)
+		}
+		grp := base
+		grp.GroupWAL = true
+		grp.WireMix = true
+		gres, err := Run(grp)
+		if err != nil {
+			t.Fatalf("seed %d group: %v", seed, err)
+		}
+		if gres.Failed() {
+			t.Errorf("seed %d: group-WAL run violated invariants:\n  %s",
+				seed, strings.Join(gres.Violations, "\n  "))
+		}
+		if gres.Digest != ref.Digest {
+			t.Errorf("seed %d: group-WAL digest %s != baseline %s (sync policy changed journal content)",
+				seed, gres.Digest, ref.Digest)
+		}
+		conc := grp
+		conc.Workers = 4
+		cres, err := Run(conc)
+		if err != nil {
+			t.Fatalf("seed %d group concurrent: %v", seed, err)
+		}
+		if cres.Failed() {
+			t.Errorf("seed %d: concurrent group-WAL violated invariants:\n  %s",
+				seed, strings.Join(cres.Violations, "\n  "))
+		}
+	}
+}

@@ -145,16 +145,20 @@ func (s *Store) InsertTraced(im Impression, tr *trace.Trace) (int64, error) {
 	s.mu.Lock()
 	idx := len(s.recs)
 	im.ID = int64(idx + 1)
-	if s.wal != nil {
+	wal := s.wal
+	var walSeq int64
+	if wal != nil {
 		// Journal a branch-local copy: taking &im directly would make the
 		// parameter escape and cost a heap allocation even with no WAL.
 		w := im
-		if err := s.wal.append(walEntry{Op: "ins", Im: &w}); err != nil {
+		seq, err := wal.append(walEntry{Op: "ins", Im: &w})
+		if err != nil {
 			s.mu.Unlock()
 			s.tel.insertFailures.Inc()
 			tr.Truncate("reject:wal-append")
 			return 0, err
 		}
+		walSeq = seq
 		tr.Stage(trace.StageWAL)
 	}
 	s.recs = append(s.recs, im)
@@ -169,6 +173,14 @@ func (s *Store) InsertTraced(im Impression, tr *trace.Trace) (int64, error) {
 	// primes this record or receives this event, never both.
 	delivered := s.publishFeed(FeedEvent{Kind: FeedInsert, Im: im, Trace: tr})
 	s.mu.Unlock()
+	// Group-commit rendezvous, outside the store lock so concurrent
+	// inserts batch into one fsync. On failure the in-memory record
+	// stands (a later flush may yet cover it) but the caller must not
+	// acknowledge: a client replay deduplicates against it by nonce.
+	if err := wal.waitDurable(walSeq); err != nil {
+		s.tel.insertFailures.Inc()
+		return 0, err
+	}
 	s.observeInsertTraced(start, tr)
 	if delivered == 0 {
 		// No live-audit consumer: the commit is the trace's last stage.

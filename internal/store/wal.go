@@ -51,6 +51,16 @@ const (
 	SyncAlways
 	// SyncInterval fsyncs on a background timer (WALOptions.Interval).
 	SyncInterval
+	// SyncGroup batches fsyncs across concurrently-committing sessions:
+	// an append enqueues the entry and returns, and the commit then
+	// waits — outside the store lock — for a shared group fsync that
+	// covers it. Every acknowledged impression is durable (same
+	// guarantee as SyncAlways) at a fraction of the fsync count: all
+	// appends that land while one fsync is in flight are covered by the
+	// next, so the disk sees one flush per batch, not per impression.
+	// WALOptions.GroupLatency optionally delays each flush to widen the
+	// batch at the cost of commit latency.
+	SyncGroup
 )
 
 // ParseSyncPolicy maps the -wal-sync flag values onto a SyncPolicy.
@@ -62,8 +72,10 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 		return SyncAlways, nil
 	case "interval":
 		return SyncInterval, nil
+	case "group":
+		return SyncGroup, nil
 	}
-	return 0, fmt.Errorf("store: unknown wal sync policy %q (want os, always or interval)", s)
+	return 0, fmt.Errorf("store: unknown wal sync policy %q (want os, always, interval or group)", s)
 }
 
 // WALOptions tune the journal.
@@ -72,6 +84,14 @@ type WALOptions struct {
 	Policy SyncPolicy
 	// Interval is the SyncInterval flush period (default 100ms).
 	Interval time.Duration
+	// GroupLatency is how long the SyncGroup flusher waits after the
+	// first append of a batch before fsyncing, trading commit latency
+	// for wider batches. Zero (the default) flushes as soon as the
+	// flusher is free: batching still happens naturally because appends
+	// that arrive during an in-flight fsync pile into the next one.
+	// Keep it zero under a virtual clock unless the simulation advances
+	// time, or commits stall waiting for a timer that never fires.
+	GroupLatency time.Duration
 	// Clock schedules the SyncInterval flush ticker. Nil means the real
 	// clock; internal/simtest substitutes a virtual one so the flush
 	// cadence is driven by simulated time.
@@ -92,6 +112,18 @@ type WAL struct {
 	// acknowledged entry that is not yet on disk — the WAL sync-lag
 	// health signal.
 	firstDirty time.Time
+
+	// Group-commit state (SyncGroup only). seq numbers appends;
+	// syncedSeq is the highest seq a completed fsync covers. Committers
+	// block on synced until their seq is covered; the flusher fsyncs
+	// outside mu so appends keep landing while the disk works.
+	groupLatency time.Duration
+	seq          int64
+	syncedSeq    int64
+	syncErr      error // sticky: first group-fsync failure fails all later waits
+	closed       bool
+	synced       *sync.Cond    // on mu; broadcast when syncedSeq, syncErr or closed change
+	wake         chan struct{} // cap 1; nudges the group flusher
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -129,13 +161,19 @@ func OpenWAL(path string, opts WALOptions) (*WAL, error) {
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
-	if w.policy == SyncInterval {
+	switch w.policy {
+	case SyncInterval:
 		interval := opts.Interval
 		if interval <= 0 {
 			interval = 100 * time.Millisecond
 		}
 		go w.flushLoop(interval)
-	} else {
+	case SyncGroup:
+		w.groupLatency = opts.GroupLatency
+		w.synced = sync.NewCond(&w.mu)
+		w.wake = make(chan struct{}, 1)
+		go w.groupLoop()
+	default:
 		close(w.done)
 	}
 	return w, nil
@@ -163,32 +201,125 @@ func (w *WAL) flushLoop(interval time.Duration) {
 	}
 }
 
+// groupLoop is the SyncGroup flusher: woken by the first append of a
+// batch, it (optionally, after GroupLatency) fsyncs once for every
+// entry appended so far and releases their waiting committers.
+func (w *WAL) groupLoop() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.stop:
+			// Final flush so committers racing Close are released with
+			// their entries durable, not with an error.
+			w.groupSync()
+			return
+		case <-w.wake:
+		}
+		if w.groupLatency > 0 {
+			t := w.clock.NewTimer(w.groupLatency)
+			select {
+			case <-w.stop:
+				t.Stop()
+				w.groupSync()
+				return
+			case <-t.C():
+			}
+		}
+		w.groupSync()
+	}
+}
+
+// groupSync performs one group fsync: snapshot the high-water seq,
+// flush outside mu (appends keep landing meanwhile — they form the
+// next batch), then publish coverage and wake the waiters.
+func (w *WAL) groupSync() {
+	w.mu.Lock()
+	pending := w.seq
+	if pending == w.syncedSeq {
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Unlock()
+	err := w.f.Sync()
+	w.mu.Lock()
+	if err != nil && w.syncErr == nil {
+		w.syncErr = err
+	}
+	if err == nil && pending > w.syncedSeq {
+		w.syncedSeq = pending
+		if w.syncedSeq == w.seq {
+			w.dirty = false
+		}
+	}
+	w.synced.Broadcast()
+	w.mu.Unlock()
+}
+
 // append writes one entry as a single line in a single write call; the
 // fsync policy decides whether the entry is also forced to disk before
-// the append returns.
-func (w *WAL) append(e walEntry) error {
+// the append returns. Under SyncGroup the returned seq is the entry's
+// place in the group-commit order: the caller must not acknowledge the
+// mutation until waitDurable(seq) returns nil. Other policies return
+// seq 0 (waitDurable treats it as already durable).
+func (w *WAL) append(e walEntry) (int64, error) {
 	line, err := json.Marshal(e)
 	if err != nil {
-		return fmt.Errorf("store: encoding wal entry: %w", err)
+		return 0, fmt.Errorf("store: encoding wal entry: %w", err)
 	}
 	line = append(line, '\n')
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if _, err := w.f.Write(line); err != nil {
-		return fmt.Errorf("store: appending wal entry: %w", err)
+		return 0, fmt.Errorf("store: appending wal entry: %w", err)
 	}
 	switch w.policy {
 	case SyncAlways:
 		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("store: syncing wal: %w", err)
+			return 0, fmt.Errorf("store: syncing wal: %w", err)
 		}
 	case SyncInterval:
 		if !w.dirty {
 			w.dirty = true
 			w.firstDirty = w.clock.Now()
 		}
+	case SyncGroup:
+		w.seq++
+		if !w.dirty {
+			w.dirty = true
+			w.firstDirty = w.clock.Now()
+		}
+		select {
+		case w.wake <- struct{}{}:
+		default: // flusher already has a wakeup pending
+		}
+		return w.seq, nil
 	}
-	return nil
+	return 0, nil
+}
+
+// waitDurable blocks until the group fsync covers seq — the second
+// half of a SyncGroup commit, called after the store lock held across
+// append has been released (waiting under that lock would serialise
+// commits and defeat the batching). A nil WAL, a non-group policy or
+// seq 0 return immediately. An error means the entry may not be on
+// disk: the caller must not acknowledge upstream (the in-memory
+// mutation stands — a replay against it deduplicates).
+func (w *WAL) waitDurable(seq int64) error {
+	if w == nil || w.policy != SyncGroup || seq == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.syncedSeq < seq && w.syncErr == nil && !w.closed {
+		w.synced.Wait()
+	}
+	if w.syncedSeq >= seq {
+		return nil
+	}
+	if w.syncErr != nil {
+		return fmt.Errorf("store: group wal sync: %w", w.syncErr)
+	}
+	return errors.New("store: wal closed before group sync covered entry")
 }
 
 // DirtyDuration reports how long acknowledged journal entries have
@@ -213,8 +344,23 @@ func (w *WAL) DirtyDuration() time.Duration {
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.dirty = false
-	return w.f.Sync()
+	err := w.f.Sync()
+	if err == nil {
+		w.dirty = false
+		w.publishSyncedLocked()
+	}
+	return err
+}
+
+// publishSyncedLocked marks every appended entry durable and releases
+// group-commit waiters; callers must hold mu and have fsynced (or
+// truncated) the file first.
+func (w *WAL) publishSyncedLocked() {
+	if w.synced == nil {
+		return
+	}
+	w.syncedSeq = w.seq
+	w.synced.Broadcast()
 }
 
 // Reset truncates the journal to empty — called after a snapshot has
@@ -231,16 +377,30 @@ func (w *WAL) Reset() error {
 		return fmt.Errorf("store: rewinding wal: %w", err)
 	}
 	w.dirty = false
+	// Truncation supersedes every journaled entry, so any group-commit
+	// waiter's entry is moot: the snapshot that triggered the reset
+	// already covers it durably.
+	w.publishSyncedLocked()
 	return w.f.Sync()
 }
 
-// Close flushes and closes the journal.
+// Close flushes and closes the journal. The group flusher (if any)
+// performs a final fsync before exiting, so committers waiting in
+// waitDurable are released durable; any append racing past that final
+// flush is still synced here before the file closes, and its waiter is
+// released by the closed broadcast.
 func (w *WAL) Close() error {
 	w.stopOnce.Do(func() { close(w.stop) })
 	<-w.done
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	_ = w.f.Sync()
+	if err := w.f.Sync(); err == nil {
+		w.publishSyncedLocked()
+	}
+	w.closed = true
+	if w.synced != nil {
+		w.synced.Broadcast()
+	}
 	return w.f.Close()
 }
 
@@ -445,8 +605,10 @@ func (s *Store) MergeTraced(id int64, cont Continuation, tr *trace.Trace) error 
 	if cont.MaxVisibleFraction > maxVis {
 		maxVis = cont.MaxVisibleFraction
 	}
-	if s.wal != nil {
-		err := s.wal.append(walEntry{
+	wal := s.wal
+	var walSeq int64
+	if wal != nil {
+		seq, err := wal.append(walEntry{
 			Op: "mrg", ID: id,
 			ExposureNS:  int64(exp),
 			MouseMoves:  moves,
@@ -459,6 +621,7 @@ func (s *Store) MergeTraced(id int64, cont Continuation, tr *trace.Trace) error 
 			tr.Truncate("reject:wal-append")
 			return err
 		}
+		walSeq = seq
 		tr.Stage(trace.StageWAL)
 	}
 	im.Exposure = exp
@@ -469,6 +632,11 @@ func (s *Store) MergeTraced(id int64, cont Continuation, tr *trace.Trace) error 
 	tr.Stage(trace.StageCommit)
 	delivered := s.publishFeed(FeedEvent{Kind: FeedMerge, Im: *im, Prev: prev, Trace: tr})
 	s.mu.Unlock()
+	// Same group-commit rendezvous as InsertTraced: wait outside the
+	// store lock; an error means don't ack, the merged state stands.
+	if err := wal.waitDurable(walSeq); err != nil {
+		return err
+	}
 	if delivered == 0 {
 		tr.Finish()
 	}

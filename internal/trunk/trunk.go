@@ -149,13 +149,60 @@ func appendBody(dst []byte, f Frame) []byte {
 	return dst
 }
 
+// uvarintLen returns the encoded size of v under binary.AppendUvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// varintLen returns the encoded size of v under binary.AppendVarint
+// (zigzag then uvarint).
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+func stringLen(s string) int {
+	return uvarintLen(uint64(len(s))) + len(s)
+}
+
+// bodySize returns the exact encoded size of f's body — the mirror of
+// appendBody, which lets AppendFrame write the length prefix first and
+// encode straight into the batch buffer instead of through an
+// intermediate allocation.
+func bodySize(f Frame) int {
+	n := 1 + uvarintLen(f.Stream)
+	switch f.Type {
+	case Hello:
+		n += uvarintLen(uint64(f.Version)) + stringLen(f.GatewayID)
+	case Open:
+		n += stringLen(f.RemoteIP) + varintLen(f.ConnectedAt) + stringLen(f.Payload)
+	case Event:
+		n += stringLen(f.Payload)
+	case Commit:
+		n += stringLen(f.RemoteIP) + varintLen(f.ConnectedAt) +
+			varintLen(int64(f.Exposure)) + stringLen(f.Payload) +
+			uvarintLen(uint64(len(f.Stages)))
+		for _, st := range f.Stages {
+			n += stringLen(st.Name) + varintLen(int64(st.Offset))
+		}
+	case Ack:
+		// Stream only.
+	case Reject:
+		n += stringLen(f.Reason)
+	}
+	return n
+}
+
 // AppendFrame appends f to a batch buffer: a uvarint length prefix
 // followed by the frame body. The result of successive AppendFrame
 // calls is a valid batch for DecodeBatch.
 func AppendFrame(dst []byte, f Frame) []byte {
-	body := appendBody(nil, f)
-	dst = binary.AppendUvarint(dst, uint64(len(body)))
-	return append(dst, body...)
+	dst = binary.AppendUvarint(dst, uint64(bodySize(f)))
+	return appendBody(dst, f)
 }
 
 // decoder walks one frame body.

@@ -112,3 +112,23 @@ func TestTruncatedPrefixesAllFail(t *testing.T) {
 		}
 	}
 }
+
+// TestBodySizeMatchesEncoding pins bodySize to appendBody: AppendFrame
+// writes the length prefix before the body, so a drift between the two
+// would corrupt every batch. Includes varint edge values (negative,
+// zero, multi-byte) beyond what sampleFrames covers.
+func TestBodySizeMatchesEncoding(t *testing.T) {
+	frames := sampleFrames()
+	frames = append(frames,
+		Frame{Type: Hello, Stream: 1<<63 - 1, Version: 300, GatewayID: string(make([]byte, 200))},
+		Frame{Type: Commit, Stream: 128, ConnectedAt: -1 << 62, Exposure: -time.Hour,
+			Payload: string(make([]byte, 1<<14)),
+			Stages:  []Stage{{Name: "", Offset: -1}, {Name: "x", Offset: 1 << 40}}},
+		Frame{Type: Reject, Reason: ""},
+	)
+	for _, f := range frames {
+		if got, want := bodySize(f), len(appendBody(nil, f)); got != want {
+			t.Errorf("%s: bodySize=%d, encoded body=%d bytes", f.Type, got, want)
+		}
+	}
+}

@@ -67,7 +67,21 @@ type Conn struct {
 	// pong reply. pongHandler observes incoming pongs.
 	pingHandler func(payload []byte)
 	pongHandler func(payload []byte)
+
+	// reuseReadBuf, when set via ReuseReadBuffer, makes ReadMessage
+	// recycle readBuf for frame payloads instead of allocating per
+	// frame; the returned message then aliases the buffer.
+	reuseReadBuf bool
+	readBuf      []byte
 }
+
+// ReuseReadBuffer opts this connection into read-buffer recycling: the
+// payload ReadMessage returns is only valid until the next ReadMessage
+// call (fragmented and compressed messages are still reassembled into
+// their own buffers). For receivers that decode or copy each message
+// before reading the next — the collector and gateway do — this removes
+// the per-frame payload allocation. Must be called before reads begin.
+func (c *Conn) ReuseReadBuffer() { c.reuseReadBuf = true }
 
 func newConn(nc net.Conn, br *bufio.Reader, role Role, maxMessage int64) *Conn {
 	if br == nil {
@@ -231,9 +245,16 @@ func (c *Conn) readMessage() (Opcode, []byte, error) {
 		compressed bool
 	)
 	for {
-		f, err := ReadFrame(c.br, c.frameLimit())
+		var frameBuf []byte
+		if c.reuseReadBuf {
+			frameBuf = c.readBuf
+		}
+		f, err := ReadFrameBuf(c.br, c.frameLimit(), frameBuf)
 		if err != nil {
 			return 0, nil, err
+		}
+		if c.reuseReadBuf && cap(f.Payload) > cap(c.readBuf) {
+			c.readBuf = f.Payload
 		}
 		// Masking direction rules (§5.1).
 		if c.role == RoleServer && !f.Masked {

@@ -571,3 +571,71 @@ func TestConcurrentWritersSerialized(t *testing.T) {
 		}
 	}
 }
+
+func TestConnReuseReadBuffer(t *testing.T) {
+	client, server := pipePair(0)
+	defer client.NetConn().Close()
+	defer server.NetConn().Close()
+	server.ReuseReadBuffer()
+
+	go func() {
+		client.WriteText("first message payload")
+		client.WriteText("second!")
+	}()
+	_, first, err := server.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != "first message payload" {
+		t.Fatalf("first = %q", first)
+	}
+	_, second, err := server.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(second) != "second!" {
+		t.Fatalf("second = %q", second)
+	}
+	// The contract: the second read may recycle the first payload's
+	// backing array. Pin the aliasing so a regression that silently
+	// re-copies (losing the alloc win) is caught.
+	if &first[0] != &second[0] {
+		t.Fatal("expected second read to reuse the first payload's buffer")
+	}
+	if string(first[:len(second)]) != "second!" {
+		t.Fatalf("first payload no longer aliases buffer: %q", first[:len(second)])
+	}
+}
+
+func TestConnReuseReadBufferFragmented(t *testing.T) {
+	client, server := pipePair(0)
+	defer client.NetConn().Close()
+	defer server.NetConn().Close()
+	server.ReuseReadBuffer()
+
+	go func() {
+		// Fragmented message: reassembly must copy into its own
+		// accumulator, not hand back the recycled frame buffer.
+		WriteFrame(client.NetConn(), Frame{Opcode: OpText, Payload: []byte("frag-one "), Masked: true})
+		WriteFrame(client.NetConn(), Frame{Opcode: OpContinuation, Fin: true, Payload: []byte("frag-two"), Masked: true})
+		client.WriteText("next")
+	}()
+	_, msg, err := server.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "frag-one frag-two" {
+		t.Fatalf("reassembled = %q", msg)
+	}
+	keep := string(msg)
+	_, next, err := server.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(next) != "next" {
+		t.Fatalf("next = %q", next)
+	}
+	if string(msg) != keep {
+		t.Fatal("fragmented payload corrupted by subsequent read")
+	}
+}

@@ -151,6 +151,15 @@ func WriteFrame(w io.Writer, f Frame) error {
 // ReadFrame decodes one frame from r, enforcing maxPayload (0 means no
 // limit). Masked payloads are unmasked in place before return.
 func ReadFrame(r io.Reader, maxPayload int64) (Frame, error) {
+	return ReadFrameBuf(r, maxPayload, nil)
+}
+
+// ReadFrameBuf is ReadFrame with a caller-supplied payload buffer: when
+// buf has capacity for the frame's payload, the returned Frame.Payload
+// aliases buf instead of a fresh allocation. Callers reusing a buffer
+// across frames must be done with the previous frame's payload before
+// reading the next.
+func ReadFrameBuf(r io.Reader, maxPayload int64, buf []byte) (Frame, error) {
 	var hdr [2]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Frame{}, err
@@ -210,7 +219,11 @@ func ReadFrame(r io.Reader, maxPayload int64) (Frame, error) {
 		}
 	}
 	if plen > 0 {
-		f.Payload = make([]byte, plen)
+		if int64(cap(buf)) >= plen {
+			f.Payload = buf[:plen]
+		} else {
+			f.Payload = make([]byte, plen)
+		}
 		if _, err := io.ReadFull(r, f.Payload); err != nil {
 			return Frame{}, fmt.Errorf("wsproto: reading payload: %w", err)
 		}

@@ -91,6 +91,8 @@ if [ "${1:-}" = "-fuzz-smoke" ]; then
     for target in \
         "FuzzReadFrame ./internal/wsproto/" \
         "FuzzDecode ./internal/beacon/" \
+        "FuzzDecodeBinary ./internal/beacon/" \
+        "FuzzWireEquivalence ./internal/beacon/" \
         "FuzzRecoverWAL ./internal/store/" \
         "FuzzReadSnapshot ./internal/store/" \
         "FuzzQueryAPI ./internal/collector/"; do

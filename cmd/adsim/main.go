@@ -5,7 +5,7 @@
 // Usage:
 //
 //	adsim [-seed N] [-publishers N] [-snapshot imps.jsonl] [-csv imps.csv]
-//	      [-metrics metrics.json] [-report]
+//	      [-metrics metrics.json] [-report] [-adversarial spoof|pool|bots|inflate|all]
 //	      [-gateway ws://host:port/beacon] [-gateway-limit 1000]
 //	      [-log-level info|debug|warn|error] [-log-format text|json]
 //
@@ -46,7 +46,8 @@ func main() {
 		reports     = flag.String("reports", "", "write the vendor reports (JSON) to this path")
 		conversions = flag.String("conversions", "", "write the conversion dataset (JSON lines) to this path")
 		metricsPath = flag.String("metrics", "", "write the run's telemetry (JSON metrics view) to this path")
-		printRep    = flag.Bool("report", true, "print the full audit report (tables 1-4, figures 1-3)")
+		printRep    = flag.Bool("report", true, "print the full audit report (tables 1-5, figures 1-3)")
+		adversarial = flag.String("adversarial", "", "inject a fraud scenario into the vendor: spoof, pool, bots, inflate, or all")
 		gatewayURL  = flag.String("gateway", "", "replay the dataset through this beacon endpoint (ws://host:port/beacon of an adgateway or auditd)")
 		gatewayLim  = flag.Int("gateway-limit", 1000, "impressions to replay through -gateway (0 = the whole dataset)")
 		wire        = flag.String("wire", "text", "beacon wire for -gateway replay: text, binary, or mixed (alternate per session)")
@@ -58,14 +59,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "adsim:", err)
 		os.Exit(2)
 	}
-	if err := run(*seed, *publishers, *snapshot, *csvPath, *reports, *conversions, *metricsPath, *printRep, *gatewayURL, *gatewayLim, *wire, logger); err != nil {
+	if err := run(*seed, *publishers, *snapshot, *csvPath, *reports, *conversions, *metricsPath, *printRep, *adversarial, *gatewayURL, *gatewayLim, *wire, logger); err != nil {
 		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversionsPath, metricsPath string, printRep bool, gatewayURL string, gatewayLim int, wire string, logger *slog.Logger) error {
-	ws, err := adaudit.NewWorkspace(adaudit.Options{Seed: seed, NumPublishers: publishers})
+func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversionsPath, metricsPath string, printRep bool, adversarial, gatewayURL string, gatewayLim int, wire string, logger *slog.Logger) error {
+	opts := adaudit.Options{Seed: seed, NumPublishers: publishers}
+	if adversarial != "" {
+		adv, err := adnet.AdversaryScenario(adversarial)
+		if err != nil {
+			return err
+		}
+		pol := adnet.DefaultPolicy()
+		pol.Adversary = adv
+		opts.Policy = &pol
+		logger.Info("adversary enabled", "scenario", adversarial)
+	}
+	ws, err := adaudit.NewWorkspace(opts)
 	if err != nil {
 		return err
 	}

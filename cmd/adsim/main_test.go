@@ -21,7 +21,7 @@ func TestRunWritesAllOutputs(t *testing.T) {
 	metrics := filepath.Join(dir, "metrics.json")
 
 	// Small universe for test speed; -report=false to skip rendering.
-	if err := run(7, 6000, snap, csvPath, reports, convs, metrics, false, "", 0, "text", testLogger()); err != nil {
+	if err := run(7, 6000, snap, csvPath, reports, convs, metrics, false, "", "", 0, "text", testLogger()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -98,8 +98,57 @@ func TestRunWritesAllOutputs(t *testing.T) {
 	}
 }
 
+// TestRunAdversarialScenario drives the CLI end to end with the
+// combined fraud scenario and checks the written artifacts carry the
+// attack: vendor reports with seller attributions the detectors flag,
+// and ground-truth labels surfaced via the rows themselves.
+func TestRunAdversarialScenario(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "imps.jsonl")
+	reports := filepath.Join(dir, "reports.json")
+
+	if err := run(7, 6000, snap, "", reports, "", "", false, "all", "", 0, "text", testLogger()); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := os.Open(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vendorReports map[string]*adnet.VendorReport
+	err = json.NewDecoder(rf).Decode(&vendorReports)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	attributed := 0
+	for _, rep := range vendorReports {
+		for _, row := range rep.Rows {
+			if row.SellerID != "" {
+				attributed++
+			}
+		}
+	}
+	if attributed == 0 {
+		t.Fatal("adversarial run wrote reports without seller attributions")
+	}
+
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() == 0 {
+		t.Fatal("snapshot empty")
+	}
+}
+
 func TestRunRejectsBadPath(t *testing.T) {
-	if err := run(1, 6000, "/nonexistent-dir/x.jsonl", "", "", "", "", false, "", 0, "text", testLogger()); err == nil {
+	if err := run(1, 6000, "/nonexistent-dir/x.jsonl", "", "", "", "", false, "", "", 0, "text", testLogger()); err == nil {
 		t.Fatal("bad snapshot path accepted")
 	}
 }

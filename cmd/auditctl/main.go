@@ -8,7 +8,8 @@
 //	         [-log-level info|debug|warn|error] [-log-format text|json]
 //
 // Analyses: all, brandsafety, context, popularity, viewability,
-// frequency, fraud. Context needs -reports (for keywords it uses the
+// frequency, fraud, adversarial (or its parts: sellers, pooling,
+// behavior). Context needs -reports (for keywords it uses the
 // campaign IDs' keyword conventions) or -keywords. stream-verify
 // replays the dataset through the incremental streaming-audit engine
 // and verifies its report is deep-equal to the batch FullAudit — the
@@ -43,7 +44,7 @@ func main() {
 		conversions = flag.String("conversions", "", "conversion snapshot (JSON lines); optional")
 		reports     = flag.String("reports", "", "vendor reports JSON (map of campaign id to report)")
 		placements  = flag.String("placement-csv", "", "real vendor placement exports: CAMPAIGN=path.csv[,CAMPAIGN=path.csv...]")
-		analysis    = flag.String("analysis", "all", "all|brandsafety|context|popularity|viewability|frequency|fraud|conversions|interactions|stream-verify")
+		analysis    = flag.String("analysis", "all", "all|brandsafety|context|popularity|viewability|frequency|fraud|adversarial|sellers|pooling|behavior|conversions|interactions|stream-verify")
 		keywords    = flag.String("keywords", "", "comma-separated campaign keywords for the context analysis (fallback when no reports metadata)")
 		seed        = flag.Int64("seed", 1, "seed of the synthetic metadata universe (must match the dataset's)")
 		pubs        = flag.Int("publishers", 150000, "size of the synthetic metadata universe")
@@ -241,6 +242,30 @@ func run(snapshotPath, conversionsPath, reportsPath, placementsSpec, analysis, k
 			if err := report.Table4(out, per); err != nil {
 				return err
 			}
+		case "adversarial", "sellers", "pooling", "behavior":
+			// Behavior is vendor-independent; the supply-chain checks need
+			// the vendor report's seller attributions to cross-check.
+			if a != "behavior" && vendorReports == nil {
+				return fmt.Errorf("%s needs -reports (seller attributions to cross-check)", a)
+			}
+			var per []audit.CampaignAudit
+			for _, id := range st.Campaigns() {
+				ca := audit.CampaignAudit{ID: id}
+				rep := vendorReports[id]
+				if a == "adversarial" || a == "sellers" {
+					ca.Sellers = auditor.SellerAudit(id, rep)
+				}
+				if a == "adversarial" || a == "pooling" {
+					ca.Pooling = auditor.Pooling(id, rep)
+				}
+				if a == "adversarial" || a == "behavior" {
+					ca.Behavior = auditor.Behavior(id)
+				}
+				per = append(per, ca)
+			}
+			if err := report.Table5(out, per); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("unknown analysis %q", a)
 		}
@@ -287,7 +312,11 @@ func runAll(out *os.File, st *store.Store, auditor *audit.Auditor,
 		return err
 	}
 	fmt.Fprintln(out)
-	return report.Table4(out, full.PerCampaign)
+	if err := report.Table4(out, full.PerCampaign); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	return report.Table5(out, full.PerCampaign)
 }
 
 // streamVerify proves the streaming engine's headline guarantee on

@@ -81,7 +81,7 @@ func TestRunIndividualAnalyses(t *testing.T) {
 	snap, convs, reports := writeFixture(t)
 	for _, analysis := range []string{
 		"viewability", "frequency", "fraud", "conversions", "popularity",
-		"brandsafety", "context",
+		"brandsafety", "context", "adversarial", "sellers", "pooling", "behavior",
 	} {
 		if err := run(snap, convs, reports, "", analysis, "", 1, 6000, 0, testLogger()); err != nil {
 			t.Errorf("analysis %s: %v", analysis, err)

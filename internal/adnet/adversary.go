@@ -1,0 +1,331 @@
+package adnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"adaudit/internal/ipmeta"
+	"adaudit/internal/stats"
+	"adaudit/internal/useragent"
+)
+
+// Adversary is the pluggable fraud-scenario layer of the vendor
+// policy: it rewrites a slice of the honestly generated deliveries
+// into the supply-chain attacks the audit's adversarial dimensions
+// exist to catch. All knobs are shares in [0, 1]; the zero value (and
+// a nil Policy.Adversary) disables the layer entirely — default runs
+// draw nothing from the adversary RNG stream and stay byte-identical
+// to the pre-adversary simulator.
+//
+// The four attacks and the detector each one trains:
+//
+//   - SpoofedShare: domain spoofing. A low-quality site's inventory is
+//     resold under a premium domain's label; the vendor report books
+//     the row against the premium domain but the seller of record is
+//     the fraudster's own account — which the premium domain's ads.txt
+//     never declared. Caught by the seller cross-check.
+//   - PooledShare: dark pooling. Inventory from unrelated publishers
+//     is pooled behind shared seller IDs (Vekaria et al., arXiv
+//     2210.06654). Caught by the pooling detector (one seller ID
+//     spanning too many owner groups).
+//   - ResidentialBotShare: residential-proxy bots. Automated traffic
+//     routed through residential IPs with browser user agents — clean
+//     ipmeta, so the DC-IP cascade sees nothing — but a degenerate
+//     behavioral signature: fixed inter-impression cadence, fixed
+//     exposure, fixed visibility, zero conversions. Caught by the
+//     behavioral bot score.
+//   - InflatedShare: viewability inflation. Stacked/1-px placements
+//     (Zhang et al., arXiv 1505.05788) keep the ad "rendered" for a
+//     long exposure while ~1% of its pixels are ever on screen.
+//     Caught by the behavioral dimension's placement-inflation check.
+type Adversary struct {
+	// SpoofedShare of deliveries is resold under SpoofTarget's label.
+	SpoofedShare float64
+	// SpoofTarget is the premium domain spoofed rows claim; empty
+	// selects the universe's top-ranked non-anonymous publisher.
+	SpoofTarget string
+	// PooledShare of deliveries is attributed to dark-pool seller IDs.
+	PooledShare float64
+	// Pools is how many distinct dark-pool seller IDs circulate
+	// (default 2).
+	Pools int
+	// ResidentialBotShare of deliveries is replaced by proxy-bot
+	// traffic.
+	ResidentialBotShare float64
+	// ResidentialBotGap is each bot's fixed inter-impression cadence
+	// (default 45s); ResidentialBotImpressions is each bot's planned
+	// impression count (default 24).
+	ResidentialBotGap         time.Duration
+	ResidentialBotImpressions int
+	// InflatedShare is the fraction of the inventory operating stacked
+	// placements (a stable per-domain property, like servesGeo slices).
+	InflatedShare float64
+}
+
+// enabled reports whether any attack is switched on.
+func (a *Adversary) enabled() bool {
+	return a != nil && (a.SpoofedShare > 0 || a.PooledShare > 0 ||
+		a.ResidentialBotShare > 0 || a.InflatedShare > 0)
+}
+
+// AdversaryScenario returns the named preset scenario: "spoof",
+// "pool", "bots", "inflate", or "all" (every attack at once).
+func AdversaryScenario(name string) (*Adversary, error) {
+	switch name {
+	case "spoof":
+		return &Adversary{SpoofedShare: 0.06}, nil
+	case "pool":
+		return &Adversary{PooledShare: 0.08, Pools: 2}, nil
+	case "bots":
+		return &Adversary{ResidentialBotShare: 0.05}, nil
+	case "inflate":
+		return &Adversary{InflatedShare: 0.04}, nil
+	case "all":
+		return &Adversary{
+			SpoofedShare:        0.06,
+			PooledShare:         0.08,
+			Pools:               2,
+			ResidentialBotShare: 0.05,
+			InflatedShare:       0.04,
+		}, nil
+	}
+	return nil, fmt.Errorf("adnet: unknown adversary scenario %q (want spoof, pool, bots, inflate or all)", name)
+}
+
+// Fixed signatures of the automated attacks. Real fraud automation is
+// exactly this lazy: the same timer, the same render, every time.
+const (
+	resBotExposure        = 2 * time.Second
+	resBotVisibleFraction = 0.35
+	inflatedVisibleFrac   = 0.02
+)
+
+// AdversarialTruth summarizes the ground-truth fraud labels of one
+// campaign's deliveries — what the detectors are graded against.
+type AdversarialTruth struct {
+	Spoofed, Pooled, ResidentialBot, Inflated int
+	// PoolSellers are the dark-pool seller IDs observed; SpoofTarget
+	// is the premium domain spoofed rows claimed (empty when none).
+	PoolSellers []string
+	SpoofTarget string
+}
+
+// AdversarialTruth derives the fraud labels from the deliveries.
+func (r *CampaignResult) AdversarialTruth() AdversarialTruth {
+	t := AdversarialTruth{}
+	pools := map[string]bool{}
+	for i := range r.Deliveries {
+		d := &r.Deliveries[i]
+		if d.ReportedDomain != "" {
+			t.Spoofed++
+			t.SpoofTarget = d.ReportedDomain
+		}
+		if IsPoolSellerID(d.SellerID) {
+			t.Pooled++
+			pools[d.SellerID] = true
+		}
+		if d.Device.ResidentialProxy {
+			t.ResidentialBot++
+		}
+		if d.InflatedPlacement {
+			t.Inflated++
+		}
+	}
+	for p := range pools {
+		t.PoolSellers = append(t.PoolSellers, p)
+	}
+	return t
+}
+
+// advState is the per-run adversary machinery: its own forked RNG
+// stream (so honest draws are untouched), the resolved spoof target,
+// and the residential-bot fleet.
+type advState struct {
+	adv      Adversary
+	rng      *stats.RNG
+	premium  string
+	resBots  *resBotFleet
+	spoofCut float64
+	poolCut  float64
+	botCut   float64
+}
+
+func (n *Network) newAdvState(rng *stats.RNG, c *Campaign) *advState {
+	adv := *n.policy.Adversary
+	if adv.Pools <= 0 {
+		adv.Pools = 2
+	}
+	if adv.ResidentialBotGap <= 0 {
+		adv.ResidentialBotGap = 45 * time.Second
+	}
+	if adv.ResidentialBotImpressions <= 0 {
+		adv.ResidentialBotImpressions = 24
+	}
+	s := &advState{
+		adv:      adv,
+		rng:      rng,
+		premium:  adv.SpoofTarget,
+		spoofCut: adv.SpoofedShare,
+		poolCut:  adv.SpoofedShare + adv.PooledShare,
+		botCut:   adv.SpoofedShare + adv.PooledShare + adv.ResidentialBotShare,
+	}
+	if s.premium == "" {
+		s.premium = n.premiumDomain()
+	}
+	if adv.ResidentialBotShare > 0 {
+		s.resBots = &resBotFleet{
+			rng:    rng.Fork("resbots"),
+			uag:    useragent.NewGenerator(rng.Fork("resbots/ua")),
+			ips:    n.ips,
+			geo:    c.Geo,
+			start:  c.Start,
+			end:    c.End,
+			gap:    adv.ResidentialBotGap,
+			perBot: adv.ResidentialBotImpressions,
+		}
+	}
+	return s
+}
+
+// premiumDomain is the default spoof target: the top-ranked
+// non-anonymous publisher of the universe.
+func (n *Network) premiumDomain() string {
+	best, bestRank := "", 0
+	for i := 0; i < n.pubs.Len(); i++ {
+		p := n.pubs.At(i)
+		if p.Anonymous {
+			continue
+		}
+		if best == "" || p.Rank < bestRank {
+			best, bestRank = p.Domain, p.Rank
+		}
+	}
+	return best
+}
+
+// inflatedPublisher decides whether a domain operates stacked
+// placements — a stable pseudo-random inventory slice, same idiom as
+// servesGeo.
+func inflatedPublisher(domain string, share float64) bool {
+	if share <= 0 {
+		return false
+	}
+	h := fnv.New32a()
+	h.Write([]byte(domain))
+	h.Write([]byte("/inflate"))
+	return float64(h.Sum32()%1000) < share*1000
+}
+
+// apply rewrites one honestly generated delivery according to the
+// scenario. It draws exactly one roulette value per delivery (plus
+// pool/bot draws when their branch fires), all from the adversary's
+// own forked stream — the honest generator's streams never move.
+func (s *advState) apply(d *Delivery) error {
+	// Stacked placements are a property of the site: every visitor gets
+	// the long-exposure / buried-pixels signature.
+	if inflatedPublisher(d.Publisher.Domain, s.adv.InflatedShare) {
+		d.InflatedPlacement = true
+		d.Exposure = time.Second + 3*d.Exposure
+		d.VisibilityMeasured = true
+		d.MaxVisibleFraction = inflatedVisibleFrac
+	}
+	r := s.rng.Float64()
+	switch {
+	case r < s.spoofCut:
+		// Resell this impression under the premium label. Anonymous
+		// inventory stays honest (it is already masked), and spoofing
+		// the target with itself would be a no-op.
+		if !d.Publisher.Anonymous && d.Publisher.Domain != s.premium {
+			d.ReportedDomain = s.premium
+			d.SellerID = DirectSellerID(d.Publisher.Domain)
+		}
+	case r < s.poolCut:
+		if !d.Publisher.Anonymous {
+			d.SellerID = fmt.Sprintf("pool-%d", s.rng.Intn(s.adv.Pools))
+		}
+	case r < s.botCut:
+		dev, at, err := s.resBots.next()
+		if err != nil {
+			return err
+		}
+		d.Device = dev
+		d.At = at
+		d.Exposure = resBotExposure
+		d.MouseMoves, d.Clicks = 0, 0
+		d.VisibilityMeasured = true
+		d.MaxVisibleFraction = resBotVisibleFraction
+	}
+	return nil
+}
+
+// resBotFleet hands out residential-proxy bot impressions on a fixed
+// timer: each bot fires exactly every `gap` from its start offset —
+// the cadence regularity the behavioral detector keys on.
+type resBotFleet struct {
+	rng        *stats.RNG
+	uag        *useragent.Generator
+	ips        *ipmeta.Universe
+	geo        string
+	start, end time.Time
+	gap        time.Duration
+	perBot     int
+	active     []*resBotSlot
+}
+
+type resBotSlot struct {
+	dev    Device
+	left   int
+	nextAt time.Time
+}
+
+func (f *resBotFleet) newSlot() (*resBotSlot, error) {
+	addr, err := f.ips.DrawResidentialAddr(f.rng, f.geo)
+	if err != nil {
+		return nil, fmt.Errorf("adnet: drawing proxy-bot address: %w", err)
+	}
+	dev := Device{
+		Addr:               addr,
+		UserAgent:          f.uag.Browser(), // masquerades as a human browser
+		Country:            f.geo,
+		Bot:                true,
+		ResidentialProxy:   true,
+		PlannedImpressions: f.perBot,
+	}
+	// Start early enough that the full fixed-cadence burst fits inside
+	// the flight: clamping at the flight end would blur the signature.
+	flight := f.end.Sub(f.start)
+	slack := flight - time.Duration(f.perBot)*f.gap
+	if slack < 0 {
+		slack = 0
+	}
+	offset := time.Duration(f.rng.Float64() * float64(slack))
+	return &resBotSlot{dev: dev, left: f.perBot, nextAt: f.start.Add(offset)}, nil
+}
+
+func (f *resBotFleet) next() (Device, time.Time, error) {
+	const workingSet = 6
+	for len(f.active) < workingSet {
+		slot, err := f.newSlot()
+		if err != nil {
+			return Device{}, time.Time{}, err
+		}
+		f.active = append(f.active, slot)
+	}
+	// The earliest-due bot fires next — deterministic, no draw.
+	best := 0
+	for i, s := range f.active {
+		if s.nextAt.Before(f.active[best].nextAt) {
+			best = i
+		}
+	}
+	slot := f.active[best]
+	slot.left--
+	dev, at := slot.dev, slot.nextAt
+	slot.nextAt = slot.nextAt.Add(f.gap)
+	if slot.left <= 0 {
+		f.active[best] = f.active[len(f.active)-1]
+		f.active = f.active[:len(f.active)-1]
+	}
+	return dev, at, nil
+}

@@ -25,6 +25,10 @@ type Device struct {
 	Country string
 	// Bot marks data-center automation.
 	Bot bool
+	// ResidentialProxy marks bots routed through residential IP space
+	// with browser user agents — automation the DC-IP cascade cannot
+	// see (clean ipmeta), left for the behavioral detector.
+	ResidentialProxy bool
 	// BeaconBlocked marks devices whose browser/antivirus configuration
 	// prevents the injected JavaScript from running — the §3.1 error
 	// model behind the audit's own measurement loss.

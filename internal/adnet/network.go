@@ -118,6 +118,10 @@ type Policy struct {
 	OrganicInterestRate    float64
 	AudienceMatchRate      float64
 	InterestConversionLift float64
+	// Adversary plugs the fraud-scenario layer into the vendor policy
+	// (see adversary.go). Nil — the default — keeps the supply chain
+	// honest and the simulation byte-identical to earlier versions.
+	Adversary *Adversary
 }
 
 // DefaultPolicy returns the calibrated paper policy.
@@ -248,6 +252,14 @@ type Delivery struct {
 	// (the §3.1 common case) leave both zero.
 	VisibilityMeasured bool
 	MaxVisibleFraction float64
+	// Adversarial ground truth (see adversary.go); all zero on honest
+	// runs. ReportedDomain, when set, is the premium domain this
+	// impression was fraudulently resold under (the vendor report books
+	// it there); SellerID, when set, overrides the seller of record for
+	// the report row; InflatedPlacement marks stacked/1-px placements.
+	ReportedDomain    string
+	SellerID          string
+	InflatedPlacement bool
 }
 
 // AuditViewable reports whether the impression meets the audit's
@@ -301,6 +313,13 @@ func (n *Network) Run(c Campaign) (*CampaignResult, error) {
 		viewThrough = 0.0008
 	}
 
+	// The adversary layer, when plugged in, draws from its own forked
+	// stream — honest runs take this branch never and stay identical.
+	var adv *advState
+	if n.policy.Adversary.enabled() {
+		adv = n.newAdvState(rng.Fork("adversary"), &c)
+	}
+
 	perUser := map[string]int{}
 	exposures := map[string]int{}
 	deliveries := make([]Delivery, 0, c.Impressions)
@@ -308,6 +327,11 @@ func (n *Network) Run(c Campaign) (*CampaignResult, error) {
 		d, err := n.deliverOne(rng, &c, pol, relevant, general, humans, bots)
 		if err != nil {
 			return nil, err
+		}
+		if adv != nil {
+			if err := adv.apply(&d); err != nil {
+				return nil, err
+			}
 		}
 		key := d.Device.Addr.String() + "|" + d.Device.UserAgent
 		if cap := n.policy.FrequencyCap; cap > 0 {

@@ -21,6 +21,13 @@ type ReportRow struct {
 	Impressions int64
 	// Clicks is the reported click count.
 	Clicks int64
+	// SellerID is the sellers.json-style seller of record for the row:
+	// the publisher's direct account on honest rows, the exchange
+	// account on anonymous inventory, or whatever account the supply
+	// chain routed the inventory through — the field the audit's
+	// ads.txt cross-check and pooling detector read. Empty on reports
+	// predating seller attribution.
+	SellerID string
 }
 
 // VendorReport is what the advertiser downloads from the vendor after
@@ -85,7 +92,10 @@ func (n *Network) buildReport(rng *stats.RNG, c *Campaign, deliveries []Delivery
 	type agg struct {
 		imps, clicks int64
 	}
-	rows := map[string]*agg{}
+	type rowKey struct {
+		name, seller string
+	}
+	rows := map[rowKey]*agg{}
 	var contextual, dcCharged int64
 
 	for i := range deliveries {
@@ -93,20 +103,33 @@ func (n *Network) buildReport(rng *stats.RNG, c *Campaign, deliveries []Delivery
 		if d.VendorClaimsContextual {
 			contextual++
 		}
-		if d.Device.Bot {
+		// The refund cascade only sees data-center address space:
+		// residential-proxy bots sail straight through it.
+		if d.Device.Bot && !d.Device.ResidentialProxy {
 			dcCharged++
 		}
 		if !d.VendorViewable {
 			continue // policy: only viewable impressions are reported
 		}
 		name := d.Publisher.Domain
+		seller := DirectSellerID(d.Publisher.Domain)
 		if d.Publisher.Anonymous {
 			name = AnonymousPublisher
+			seller = ExchangeSellerID
 		}
-		a := rows[name]
+		// Adversarial reselling: the row lands under the label and
+		// seller account the supply chain claimed, not the truth.
+		if d.ReportedDomain != "" {
+			name = d.ReportedDomain
+		}
+		if d.SellerID != "" {
+			seller = d.SellerID
+		}
+		k := rowKey{name, seller}
+		a := rows[k]
 		if a == nil {
 			a = &agg{}
-			rows[name] = a
+			rows[k] = a
 		}
 		a.imps++
 		a.clicks += int64(d.Clicks)
@@ -116,14 +139,17 @@ func (n *Network) buildReport(rng *stats.RNG, c *Campaign, deliveries []Delivery
 		CampaignID:            c.ID,
 		ContextualImpressions: contextual,
 	}
-	for name, a := range rows {
-		report.Rows = append(report.Rows, ReportRow{Publisher: name, Impressions: a.imps, Clicks: a.clicks})
+	for k, a := range rows {
+		report.Rows = append(report.Rows, ReportRow{Publisher: k.name, Impressions: a.imps, Clicks: a.clicks, SellerID: k.seller})
 	}
 	sort.Slice(report.Rows, func(i, j int) bool {
 		if report.Rows[i].Impressions != report.Rows[j].Impressions {
 			return report.Rows[i].Impressions > report.Rows[j].Impressions
 		}
-		return report.Rows[i].Publisher < report.Rows[j].Publisher
+		if report.Rows[i].Publisher != report.Rows[j].Publisher {
+			return report.Rows[i].Publisher < report.Rows[j].Publisher
+		}
+		return report.Rows[i].SellerID < report.Rows[j].SellerID
 	})
 
 	// Billing: every delivered impression is charged; a fraction of the

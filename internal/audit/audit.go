@@ -78,6 +78,10 @@ type Auditor struct {
 	// per-dimension analysis tasks across. 0 uses GOMAXPROCS; 1 runs
 	// serially. The report is identical at every setting.
 	Parallelism int
+	// Sellers resolves the declared-seller state for the adversarial
+	// dimensions (seller cross-check, pooling detector). Nil uses the
+	// simulated ecosystem's registry (adnet.SellerRegistry).
+	Sellers SellerDirectory
 
 	tel auditTelemetry
 }

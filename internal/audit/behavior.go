@@ -1,0 +1,334 @@
+package audit
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"adaudit/internal/store"
+)
+
+// Behavioral bot scoring — fraud detection beyond IP metadata. The
+// DC-IP cascade (Table 4) catches data-center automation, but bots
+// routed through residential proxies present clean ipmeta. What they
+// cannot fake cheaply is organic behavior: real users arrive on
+// bursty, irregular schedules, dwell for wildly varying times, and
+// occasionally convert. Fraud automation runs on a timer — fixed
+// inter-impression cadence, fixed exposure, fixed visibility, zero
+// conversions. The detector flags users whose whole behavioral
+// signature is degenerate; every threshold is exported so the simtest
+// oracle can compute expected flags independently from its shadow
+// model.
+const (
+	// BehaviorMinImpressions is the minimum per-user impression count
+	// before the cadence statistics mean anything.
+	BehaviorMinImpressions = 5
+	// BehaviorMaxCadenceCV is the flag threshold on the coefficient of
+	// variation of a user's inter-arrival times. Organic arrivals are
+	// approximately log-normal (CV near or above 1); a timer sits at 0.
+	BehaviorMaxCadenceCV = 0.05
+	// BehaviorDegenerateEps bounds the per-user exposure range (in
+	// seconds) and visible-fraction range that still count as "no
+	// variance".
+	BehaviorDegenerateEps = 1e-9
+)
+
+// Placement-inflation thresholds: stacked/1-px placements keep ads
+// "rendered" (long exposures) while almost no pixels are ever visible.
+const (
+	// InflationMinMeasured is the minimum visibility-measured
+	// impressions per publisher before its mean fraction is scored.
+	InflationMinMeasured = 5
+	// InflationMaxMeanFraction flags publishers whose mean measured
+	// visible fraction sits at 1-px levels.
+	InflationMaxMeanFraction = 0.10
+	// InflationMinViewableShare requires the exposure side of the
+	// inflation: mostly "viewable" by time yet never on screen.
+	InflationMinViewableShare = 0.5
+)
+
+// BotUser is one flagged user with its degenerate signature.
+type BotUser struct {
+	UserKey     string
+	Impressions int
+	// CadenceCV is the inter-arrival coefficient of variation that
+	// tripped the flag.
+	CadenceCV float64
+	// DataCenter marks users the DC-IP cascade also caught; flagged
+	// users without it are the residential-proxy population only this
+	// detector sees.
+	DataCenter bool
+}
+
+// InflatedPublisher is one flagged placement operator.
+type InflatedPublisher struct {
+	Publisher   string
+	Impressions int
+	Measured    int
+	// MeanVisibleFraction is the mean measured visible-pixel fraction;
+	// ViewableShare the share of impressions exposed >= 1 s.
+	MeanVisibleFraction float64
+	ViewableShare       float64
+}
+
+// BehaviorResult is the behavioral fraud dimension: per-user bot
+// scoring plus per-publisher placement-inflation scoring.
+type BehaviorResult struct {
+	CampaignID string
+	// Users counts distinct users; UsersScored those with enough
+	// impressions to score.
+	Users       int
+	UsersScored int
+	// BotUsers lists flagged users, most impressions first;
+	// BotImpressions sums their impressions. ResidentialBotUsers
+	// counts the flagged users the DC cascade did NOT catch.
+	BotUsers            []BotUser
+	BotImpressions      int
+	ResidentialBotUsers int
+	// Publishers counts distinct publishers; PublishersScored those
+	// with enough measured impressions; InflatedPublishers the flagged
+	// ones with InflatedImpressions their impression total.
+	Publishers          int
+	PublishersScored    int
+	InflatedPublishers  []InflatedPublisher
+	InflatedImpressions int
+	// Impressions is the campaign's impression total, the denominator
+	// of the share methods.
+	Impressions int
+}
+
+// PctBotImpressions returns flagged users' share of the campaign's
+// impressions.
+func (r BehaviorResult) PctBotImpressions() float64 {
+	if r.Impressions == 0 {
+		return 0
+	}
+	return float64(r.BotImpressions) / float64(r.Impressions)
+}
+
+// PctInflatedImpressions returns flagged publishers' share of the
+// campaign's impressions.
+func (r BehaviorResult) PctInflatedImpressions() float64 {
+	if r.Impressions == 0 {
+		return 0
+	}
+	return float64(r.InflatedImpressions) / float64(r.Impressions)
+}
+
+// CadenceCV returns the coefficient of variation (stddev/mean) of the
+// inter-arrival times of ts, sorting ts in place. A single repeated
+// timestamp (mean gap 0) returns 0 — maximally regular. Fewer than
+// three timestamps return +Inf: no cadence is measurable.
+func CadenceCV(ts []time.Time) float64 {
+	if len(ts) < 3 {
+		return math.Inf(1)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
+	n := float64(len(ts) - 1)
+	var sum float64
+	for i := 1; i < len(ts); i++ {
+		sum += float64(ts[i].Sub(ts[i-1]))
+	}
+	mean := sum / n
+	if mean == 0 {
+		return 0
+	}
+	var sq float64
+	for i := 1; i < len(ts); i++ {
+		d := float64(ts[i].Sub(ts[i-1])) - mean
+		sq += d * d
+	}
+	return math.Sqrt(sq/n) / mean
+}
+
+// BehaviorState is the per-campaign raw material of the behavioral
+// dimension, built identically by the batch auditor (one store visit
+// in insertion order) and the streaming engine (slot-indexed state
+// maintained across inserts and merges). Slices indexed by slot hold
+// the mutable per-impression fields — merges overwrite a slot in
+// place, so order-dependent float folds stay bit-identical between
+// the two paths.
+type BehaviorState struct {
+	// Times maps user key -> impression timestamps (any order; the
+	// fold sorts, so only the multiset matters).
+	Times map[string][]time.Time
+	// UserSlots and PubSlots map user key / publisher -> slot indexes
+	// in insertion order.
+	UserSlots map[string][]int
+	PubSlots  map[string][]int
+	// Exposures (seconds), VisMeasured and VisFrac are slot-indexed.
+	Exposures   []float64
+	VisMeasured []bool
+	VisFrac     []float64
+	// UserConvs counts conversions per user key; UserDC marks users
+	// with at least one DC-verdict impression.
+	UserConvs map[string]int
+	UserDC    map[string]bool
+}
+
+// Behavior runs the behavioral fraud analysis for one campaign (""
+// for all campaigns together).
+func (a *Auditor) Behavior(campaignID string) BehaviorResult {
+	n := a.impressionCount(campaignID)
+	s := BehaviorState{
+		Times:       map[string][]time.Time{},
+		UserSlots:   map[string][]int{},
+		PubSlots:    map[string][]int{},
+		Exposures:   make([]float64, 0, n),
+		VisMeasured: make([]bool, 0, n),
+		VisFrac:     make([]float64, 0, n),
+		UserConvs:   map[string]int{},
+		UserDC:      map[string]bool{},
+	}
+	slot := 0
+	a.visitImpressions(campaignID, func(im *store.Impression) bool {
+		s.Times[im.UserKey] = append(s.Times[im.UserKey], im.Timestamp)
+		s.UserSlots[im.UserKey] = append(s.UserSlots[im.UserKey], slot)
+		s.PubSlots[im.Publisher] = append(s.PubSlots[im.Publisher], slot)
+		s.Exposures = append(s.Exposures, im.Exposure.Seconds())
+		s.VisMeasured = append(s.VisMeasured, im.VisibilityMeasured)
+		s.VisFrac = append(s.VisFrac, im.MaxVisibleFraction)
+		if IsDataCenterVerdict(im.DataCenter) {
+			s.UserDC[im.UserKey] = true
+		}
+		slot++
+		return true
+	})
+	if campaignID == "" {
+		for _, cid := range a.Store.ConvertingCampaigns() {
+			for _, c := range a.Store.Conversions(cid) {
+				s.UserConvs[c.UserKey]++
+			}
+		}
+	} else {
+		for _, c := range a.Store.Conversions(campaignID) {
+			s.UserConvs[c.UserKey]++
+		}
+	}
+	return BehaviorFromState(campaignID, s)
+}
+
+// BehaviorFromState materializes the behavioral result — the shared
+// fold behind the batch analysis and the streaming engine's view.
+// Timestamp slices are sorted in place; slot slices are only read.
+func BehaviorFromState(campaignID string, s BehaviorState) BehaviorResult {
+	res := BehaviorResult{
+		CampaignID: campaignID,
+		Users:      len(s.UserSlots),
+		Publishers: len(s.PubSlots),
+	}
+	res.Impressions = len(s.Exposures)
+
+	for user, slots := range s.UserSlots {
+		if len(slots) < BehaviorMinImpressions {
+			continue
+		}
+		res.UsersScored++
+		if s.UserConvs[user] > 0 {
+			continue // converting users are humans whatever their cadence
+		}
+		cv := CadenceCV(s.Times[user])
+		if !(cv <= BehaviorMaxCadenceCV) {
+			continue
+		}
+		if !degenerateSlots(s, slots) {
+			continue
+		}
+		res.BotUsers = append(res.BotUsers, BotUser{
+			UserKey:     user,
+			Impressions: len(slots),
+			CadenceCV:   cv,
+			DataCenter:  s.UserDC[user],
+		})
+	}
+	sort.Slice(res.BotUsers, func(i, j int) bool {
+		a, b := res.BotUsers[i], res.BotUsers[j]
+		if a.Impressions != b.Impressions {
+			return a.Impressions > b.Impressions
+		}
+		return a.UserKey < b.UserKey
+	})
+	for _, u := range res.BotUsers {
+		res.BotImpressions += u.Impressions
+		if !u.DataCenter {
+			res.ResidentialBotUsers++
+		}
+	}
+
+	threshold := ViewabilityThreshold.Seconds()
+	for pub, slots := range s.PubSlots {
+		measured, viewable := 0, 0
+		var fracSum float64
+		for _, sl := range slots {
+			if s.Exposures[sl] >= threshold {
+				viewable++
+			}
+			if s.VisMeasured[sl] {
+				measured++
+				fracSum += s.VisFrac[sl]
+			}
+		}
+		if measured < InflationMinMeasured {
+			continue
+		}
+		res.PublishersScored++
+		mean := fracSum / float64(measured)
+		vshare := float64(viewable) / float64(len(slots))
+		if mean <= InflationMaxMeanFraction && vshare >= InflationMinViewableShare {
+			res.InflatedPublishers = append(res.InflatedPublishers, InflatedPublisher{
+				Publisher:           pub,
+				Impressions:         len(slots),
+				Measured:            measured,
+				MeanVisibleFraction: mean,
+				ViewableShare:       vshare,
+			})
+		}
+	}
+	sort.Slice(res.InflatedPublishers, func(i, j int) bool {
+		a, b := res.InflatedPublishers[i], res.InflatedPublishers[j]
+		if a.Impressions != b.Impressions {
+			return a.Impressions > b.Impressions
+		}
+		return a.Publisher < b.Publisher
+	})
+	for _, p := range res.InflatedPublishers {
+		res.InflatedImpressions += p.Impressions
+	}
+	return res
+}
+
+// degenerateSlots reports whether the user's mutable per-impression
+// signals show no variance at all: exposure range within epsilon, and
+// — among visibility-measured impressions, if any — visible-fraction
+// range within epsilon.
+func degenerateSlots(s BehaviorState, slots []int) bool {
+	minE, maxE := math.Inf(1), math.Inf(-1)
+	minF, maxF := math.Inf(1), math.Inf(-1)
+	measured := false
+	for _, sl := range slots {
+		e := s.Exposures[sl]
+		if e < minE {
+			minE = e
+		}
+		if e > maxE {
+			maxE = e
+		}
+		if s.VisMeasured[sl] {
+			measured = true
+			f := s.VisFrac[sl]
+			if f < minF {
+				minF = f
+			}
+			if f > maxF {
+				maxF = f
+			}
+		}
+	}
+	if maxE-minE > BehaviorDegenerateEps {
+		return false
+	}
+	if measured && maxF-minF > BehaviorDegenerateEps {
+		return false
+	}
+	return true
+}

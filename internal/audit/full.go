@@ -25,6 +25,12 @@ type CampaignAudit struct {
 	Popularity  PopularityResult
 	Viewability ViewabilityResult
 	Fraud       FraudResult
+	// The adversarial dimensions (see sellers.go, pooling.go,
+	// behavior.go): supply-chain and behavioral fraud the five paper
+	// dimensions cannot see.
+	Sellers  SellerAuditResult
+	Pooling  PoolingResult
+	Behavior BehaviorResult
 }
 
 // FullReport is the complete audit of a dataset: one CampaignAudit per
@@ -87,7 +93,7 @@ func (a *Auditor) fullAudit(inputs []CampaignInput, workers int) (rep *FullRepor
 	}
 
 	rep = &FullReport{PerCampaign: make([]CampaignAudit, len(inputs))}
-	tasks := make([]task, 0, 5*len(inputs)+2)
+	tasks := make([]task, 0, 8*len(inputs)+2)
 	for i := range inputs {
 		in := inputs[i]
 		ca := &rep.PerCampaign[i]
@@ -119,6 +125,18 @@ func (a *Auditor) fullAudit(inputs []CampaignInput, workers int) (rep *FullRepor
 			}},
 			task{stageFraud, func() error {
 				ca.Fraud = a.Fraud(in.ID)
+				return nil
+			}},
+			task{stageSellers, func() error {
+				ca.Sellers = a.SellerAudit(in.ID, in.Report)
+				return nil
+			}},
+			task{stagePooling, func() error {
+				ca.Pooling = a.Pooling(in.ID, in.Report)
+				return nil
+			}},
+			task{stageBehavior, func() error {
+				ca.Behavior = a.Behavior(in.ID)
 				return nil
 			}},
 		)

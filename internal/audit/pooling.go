@@ -1,0 +1,104 @@
+package audit
+
+import (
+	"sort"
+
+	"adaudit/internal/adnet"
+)
+
+// DefaultMaxGroupSpan is K, the widest owner-group span a non-exchange
+// seller can have before the pooling detector flags it. Legitimate
+// structures stay narrow: a direct account spans one publisher, an
+// owner account spans one group, and disclosed exchanges are exempt —
+// so any honest seller spans exactly one group.
+const DefaultMaxGroupSpan = 3
+
+// PooledSeller is one flagged seller ID with its co-occurrence
+// footprint.
+type PooledSeller struct {
+	SellerID string
+	// Publishers and OwnerGroups count the distinct report publishers
+	// (and their distinct owner groups) whose inventory the seller
+	// booked.
+	Publishers  int
+	OwnerGroups int
+	Impressions int64
+}
+
+// PoolingResult is the dark-pooling detector (Vekaria et al., arXiv
+// 2210.06654): seller IDs whose publisher set spans more than K
+// unrelated owner groups. One account reselling inventory across many
+// unrelated publisher groups is pooled inventory, whatever the rows
+// call it.
+type PoolingResult struct {
+	CampaignID string
+	// SellersChecked counts distinct attributed, non-exchange sellers;
+	// MaxGroupSpan is the widest span observed among them (diagnostic:
+	// clean supply chains sit at 1); GroupLimit is the K applied.
+	SellersChecked int
+	MaxGroupSpan   int
+	GroupLimit     int
+	// PooledSellers lists the sellers spanning more than K groups,
+	// widest span first.
+	PooledSellers []PooledSeller
+}
+
+// Pooling runs the dark-pooling detector for one campaign's vendor
+// report with the default K.
+func (a *Auditor) Pooling(campaignID string, rep *adnet.VendorReport) PoolingResult {
+	return PoolingFromReport(campaignID, rep, a.sellers(), DefaultMaxGroupSpan)
+}
+
+// PoolingFromReport materializes the pooling detector from a vendor
+// report and a directory — pure, shared verbatim by the batch auditor
+// and the streaming engine. A nil report yields the empty result.
+func PoolingFromReport(campaignID string, rep *adnet.VendorReport, dir SellerDirectory, maxGroups int) PoolingResult {
+	res := PoolingResult{CampaignID: campaignID, GroupLimit: maxGroups}
+	if rep == nil {
+		return res
+	}
+	type footprint struct {
+		pubs   map[string]bool
+		groups map[string]bool
+		imps   int64
+	}
+	sellers := map[string]*footprint{}
+	for _, row := range rep.Rows {
+		if row.SellerID == "" || dir.KnownExchange(row.SellerID) {
+			continue
+		}
+		f := sellers[row.SellerID]
+		if f == nil {
+			f = &footprint{pubs: map[string]bool{}, groups: map[string]bool{}}
+			sellers[row.SellerID] = f
+		}
+		f.pubs[row.Publisher] = true
+		f.groups[dir.OwnerGroup(row.Publisher)] = true
+		f.imps += row.Impressions
+	}
+	res.SellersChecked = len(sellers)
+	for id, f := range sellers {
+		if len(f.groups) > res.MaxGroupSpan {
+			res.MaxGroupSpan = len(f.groups)
+		}
+		if len(f.groups) > maxGroups {
+			res.PooledSellers = append(res.PooledSellers, PooledSeller{
+				SellerID:    id,
+				Publishers:  len(f.pubs),
+				OwnerGroups: len(f.groups),
+				Impressions: f.imps,
+			})
+		}
+	}
+	sort.Slice(res.PooledSellers, func(i, j int) bool {
+		a, b := res.PooledSellers[i], res.PooledSellers[j]
+		if a.OwnerGroups != b.OwnerGroups {
+			return a.OwnerGroups > b.OwnerGroups
+		}
+		if a.Impressions != b.Impressions {
+			return a.Impressions > b.Impressions
+		}
+		return a.SellerID < b.SellerID
+	})
+	return res
+}

@@ -15,6 +15,9 @@ const (
 	stagePopularity  = "popularity"
 	stageViewability = "viewability"
 	stageFraud       = "fraud"
+	stageSellers     = "sellers"
+	stagePooling     = "pooling"
+	stageBehavior    = "behavior"
 	stageAggregate   = "aggregate"
 	stageFrequency   = "frequency"
 )
@@ -43,7 +46,8 @@ func (a *Auditor) Instrument(reg *telemetry.Registry) {
 	stages := map[string]*telemetry.Histogram{}
 	for _, stage := range []string{
 		stageBrandSafety, stageContext, stagePopularity,
-		stageViewability, stageFraud, stageAggregate, stageFrequency,
+		stageViewability, stageFraud, stageSellers, stagePooling,
+		stageBehavior, stageAggregate, stageFrequency,
 	} {
 		stages[stage] = reg.Histogram("adaudit_audit_stage_seconds",
 			"Per-dimension analysis latency within FullAudit.",

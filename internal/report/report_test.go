@@ -162,6 +162,57 @@ func TestFigure3(t *testing.T) {
 	}
 }
 
+func TestTable5(t *testing.T) {
+	audits := sampleAudits(t)
+	audits[0].Sellers = audit.SellerAuditResult{
+		CampaignID:              "Research-010",
+		RowsChecked:             10,
+		AuthorizedImpressions:   80,
+		UnauthorizedImpressions: 20,
+		UnauthorizedPairs: []audit.SellerPair{
+			{Publisher: "premium.example", SellerID: "direct:mfa.example", Impressions: 20},
+		},
+	}
+	audits[0].Pooling = audit.PoolingResult{
+		CampaignID: "Research-010", SellersChecked: 4, MaxGroupSpan: 5, GroupLimit: 3,
+		PooledSellers: []audit.PooledSeller{
+			{SellerID: "pool-a", Publishers: 6, OwnerGroups: 5, Impressions: 40},
+		},
+	}
+	audits[0].Behavior = audit.BehaviorResult{
+		CampaignID: "Research-010", Impressions: 100,
+		BotUsers:       []audit.BotUser{{UserKey: "timer-bot", Impressions: 24, CadenceCV: 0.001}},
+		BotImpressions: 24,
+		InflatedPublishers: []audit.InflatedPublisher{
+			{Publisher: "stacked.example", Impressions: 15, Measured: 12,
+				MeanVisibleFraction: 0.02, ViewableShare: 0.9},
+		},
+		InflatedImpressions: 15,
+	}
+	var buf bytes.Buffer
+	if err := Table5(&buf, audits); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 5",
+		"20.00%", // unauthorized rate 20/100
+		"unauthorized seller direct:mfa.example on premium.example (20 imps)",
+		"pooled seller pool-a spans 5 owner groups over 6 publishers (40 imps)",
+		"bot user timer-bot",
+		"residential-proxy",
+		"inflated placement stacked.example",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table 5 missing %q:\n%s", want, out)
+		}
+	}
+	// Clean campaigns stay single-line: no detail rows for Research-020.
+	if strings.Contains(out, "Research-020: ") {
+		t.Fatalf("table 5 printed detail rows for a clean campaign:\n%s", out)
+	}
+}
+
 func TestTable4(t *testing.T) {
 	var buf bytes.Buffer
 	if err := Table4(&buf, sampleAudits(t)); err != nil {

@@ -1,0 +1,148 @@
+package simtest
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSimAdversarial sweeps every attack scenario (and the combined
+// pack) through seeded schedules: the serial run must satisfy the full
+// oracle — including checkAdversarial's exact precision/recall
+// contract — with at least one detector flag raised (non-vacuity), and
+// the concurrent phase must hold the same invariants under races. The
+// clean-schedule leg pins the false-positive floor explicitly: zero
+// adversarial flags when nothing was injected.
+func TestSimAdversarial(t *testing.T) {
+	attacks := []string{"spoof", "pool", "bot", "inflate", "all"}
+	for _, attack := range attacks {
+		attack := attack
+		t.Run(attack, func(t *testing.T) {
+			for seed := int64(31); seed <= 32; seed++ {
+				cfg := Config{
+					Seed:     seed,
+					Sessions: 36,
+					Dir:      t.TempDir(),
+					Attack:   attack,
+				}
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if res.Failed() {
+					reportFailure(t, cfg, res)
+					continue
+				}
+				if res.AdversarialFlags == 0 {
+					t.Errorf("seed %d attack %q: no detector flags raised; scenario is vacuous",
+						seed, attack)
+				}
+
+				conc := cfg
+				conc.Workers = 4
+				cres, err := Run(conc)
+				if err != nil {
+					t.Fatalf("seed %d (concurrent): %v", seed, err)
+				}
+				if cres.Failed() {
+					t.Errorf("seed %d attack %q: concurrent phase violated invariants:\n  %s",
+						seed, attack, strings.Join(cres.Violations, "\n  "))
+				}
+			}
+		})
+	}
+
+	t.Run("clean-floor", func(t *testing.T) {
+		for seed := int64(31); seed <= 33; seed++ {
+			res, err := Run(Config{Seed: seed, Sessions: 36, Dir: t.TempDir()})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if res.Failed() {
+				t.Fatalf("seed %d clean: %s", seed, strings.Join(res.Violations, "\n  "))
+			}
+			if res.AdversarialFlags != 0 {
+				t.Errorf("seed %d: clean schedule raised %d adversarial flags, want 0",
+					seed, res.AdversarialFlags)
+			}
+		}
+	})
+
+	t.Run("determinism", func(t *testing.T) {
+		a, err := Run(Config{Seed: 31, Sessions: 36, Dir: t.TempDir(), Attack: "all"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(Config{Seed: 31, Sessions: 36, Dir: t.TempDir(), Attack: "all"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Digest != b.Digest {
+			t.Errorf("attack digests differ across identical runs:\n  %s\n  %s", a.Digest, b.Digest)
+		}
+	})
+}
+
+// TestSimAdversarialDisabledDetector is the proof the oracle
+// invariants have teeth: with an attack injected and its detector
+// blanked, the run must fail, the failure must shrink to a small
+// reproducer that still fails, and the same session subset must pass
+// once the detector is restored — so the violation is the regressed
+// detector, not harness noise. This is the executable form of the
+// acceptance criterion "each scenario's invariant fails if its
+// detector is disabled".
+func TestSimAdversarialDisabledDetector(t *testing.T) {
+	cases := []struct {
+		attack, detector string
+	}{
+		{"spoof", "sellers"},
+		{"pool", "pooling"},
+		{"bot", "behavior"},
+		{"inflate", "behavior"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.attack, func(t *testing.T) {
+			cfg := Config{
+				Seed:            41,
+				Sessions:        36,
+				Dir:             t.TempDir(),
+				Attack:          tc.attack,
+				DisableDetector: tc.detector,
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Failed() {
+				t.Fatalf("oracle missed the disabled %s detector under attack %q",
+					tc.detector, tc.attack)
+			}
+
+			min, minRes, err := Shrink(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !minRes.Failed() {
+				t.Fatal("shrunk reproducer no longer fails")
+			}
+			if len(min) >= cfg.Sessions {
+				t.Errorf("shrinker kept all %d sessions; expected a smaller reproducer", len(min))
+			}
+			t.Logf("attack %q / disabled %s shrunk to %d session(s) %v; violations:\n  %s",
+				tc.attack, tc.detector, len(min), min, strings.Join(minRes.Violations, "\n  "))
+
+			// Same subset, detector restored: must pass.
+			clean := cfg
+			clean.DisableDetector = ""
+			clean.Only = min
+			cres, err := Run(clean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cres.Failed() {
+				t.Fatalf("minimal subset fails even with the detector enabled:\n  %s",
+					strings.Join(cres.Violations, "\n  "))
+			}
+		})
+	}
+}

@@ -43,6 +43,13 @@ type modelRecord struct {
 	maxVis      float64
 	pseudonym   string
 	userKey     string
+
+	// Adversarial ground truth: the scenario label (scenarioClean for
+	// honest sessions) plus the (publisher, seller) pair the vendor
+	// report books this impression under.
+	attack            scenario
+	reportedPublisher string
+	sellerID          string
 }
 
 // buildModel predicts the final store from the schedule alone. It is a
@@ -97,22 +104,37 @@ func buildModel(sessions []simSession, only []int, maxExposure time.Duration) ma
 					continue
 				}
 				pseud := anon.Pseudonym(seg.obs.RemoteIP)
+				attack := scenarioClean
+				switch s.kind {
+				case scenarioBot, scenarioInflate, scenarioSpoof, scenarioPool:
+					attack = s.kind
+				}
+				reported, seller := s.reportedPublisher, s.sellerID
+				if reported == "" {
+					reported = pub
+				}
+				if seller == "" {
+					seller = adnet.DirectSellerID(pub)
+				}
 				model[s.nonce] = &modelRecord{
-					session:     s.idx,
-					campaignID:  seg.obs.Payload.CampaignID,
-					creativeID:  seg.obs.Payload.CreativeID,
-					publisher:   pub,
-					pageURL:     seg.obs.Payload.PageURL,
-					userAgent:   seg.obs.Payload.UserAgent,
-					nonce:       s.nonce,
-					timestamp:   seg.obs.ConnectedAt,
-					exposure:    exp,
-					moves:       moves,
-					clicks:      clicks,
-					visMeasured: visMeasured,
-					maxVis:      maxVis,
-					pseudonym:   pseud,
-					userKey:     collector.UserKey(pseud, seg.obs.Payload.UserAgent),
+					session:           s.idx,
+					campaignID:        seg.obs.Payload.CampaignID,
+					creativeID:        seg.obs.Payload.CreativeID,
+					publisher:         pub,
+					pageURL:           seg.obs.Payload.PageURL,
+					userAgent:         seg.obs.Payload.UserAgent,
+					nonce:             s.nonce,
+					timestamp:         seg.obs.ConnectedAt,
+					exposure:          exp,
+					moves:             moves,
+					clicks:            clicks,
+					visMeasured:       visMeasured,
+					maxVis:            maxVis,
+					pseudonym:         pseud,
+					userKey:           collector.UserKey(pseud, seg.obs.Payload.UserAgent),
+					attack:            attack,
+					reportedPublisher: reported,
+					sellerID:          seller,
 				}
 				continue
 			}
@@ -151,6 +173,12 @@ type oracle struct {
 	// checkTraces holds them to the completeness invariant.
 	rec    *trace.Recorder
 	traced map[trace.ID]*simSession
+
+	// attack and disable mirror Config; advFlags counts the entities
+	// the adversarial detectors flagged in the final audit.
+	attack   string
+	disable  string
+	advFlags int
 }
 
 func (o *oracle) violate(format string, args ...any) {
@@ -422,22 +450,27 @@ func (o *oracle) checkAudit() {
 
 // auditInputs synthesises one vendor report per campaign from the
 // model — deterministic counts standing in for the vendor's claims.
+// Rows are keyed by the (reported publisher, seller) attribution, so an
+// attack session's report row carries the spoofed domain or pooled
+// seller while the beacon-side model keeps the truth.
 func (o *oracle) auditInputs() []audit.CampaignInput {
+	type rowKey struct{ pub, seller string }
 	type pubCount struct {
 		impressions int64
 		clicks      int64
 	}
-	perCampaign := make(map[string]map[string]*pubCount)
+	perCampaign := make(map[string]map[rowKey]*pubCount)
 	for _, rec := range o.model {
 		pubs := perCampaign[rec.campaignID]
 		if pubs == nil {
-			pubs = make(map[string]*pubCount)
+			pubs = make(map[rowKey]*pubCount)
 			perCampaign[rec.campaignID] = pubs
 		}
-		pc := pubs[rec.publisher]
+		k := rowKey{rec.reportedPublisher, rec.sellerID}
+		pc := pubs[k]
 		if pc == nil {
 			pc = &pubCount{}
-			pubs[rec.publisher] = pc
+			pubs[k] = pc
 		}
 		pc.impressions++
 		pc.clicks += int64(rec.clicks)
@@ -448,9 +481,10 @@ func (o *oracle) auditInputs() []audit.CampaignInput {
 		pubs := perCampaign[camp.ID]
 		rep := &adnet.VendorReport{CampaignID: camp.ID}
 		var total int64
-		for pub, pc := range pubs {
+		for k, pc := range pubs {
 			rep.Rows = append(rep.Rows, adnet.ReportRow{
-				Publisher:   pub,
+				Publisher:   k.pub,
+				SellerID:    k.seller,
 				Impressions: pc.impressions,
 				Clicks:      pc.clicks,
 			})
@@ -460,7 +494,10 @@ func (o *oracle) auditInputs() []audit.CampaignInput {
 			if rep.Rows[a].Impressions != rep.Rows[b].Impressions {
 				return rep.Rows[a].Impressions > rep.Rows[b].Impressions
 			}
-			return rep.Rows[a].Publisher < rep.Rows[b].Publisher
+			if rep.Rows[a].Publisher != rep.Rows[b].Publisher {
+				return rep.Rows[a].Publisher < rep.Rows[b].Publisher
+			}
+			return rep.Rows[a].SellerID < rep.Rows[b].SellerID
 		})
 		rep.TotalImpressionsCharged = total
 		rep.ContextualImpressions = total * 2 / 3
@@ -483,6 +520,7 @@ func (o *oracle) checkFinal() {
 	o.checkStreamAudit("final")
 	o.checkRecovery("final")
 	o.checkAudit()
+	o.checkAdversarial()
 	o.checkTraces()
 }
 

@@ -103,6 +103,22 @@ type Config struct {
 	// the flusher must never wait on a timer the virtual clock would
 	// have to advance.
 	GroupWAL bool
+	// Attack injects the adversarial scenario pack into the schedule:
+	// "spoof" (domain-spoofed reporting), "pool" (one seller ID resold
+	// across unrelated owner groups), "bot" (a residential timer bot
+	// with a degenerate behavioral signature), "inflate" (a stacked
+	// 1-px placement), or "all". Attack sessions carry ground-truth
+	// labels into the shadow model; the oracle then demands the audit's
+	// adversarial detectors flag exactly the injected fraud. Empty
+	// injects nothing — and the oracle demands zero adversarial flags,
+	// the false-positive floor every clean seed is held to.
+	Attack string
+	// DisableDetector blanks one adversarial dimension ("sellers",
+	// "pooling" or "behavior") in the report the oracle inspects,
+	// simulating a regressed/removed detector. With an Attack injected,
+	// the run must then fail — the executable proof the oracle's
+	// adversarial invariant has teeth.
+	DisableDetector string
 }
 
 // Result is the outcome of one run.
@@ -124,6 +140,12 @@ type Result struct {
 	// wire-mix run whose digest matches all-text proves nothing if no
 	// delivery actually took the binary path.
 	BinaryDeliveries int
+	// AdversarialFlags counts the entities the adversarial detectors
+	// flagged in the final audit (unauthorized seller pairs + pooled
+	// sellers + bot users + inflated publishers, summed over
+	// campaigns) — the attack tests' non-vacuity guard, and the clean
+	// runs' zero-flag floor.
+	AdversarialFlags int
 }
 
 // Failed reports whether the oracle found violations.
@@ -147,6 +169,13 @@ const (
 	// scenarioReorder is a reconnect whose segments arrive out of
 	// chronological order.
 	scenarioReorder
+	// The adversarial scenarios (Config.Attack): single-segment
+	// sessions carrying injected fraud plus the ground-truth label the
+	// oracle's checkAdversarial compares detector output against.
+	scenarioBot
+	scenarioInflate
+	scenarioSpoof
+	scenarioPool
 )
 
 func (s scenario) String() string {
@@ -161,6 +190,14 @@ func (s scenario) String() string {
 		return "duplicate"
 	case scenarioReorder:
 		return "reorder"
+	case scenarioBot:
+		return "bot"
+	case scenarioInflate:
+		return "inflate"
+	case scenarioSpoof:
+		return "spoof"
+	case scenarioPool:
+		return "pool"
 	}
 	return "unknown"
 }
@@ -180,6 +217,13 @@ type simSession struct {
 	kind     scenario
 	nonce    string
 	segments []segment // in delivery order
+
+	// Adversarial ground truth (attack sessions only): the publisher
+	// and seller the vendor report books the impression under. Honest
+	// sessions leave both empty — the report then carries the beacon's
+	// true publisher and its direct seller account.
+	reportedPublisher string
+	sellerID          string
 }
 
 // simBase is the virtual-time origin of every schedule — the paper's
@@ -226,6 +270,9 @@ func generate(cfg Config, uni *publisher.Universe) []simSession {
 
 func genSession(cfg Config, idx int, rng *stats.RNG, uni *publisher.Universe) simSession {
 	s := simSession{idx: idx, nonce: fmt.Sprintf("sim-%x-%04d", uint64(cfg.Seed), idx)}
+	if kind, ok := attackKindFor(cfg.Attack, idx); ok {
+		return genAttackSession(cfg, s, kind, rng, uni)
+	}
 	switch p := rng.Float64(); {
 	case p < 0.45:
 		s.kind = scenarioClean
@@ -521,14 +568,17 @@ func Run(cfg Config) (*Result, error) {
 		engine:    eng,
 		rec:       rec,
 		traced:    traced,
+		attack:    cfg.Attack,
+		disable:   cfg.DisableDetector,
 	}
 
 	if cfg.Workers > 1 {
 		runConcurrent(cfg, flat, coll, o)
 	} else {
 		h := fnv.New64a()
-		fmt.Fprintf(h, "schedule seed=%d sessions=%d only=%v breakdedup=%t tracesample=%d\n",
-			cfg.Seed, cfg.Sessions, cfg.Only, cfg.BreakDedup, cfg.TraceSample)
+		fmt.Fprintf(h, "schedule seed=%d sessions=%d only=%v breakdedup=%t tracesample=%d attack=%q disable=%q\n",
+			cfg.Seed, cfg.Sessions, cfg.Only, cfg.BreakDedup, cfg.TraceSample,
+			cfg.Attack, cfg.DisableDetector)
 		runSerial(cfg, flat, coll, clk, o, h)
 		digestStore(h, st)
 		res.Digest = fmt.Sprintf("%016x", h.Sum64())
@@ -536,6 +586,7 @@ func Run(cfg Config) (*Result, error) {
 
 	o.checkFinal()
 	res.Violations = o.violations
+	res.AdversarialFlags = o.advFlags
 	return res, nil
 }
 

@@ -1,0 +1,203 @@
+package streamaudit
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"adaudit/internal/adnet"
+	"adaudit/internal/store"
+)
+
+// The adversarial parity suite: the same deep-equal-at-quiescence
+// contract as TestReportMatchesFullAudit, but over workloads carrying
+// the ISSUE-9 attack signatures — timer bots with degenerate behavior,
+// stacked-1px placements, and vendor reports with spoofed and pooled
+// seller attributions — so the three adversarial dimensions are
+// exercised with non-empty results on both audit paths.
+
+// populateAdversarial layers the attack traffic on top of the organic
+// workload: per campaign, one timer bot (fixed cadence, fixed
+// signature, merged identically so the merge slot-overwrite path runs)
+// and one stacked-placement publisher (long exposures, 1-px visible
+// fractions, one-impression users).
+func (w *testWorld) populateAdversarial(t testing.TB) {
+	t.Helper()
+	base := time.Unix(1700050000, 0)
+	for ci, c := range testCampaigns {
+		botPub := w.uni.At((ci * 7) % w.uni.Len()).Domain
+		botIDs := make([]int64, 0, 8)
+		for k := 0; k < 8; k++ {
+			id, err := w.st.Insert(store.Impression{
+				CampaignID:         c,
+				CreativeID:         "cr-1",
+				Publisher:          botPub,
+				UserKey:            fmt.Sprintf("timerbot-%d", ci),
+				IPPseudonym:        fmt.Sprintf("botip-%d", ci),
+				UserAgent:          "bot-agent",
+				Timestamp:          base.Add(time.Duration(k) * 30 * time.Second),
+				Exposure:           1500 * time.Millisecond,
+				VisibilityMeasured: true,
+				MaxVisibleFraction: 0.35,
+			})
+			if err != nil {
+				t.Fatalf("Insert bot impression: %v", err)
+			}
+			botIDs = append(botIDs, id)
+		}
+		// One identical continuation per bot impression: exposures move
+		// together (1.5s -> 1.75s everywhere) and the max fraction is
+		// unchanged, so the signature stays degenerate after the merge.
+		for _, id := range botIDs {
+			if err := w.st.Merge(id, store.Continuation{
+				Exposure:           250 * time.Millisecond,
+				VisibilityMeasured: true,
+				MaxVisibleFraction: 0.10,
+			}); err != nil {
+				t.Fatalf("Merge bot impression: %v", err)
+			}
+		}
+		// Stacked placement: viewable by exposure, never on screen.
+		infPub := fmt.Sprintf("stacked%d.example", ci)
+		for k := 0; k < 7; k++ {
+			_, err := w.st.Insert(store.Impression{
+				CampaignID:         c,
+				CreativeID:         "cr-1",
+				Publisher:          infPub,
+				UserKey:            fmt.Sprintf("stackuser-%d-%d", ci, k),
+				IPPseudonym:        fmt.Sprintf("stackip-%d-%d", ci, k),
+				UserAgent:          "test-agent",
+				Timestamp:          base.Add(time.Duration(k) * 7 * time.Minute),
+				Exposure:           2 * time.Second,
+				VisibilityMeasured: true,
+				MaxVisibleFraction: 0.02 + 0.005*float64(k),
+			})
+			if err != nil {
+				t.Fatalf("Insert stacked impression: %v", err)
+			}
+		}
+	}
+}
+
+// buildAdversarialInputs builds the vendor reports the way
+// buildInputs does, then adds seller attributions: honest rows carry
+// the publisher's own direct seller, one spoofed row books a premium
+// publisher under another domain's seller, and a pooled seller ID
+// spans publishers from five distinct owner groups.
+func (w *testWorld) buildAdversarialInputs(t testing.TB, rng *rand.Rand) {
+	t.Helper()
+	w.buildInputs(rng)
+	// Publishers spanning five distinct owner groups, for the pool rows.
+	groups := map[string]bool{}
+	var poolPubs []string
+	for i := 0; i < w.uni.Len() && len(poolPubs) < 5; i++ {
+		d := w.uni.At(i).Domain
+		g := adnet.OwnerGroupOf(d)
+		if !groups[g] {
+			groups[g] = true
+			poolPubs = append(poolPubs, d)
+		}
+	}
+	if len(poolPubs) < 5 {
+		t.Fatalf("universe spans only %d owner groups", len(poolPubs))
+	}
+	for _, in := range w.inputs {
+		rep := in.Report
+		for i := range rep.Rows {
+			switch rep.Rows[i].Publisher {
+			case adnet.AnonymousPublisher:
+				rep.Rows[i].SellerID = adnet.ExchangeSellerID
+			case "vendoronly.example":
+				// Left unattributed: the cross-check counts it but says
+				// nothing.
+			default:
+				rep.Rows[i].SellerID = adnet.DirectSellerID(rep.Rows[i].Publisher)
+			}
+		}
+		if in.ID == "camp-ghost" {
+			continue
+		}
+		// Spoof: premium inventory booked under an unrelated seller.
+		rep.Rows = append(rep.Rows, adnet.ReportRow{
+			Publisher:   w.uni.At(0).Domain,
+			SellerID:    adnet.DirectSellerID("lowquality.example"),
+			Impressions: 31,
+		})
+		// Pool: one seller account reselling across five owner groups.
+		for _, p := range poolPubs {
+			rep.Rows = append(rep.Rows, adnet.ReportRow{
+				Publisher:   p,
+				SellerID:    "pool-test",
+				Impressions: 5,
+			})
+		}
+	}
+}
+
+// TestAdversarialDimensionsParity is the deep-equal contract over
+// adversarial workloads, across seeds and both attach orders. It first
+// checks on the batch side that every adversarial dimension actually
+// fired — unauthorized sellers, pooled sellers, bot users, inflated
+// publishers — so the parity assertion is not vacuous.
+func TestAdversarialDimensionsParity(t *testing.T) {
+	for seed := int64(21); seed <= 23; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			w := newTestWorld(t, seed)
+			rng := rand.New(rand.NewSource(seed))
+
+			// Delta path: engine attached to the empty store.
+			deltaEng, err := New(Config{Store: w.st, Meta: w.meta})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			w.populate(t, rng, 300)
+			w.populateAdversarial(t)
+			w.buildAdversarialInputs(t, rng)
+
+			want, err := w.auditor(t).FullAuditSerial(w.inputs)
+			if err != nil {
+				t.Fatalf("FullAuditSerial: %v", err)
+			}
+			for _, ca := range want.PerCampaign {
+				if ca.ID == "camp-ghost" {
+					continue
+				}
+				if len(ca.Sellers.UnauthorizedPairs) == 0 {
+					t.Fatalf("campaign %s: no unauthorized seller pairs; adversarial input broken", ca.ID)
+				}
+				if len(ca.Pooling.PooledSellers) == 0 {
+					t.Fatalf("campaign %s: pooling detector silent; adversarial input broken", ca.ID)
+				}
+				if len(ca.Behavior.BotUsers) == 0 {
+					t.Fatalf("campaign %s: behavior detector saw no bots; adversarial input broken", ca.ID)
+				}
+				if len(ca.Behavior.InflatedPublishers) == 0 {
+					t.Fatalf("campaign %s: no inflated publishers; adversarial input broken", ca.ID)
+				}
+			}
+
+			if _, resynced := deltaEng.Drain(); resynced {
+				t.Fatalf("delta engine resynced; buffer should have held the workload")
+			}
+			requireReportsEqual(t, w, deltaEng)
+
+			// Snapshot path: fresh engine primes from current contents
+			// (merged bot impressions arrive pre-merged).
+			snapEng, err := New(Config{Store: w.st, Meta: w.meta})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			requireReportsEqual(t, w, snapEng)
+
+			// Mixed path: more organic traffic on top, both engines.
+			w.populate(t, rng, 100)
+			w.buildAdversarialInputs(t, rng)
+			deltaEng.Drain()
+			snapEng.Drain()
+			requireReportsEqual(t, w, deltaEng)
+			requireReportsEqual(t, w, snapEng)
+		})
+	}
+}

@@ -127,6 +127,31 @@ func (e *Engine) campaignAuditLocked(in audit.CampaignInput) (audit.CampaignAudi
 	// the result never aliases live state).
 	ca.Fraud = audit.FraudFromState(in.ID, len(cs.exposures), cs.dcImps,
 		cs.byVerdict, cs.ipSeen, cs.pubSeen, cs.dcPerPub)
+
+	// Adversarial dimensions. Sellers and pooling are pure functions of
+	// the vendor report and the directory, shared verbatim with the
+	// batch path. Behavior folds the slot-indexed state; per-user
+	// timestamps come from the frequency groups (the fold only sorts
+	// the slices in place, exactly as FrequencyFromTimes does, so
+	// aliasing the live slices is safe).
+	ca.Sellers = audit.SellerAuditFromReport(in.ID, in.Report, e.sellers)
+	ca.Pooling = audit.PoolingFromReport(in.ID, in.Report, e.sellers, audit.DefaultMaxGroupSpan)
+	times := make(map[string][]time.Time, len(cs.userSlots))
+	for k, ts := range e.st.freq {
+		if k.CampaignID == in.ID {
+			times[k.UserKey] = ts
+		}
+	}
+	ca.Behavior = audit.BehaviorFromState(in.ID, audit.BehaviorState{
+		Times:       times,
+		UserSlots:   cs.userSlots,
+		PubSlots:    cs.pubSlots,
+		Exposures:   cs.exposures,
+		VisMeasured: cs.visMeasured,
+		VisFrac:     cs.visFrac,
+		UserConvs:   cs.userConvs,
+		UserDC:      cs.userDC,
+	})
 	return ca, nil
 }
 

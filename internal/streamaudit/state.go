@@ -68,6 +68,18 @@ type campaignState struct {
 	ipSeen    map[string]bool
 	pubSeen   map[string]bool
 	dcPerPub  map[string]int
+
+	// Behavior: the slot-indexed mutable visibility signals (aligned
+	// with exposures so merges overwrite in place), per-user and
+	// per-publisher slot lists in insertion order, per-user conversion
+	// counts, and the users the DC cascade caught — together the
+	// audit.BehaviorState the shared behavioral fold consumes.
+	visMeasured []bool
+	visFrac     []float64
+	userSlots   map[string][]int
+	pubSlots    map[string][]int
+	userConvs   map[string]int
+	userDC      map[string]bool
 }
 
 func newState() *state {
@@ -90,6 +102,10 @@ func (s *state) campaign(id string) *campaignState {
 			ipSeen:    map[string]bool{},
 			pubSeen:   map[string]bool{},
 			dcPerPub:  map[string]int{},
+			userSlots: map[string][]int{},
+			pubSlots:  map[string][]int{},
+			userConvs: map[string]int{},
+			userDC:    map[string]bool{},
 		}
 		s.campaigns[id] = cs
 	}
@@ -125,7 +141,8 @@ func (s *state) applyInsert(e *Engine, im *store.Impression) {
 	done(dimPopularity)
 
 	// Viewability.
-	s.recs[im.ID] = recRef{cs: cs, slot: len(cs.exposures)}
+	slot := len(cs.exposures)
+	s.recs[im.ID] = recRef{cs: cs, slot: slot}
 	cs.exposures = append(cs.exposures, im.Exposure.Seconds())
 	if im.Exposure >= audit.ViewabilityThreshold {
 		cs.viewableUB++
@@ -148,6 +165,17 @@ func (s *state) applyInsert(e *Engine, im *store.Impression) {
 	cs.ipSeen[im.IPPseudonym] = cs.ipSeen[im.IPPseudonym] || isDC
 	cs.pubSeen[im.Publisher] = cs.pubSeen[im.Publisher] || isDC
 	done(dimFraud)
+
+	// Behavior: slot-aligned visibility signals plus the identity slot
+	// lists the behavioral fold groups by.
+	cs.visMeasured = append(cs.visMeasured, im.VisibilityMeasured)
+	cs.visFrac = append(cs.visFrac, im.MaxVisibleFraction)
+	cs.userSlots[im.UserKey] = append(cs.userSlots[im.UserKey], slot)
+	cs.pubSlots[im.Publisher] = append(cs.pubSlots[im.Publisher], slot)
+	if isDC {
+		cs.userDC[im.UserKey] = true
+	}
+	done(dimBehavior)
 
 	// Frequency.
 	k := audit.FrequencyKey{CampaignID: im.CampaignID, UserKey: im.UserKey}
@@ -178,14 +206,21 @@ func (s *state) applyMerge(e *Engine, ev *store.FeedEvent) error {
 		b2i(mrcViewable(prev.VisibilityMeasured, prev.Exposure, prev.MaxVisibleFraction))
 	done(dimViewability)
 
+	cs.visMeasured[ref.slot] = now.VisibilityMeasured
+	cs.visFrac[ref.slot] = now.MaxVisibleFraction
+	done(dimBehavior)
+
 	cs.clicks += now.Clicks - prev.Clicks
 	done(dimPublisher)
 	return nil
 }
 
-// applyConversion counts one conversion for the live summary view.
+// applyConversion counts one conversion for the live summary view and
+// the behavioral bot score (converting users are never flagged).
 func (s *state) applyConversion(c *store.Conversion) {
-	s.campaign(c.CampaignID).conversions++
+	cs := s.campaign(c.CampaignID)
+	cs.conversions++
+	cs.userConvs[c.UserKey]++
 }
 
 func mrcViewable(measured bool, exp time.Duration, maxVis float64) bool {

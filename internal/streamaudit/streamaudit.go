@@ -64,6 +64,10 @@ type Config struct {
 	// the live per-campaign view. Campaigns without one are audited
 	// against an empty report (vendor-side numbers all zero).
 	Reports map[string]*adnet.VendorReport
+	// Sellers resolves the declared-seller state for the adversarial
+	// dimensions; nil uses the simulated ecosystem's registry, matching
+	// audit.Auditor's default.
+	Sellers audit.SellerDirectory
 	// Telemetry registers the engine's instruments when non-nil.
 	Telemetry *telemetry.Registry
 }
@@ -77,6 +81,7 @@ type Engine struct {
 	buffer   int
 	keywords map[string][]string
 	reports  map[string]*adnet.VendorReport
+	sellers  audit.SellerDirectory
 
 	// mu guards st, sub and metaMemo. appliedSeq/resyncs are atomics
 	// so monitoring reads never contend with apply.
@@ -121,6 +126,10 @@ func New(cfg Config) (*Engine, error) {
 	if m == nil {
 		m = semsim.NewMatcher(semsim.DefaultTaxonomy())
 	}
+	sellers := cfg.Sellers
+	if sellers == nil {
+		sellers = adnet.SellerRegistry{}
+	}
 	e := &Engine{
 		store:     cfg.Store,
 		meta:      cfg.Meta,
@@ -128,6 +137,7 @@ func New(cfg Config) (*Engine, error) {
 		buffer:    cfg.Buffer,
 		keywords:  cfg.Keywords,
 		reports:   cfg.Reports,
+		sellers:   sellers,
 		metaMemo:  map[string]metaEntry{},
 		listeners: map[*Updates]struct{}{},
 	}

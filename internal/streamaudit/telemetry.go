@@ -17,6 +17,7 @@ const (
 	dimViewability = "viewability"
 	dimFraud       = "fraud"
 	dimFrequency   = "frequency"
+	dimBehavior    = "behavior"
 )
 
 // engineTelemetry instruments the engine: applied events, resyncs, a
@@ -49,7 +50,7 @@ func (t *engineTelemetry) init(reg *telemetry.Registry, e *Engine) {
 		"Store-commit to streamaudit-apply pipeline latency — the freshness SLO (sampled; traced events always observed).",
 		telemetry.LatencyBuckets(), nil)
 	t.sections = map[string]*telemetry.Histogram{}
-	for _, dim := range []string{dimPublisher, dimPopularity, dimViewability, dimFraud, dimFrequency} {
+	for _, dim := range []string{dimPublisher, dimPopularity, dimViewability, dimFraud, dimFrequency, dimBehavior} {
 		t.sections[dim] = reg.Histogram("adaudit_streamaudit_apply_seconds",
 			"Per-dimension incremental apply latency (sampled).",
 			telemetry.LatencyBuckets(),

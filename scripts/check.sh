@@ -10,11 +10,13 @@
 #   scripts/check.sh -bench-compare # also run the audit perf gate (scripts/bench_compare.sh)
 #   scripts/check.sh -sim           # also run the simulation sweep (25 seeds, -race)
 #                                   # plus the trace-digest determinism gate
+#   scripts/check.sh -adversarial   # also run the adversarial scenario pack under -race
+#                                   # (attack oracles, detector-disable gates, stream parity)
 #   scripts/check.sh -fuzz-smoke    # also fuzz every target 30s from the committed corpora
 set -eu
 cd "$(dirname "$0")/.."
 
-RACE_PKGS="./internal/collector/ ./internal/wsproto/ ./internal/store/ ./internal/telemetry/ ./internal/faultnet/ ./internal/beacon/ ./internal/semsim/ ./internal/audit/ ./internal/simclock/ ./internal/simtest/ ./internal/streamaudit/ ./internal/trace/ ./internal/logutil/ ./internal/gateway/ ./internal/trunk/"
+RACE_PKGS="./internal/collector/ ./internal/wsproto/ ./internal/store/ ./internal/telemetry/ ./internal/faultnet/ ./internal/beacon/ ./internal/semsim/ ./internal/audit/ ./internal/adnet/ ./internal/simclock/ ./internal/simtest/ ./internal/streamaudit/ ./internal/trace/ ./internal/logutil/ ./internal/gateway/ ./internal/trunk/"
 
 echo "==> go build ./..."
 go build ./...
@@ -82,6 +84,23 @@ if [ "${1:-}" = "-sim" ]; then
         diff "$DIGESTS/run1" "$DIGESTS/run2" >&2 || true
         exit 1
     fi
+fi
+
+if [ "${1:-}" = "-adversarial" ]; then
+    # The adversarial scenario pack: seeded attack schedules with
+    # oracle-backed precision/recall checks (the recall side must fail
+    # when a detector is disabled — TestSimAdversarialDisabledDetector
+    # proves the invariants have teeth), the streaming engine's
+    # deep-equal parity on adversarial workloads, the adversary layer's
+    # ground-truth unit tests, and the adsim CLI scenario run.
+    echo "==> adversarial scenario pack (-race)"
+    go test -race -count 1 -run 'TestSimAdversarial' ./internal/simtest/
+    go test -race -count 1 -run 'TestAdversarialDimensionsParity' ./internal/streamaudit/
+    go test -race -count 1 -run 'TestAdversary|TestHonestReportSellers' ./internal/adnet/
+    go test -race -count 1 \
+        -run 'TestCadenceCV|TestSellerAudit|TestPoolingFromReport|TestBehaviorFromState' \
+        ./internal/audit/
+    go test -race -count 1 -run 'TestRunAdversarialScenario' ./cmd/adsim/
 fi
 
 if [ "${1:-}" = "-fuzz-smoke" ]; then

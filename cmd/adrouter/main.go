@@ -1,0 +1,164 @@
+// Command adrouter runs the sharded ingest front tier: it terminates
+// beacon WebSockets and gateway trunk connections, consistent-hashes
+// every session's nonce onto one of N collector shards, and forwards
+// each impression to its owning shard over a pool of persistent trunk
+// connections with batching, circuit breaking and a per-shard spill
+// buffer — a client or gateway the router acknowledged is delivered
+// even across a shard restart (replayed through the shard's
+// nonce/stream dedup, so never double-counted).
+//
+// Usage:
+//
+//	adrouter -shards ws://10.0.0.1:8080/trunk,ws://10.0.0.2:8080/trunk
+//	         [-listen 127.0.0.1:8082] [-trunk-token TOKEN]
+//	         [-trunks-per-shard 2]
+//	         [-origins ads.example.com,cdn.example.net] [-max-sessions N]
+//	         [-router-id ID] [-spill-limit 65536] [-drain-grace 5s]
+//	         [-shard-api http://10.0.0.1:8080,http://10.0.0.2:8080]
+//	         [-live-seed 1] [-live-publishers 150000]
+//	         [-log-level info] [-log-format text]
+//
+// The listen address serves the beacon endpoint on /beacon, the
+// gateway trunk relay on /trunk, plus the operational surface: GET
+// /healthz (ok → degraded → unhealthy as shard trunks break; a shard
+// with no healthy trunk is fatal because its slice of the keyspace has
+// nowhere else to go), GET /metrics (Prometheus text, per-shard series
+// under shard_id labels) and GET /api/metrics (JSON).
+//
+// With -shard-api the router also serves the merged live audit: GET
+// /api/live/export unions every shard's streaming-audit export in
+// shard order, and /api/live/summary + /api/live/audit/{campaign}
+// answer from an engine built over that merged state — the same report
+// a single unsharded collector would produce. -shard-api must list the
+// shards' HTTP bases in the same order as -shards, and -live-seed /
+// -live-publishers must match the shards' own -live metadata.
+//
+// On SIGINT/SIGTERM the router drains: admission flips to shedding,
+// open sessions are handed back with the resumable 1012 close code and
+// a Retry-After hint, and every shard's spill buffer is given
+// -drain-grace to flush acknowledged commits. The shard set is fixed
+// for the router's lifetime — resharding means draining and restarting
+// with a new -shards list.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"adaudit/internal/adnet"
+	"adaudit/internal/audit"
+	"adaudit/internal/logutil"
+	"adaudit/internal/publisher"
+	"adaudit/internal/router"
+	"adaudit/internal/shardmerge"
+	"adaudit/internal/streamaudit"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:8082", "host:port for the beacon and trunk endpoints")
+		shards      = flag.String("shards", "", "comma-separated shard trunk endpoints in shard order (ws://host:port/trunk); required")
+		trunkToken  = flag.String("trunk-token", "", "shared secret presented on shard trunk handshakes and required of gateway trunks")
+		perShard    = flag.Int("trunks-per-shard", 2, "persistent trunk connections per shard")
+		origins     = flag.String("origins", "", "comma-separated page origins admitted to /beacon (subdomains included; empty admits all)")
+		maxSessions = flag.Int("max-sessions", 0, "concurrent beacon session cap (0 disables)")
+		routerID    = flag.String("router-id", "", "stable router identity on the shard trunk wire (default: random per run)")
+		spillLimit  = flag.Int("spill-limit", 0, "unacked commits held across shard outages, summed over shards, before shedding (0 = default 65536)")
+		drainGrace  = flag.Duration("drain-grace", 5*time.Second, "shutdown budget for flushing acked commits to the shards")
+		shardAPI    = flag.String("shard-api", "", "comma-separated shard HTTP bases in shard order; enables the merged /api/live endpoints")
+		liveSeed    = flag.Int64("live-seed", 1, "seed of the synthetic metadata universe for the merged live audit (must match the shards')")
+		livePubs    = flag.Int("live-publishers", 150000, "size of the synthetic metadata universe for the merged live audit")
+		logFlags    = logutil.Register(flag.CommandLine)
+	)
+	flag.Parse()
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adrouter:", err)
+		os.Exit(2)
+	}
+	splitList := func(s string) []string {
+		var out []string
+		for _, v := range strings.Split(s, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	shardURLs := splitList(*shards)
+	if len(shardURLs) == 0 {
+		fmt.Fprintln(os.Stderr, "adrouter: -shards is required (comma-separated ws://host:port/trunk)")
+		os.Exit(2)
+	}
+
+	r, err := router.New(router.Config{
+		Shards:         shardURLs,
+		TrunkToken:     *trunkToken,
+		RouterID:       *routerID,
+		TrunksPerShard: *perShard,
+		AllowedOrigins: splitList(*origins),
+		MaxSessions:    *maxSessions,
+		SpillLimit:     *spillLimit,
+		Logger:         logger,
+	})
+	if err != nil {
+		logger.Error("router init failed", "err", err)
+		os.Exit(1)
+	}
+	srvOpts := []router.ServerOption{router.WithDrainGrace(*drainGrace)}
+	if *shardAPI != "" {
+		apiBases := splitList(*shardAPI)
+		if len(apiBases) != len(shardURLs) {
+			fmt.Fprintf(os.Stderr, "adrouter: -shard-api lists %d bases for %d shards; they must align in shard order\n",
+				len(apiBases), len(shardURLs))
+			os.Exit(2)
+		}
+		uni, err := publisher.NewUniverse(publisher.Config{
+			Seed:          *liveSeed,
+			NumPublishers: *livePubs,
+		})
+		if err != nil {
+			logger.Error("building metadata universe for merged live audit", "err", err)
+			os.Exit(1)
+		}
+		keywords := map[string][]string{}
+		for _, c := range adnet.PaperCampaigns() {
+			keywords[c.ID] = c.Keywords
+		}
+		srvOpts = append(srvOpts, router.WithLiveMerge(
+			&shardmerge.Client{Shards: apiBases},
+			streamaudit.StaticConfig{
+				Meta:     audit.UniverseMetadata{Universe: uni},
+				Keywords: keywords,
+			},
+		))
+		logger.Info("merged live audit enabled", "shards", len(apiBases),
+			"publishers", *livePubs, "seed", *liveSeed)
+	}
+	srv, err := router.NewServer(r, *listen, srvOpts...)
+	if err != nil {
+		logger.Error("router listen failed", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("router listening",
+		"beacon", srv.BeaconURL(),
+		"trunk", srv.TrunkURL(),
+		"shards", len(shardURLs),
+		"trunks_per_shard", *perShard,
+		"healthz", fmt.Sprintf("http://%s/healthz", srv.Addr()))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx); err != nil {
+		logger.Error("router failed", "err", err)
+		os.Exit(1)
+	}
+	st := r.Health()
+	logger.Info("router stopped", "spill_pending", st.SpillPending)
+}

@@ -6,7 +6,7 @@
 //
 //	adsim [-seed N] [-publishers N] [-snapshot imps.jsonl] [-csv imps.csv]
 //	      [-metrics metrics.json] [-report] [-adversarial spoof|pool|bots|inflate|all]
-//	      [-gateway ws://host:port/beacon] [-gateway-limit 1000]
+//	      [-gateway ws://host:port/beacon] [-gateway-limit 1000] [-shards N]
 //	      [-log-level info|debug|warn|error] [-log-format text|json]
 //
 // With -gateway the collected dataset is additionally replayed through
@@ -16,6 +16,13 @@
 // double-count. This is the load path for exercising the
 // adgateway → auditd tier with realistic campaign traffic;
 // -gateway-limit caps how many impressions are replayed (0 = all).
+//
+// With -shards N the dataset is instead replayed through an in-process
+// sharded deployment — N collectors, each with a live streaming-audit
+// engine, behind a multiplexing router — and the run verifies the
+// shard-merge invariant: the report over the router's merged live
+// export deep-equals the batch audit over the union of the shard
+// stores. -gateway-limit and -wire apply to this replay too.
 package main
 
 import (
@@ -51,6 +58,7 @@ func main() {
 		gatewayURL  = flag.String("gateway", "", "replay the dataset through this beacon endpoint (ws://host:port/beacon of an adgateway or auditd)")
 		gatewayLim  = flag.Int("gateway-limit", 1000, "impressions to replay through -gateway (0 = the whole dataset)")
 		wire        = flag.String("wire", "text", "beacon wire for -gateway replay: text, binary, or mixed (alternate per session)")
+		shardsN     = flag.Int("shards", 0, "replay the dataset through an in-process sharded tier: N collectors behind a router, with the shard-merged audit verified against the batch audit (0 disables)")
 		logFlags    = logutil.Register(flag.CommandLine)
 	)
 	flag.Parse()
@@ -59,13 +67,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "adsim:", err)
 		os.Exit(2)
 	}
-	if err := run(*seed, *publishers, *snapshot, *csvPath, *reports, *conversions, *metricsPath, *printRep, *adversarial, *gatewayURL, *gatewayLim, *wire, logger); err != nil {
+	if err := run(*seed, *publishers, *snapshot, *csvPath, *reports, *conversions, *metricsPath, *printRep, *adversarial, *gatewayURL, *gatewayLim, *wire, *shardsN, logger); err != nil {
 		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversionsPath, metricsPath string, printRep bool, adversarial, gatewayURL string, gatewayLim int, wire string, logger *slog.Logger) error {
+func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversionsPath, metricsPath string, printRep bool, adversarial, gatewayURL string, gatewayLim int, wire string, shardsN int, logger *slog.Logger) error {
 	opts := adaudit.Options{Seed: seed, NumPublishers: publishers}
 	if adversarial != "" {
 		adv, err := adnet.AdversaryScenario(adversarial)
@@ -128,6 +136,11 @@ func run(seed int64, publishers int, snapshot, csvPath, reportsPath, conversions
 	if gatewayURL != "" {
 		if err := replayThroughGateway(gatewayURL, gatewayLim, wire, ws.Store, logger); err != nil {
 			return fmt.Errorf("gateway replay: %w", err)
+		}
+	}
+	if shardsN > 0 {
+		if err := replayThroughShards(shardsN, gatewayLim, wire, seed, publishers, ws.Store, logger); err != nil {
+			return fmt.Errorf("sharded replay: %w", err)
 		}
 	}
 	// Metrics are written last so the telemetry view covers the audit

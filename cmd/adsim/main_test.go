@@ -21,7 +21,7 @@ func TestRunWritesAllOutputs(t *testing.T) {
 	metrics := filepath.Join(dir, "metrics.json")
 
 	// Small universe for test speed; -report=false to skip rendering.
-	if err := run(7, 6000, snap, csvPath, reports, convs, metrics, false, "", "", 0, "text", testLogger()); err != nil {
+	if err := run(7, 6000, snap, csvPath, reports, convs, metrics, false, "", "", 0, "text", 0, testLogger()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -107,7 +107,7 @@ func TestRunAdversarialScenario(t *testing.T) {
 	snap := filepath.Join(dir, "imps.jsonl")
 	reports := filepath.Join(dir, "reports.json")
 
-	if err := run(7, 6000, snap, "", reports, "", "", false, "all", "", 0, "text", testLogger()); err != nil {
+	if err := run(7, 6000, snap, "", reports, "", "", false, "all", "", 0, "text", 0, testLogger()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -148,7 +148,7 @@ func TestRunAdversarialScenario(t *testing.T) {
 }
 
 func TestRunRejectsBadPath(t *testing.T) {
-	if err := run(1, 6000, "/nonexistent-dir/x.jsonl", "", "", "", "", false, "", "", 0, "text", testLogger()); err == nil {
+	if err := run(1, 6000, "/nonexistent-dir/x.jsonl", "", "", "", "", false, "", "", 0, "text", 0, testLogger()); err == nil {
 		t.Fatal("bad snapshot path accepted")
 	}
 }

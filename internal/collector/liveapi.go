@@ -18,6 +18,9 @@ import (
 //	GET /api/live/summary             — every campaign's live summary
 //	GET /api/live/audit/{campaign}    — one campaign's five-dimension audit
 //	GET /api/live/stream              — SSE feed of dimension updates
+//	GET /api/live/export              — the engine's full incremental state
+//	                                    (streamaudit.Export), the document
+//	                                    the shard-merge tier unions
 //
 // The SSE stream emits one "summary" event per batch of changed
 // campaigns (coalesced by the engine's Updates listener, so a slow
@@ -42,6 +45,7 @@ func (l *liveAPI) register(mux *http.ServeMux) {
 	mux.HandleFunc("/api/live/summary", l.handleSummary)
 	mux.HandleFunc("/api/live/audit/", l.handleAudit)
 	mux.HandleFunc("/api/live/stream", l.handleStream)
+	mux.HandleFunc("/api/live/export", l.handleExport)
 }
 
 // shutdown ends every open SSE stream and waits for the handlers to
@@ -83,6 +87,19 @@ func (l *liveAPI) handleAudit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, la)
+}
+
+// handleExport serves the engine's deep-copied incremental state. The
+// engine drains whatever the feed already buffered first, so an export
+// taken at quiescence reflects every acknowledged mutation — the
+// property the shard-merge exactness contract needs.
+func (l *liveAPI) handleExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	l.engine.Drain()
+	writeJSON(w, l.engine.Export())
 }
 
 // sseHeartbeat keeps idle streams alive through proxies.

@@ -351,7 +351,7 @@ func (g *Gateway) spillPending() int {
 func (g *Gateway) shed(w http.ResponseWriter, reason string) {
 	g.tel.sheds.With(reason).Inc()
 	w.Header().Set("Retry-After",
-		strconv.Itoa(int((g.cfg.RetryAfterHint + time.Second - 1) / time.Second)))
+		strconv.Itoa(int((g.cfg.RetryAfterHint+time.Second-1)/time.Second)))
 	http.Error(w, "gateway "+reason, http.StatusServiceUnavailable)
 }
 
@@ -675,14 +675,21 @@ func (g *Gateway) rejectStream(stream uint64, reason string) {
 
 // forwardLoop drains one session's queue onto healthy trunks. Advisory
 // frames are droppable: with no healthy trunk they are discarded, since
-// the accounting state travels self-contained in the commit.
+// the accounting state travels self-contained in the commit. The
+// session pins itself to one trunk while it stays healthy, so a
+// session's Open and Events arrive at the collector in order on one
+// connection — load still spreads across trunks because each session
+// picks its own.
 func (g *Gateway) forwardLoop(q *sessionQueue) {
+	var t *trunkConn
 	for {
 		frame, ok := q.pop()
 		if !ok {
 			return
 		}
-		t := g.pickTrunk()
+		if t == nil || !t.isHealthy() {
+			t = g.pickTrunk()
+		}
 		if t == nil || !t.enqueue(frame) {
 			g.tel.queueDrops.Add(1)
 		}

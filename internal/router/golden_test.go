@@ -1,0 +1,106 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"adaudit/internal/beacon"
+)
+
+// -update regenerates the golden files from the live fixture:
+//
+//	go test ./internal/router -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("response differs from %s (re-run with -update if the change is intended)\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestMetricsJSONShapeGolden pins the shape of the router's
+// /api/metrics: every registered instrument's key and kind (scalar or
+// histogram). With two shards configured, the per-shard series must fan
+// out under shard_id labels — the golden is what pins that a dashboard
+// can tell shard 0's spill from shard 1's. Values are timing-dependent,
+// so only the schema is captured. One report is pushed through the full
+// routed path first so the forward/batch histograms are live, not
+// hypothetical.
+func TestMetricsJSONShapeGolden(t *testing.T) {
+	f := startShards(t, 2, nil, nil)
+	r, rsrv := startRouter(t, fastRouterConfig(f.trunkURLs()))
+	waitFor(t, 5*time.Second, "shard trunks to establish", func() bool { return allTrunksUp(r) })
+
+	cl := &beacon.Client{CollectorURL: rsrv.BeaconURL()}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cl.Report(ctx, beacon.Payload{
+		CampaignID: "camp-golden", CreativeID: "cr",
+		PageURL: "http://pub.example.com/p", UserAgent: "UA",
+		Nonce: "golden-0001",
+	}, 30*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, "report committed through a shard trunk", func() bool {
+		return f.totalLen() == 1
+	})
+
+	resp, err := http.Get("http://" + rsrv.Addr().String() + "/api/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /api/metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]json.RawMessage
+	if err := json.Unmarshal(body, &metrics); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	var lines []string
+	sawShardLabel := false
+	for key, raw := range metrics {
+		kind := "scalar"
+		if strings.HasPrefix(strings.TrimSpace(string(raw)), "{") {
+			kind = "histogram"
+		}
+		if strings.Contains(key, `shard_id="1"`) {
+			sawShardLabel = true
+		}
+		lines = append(lines, key+" "+kind+"\n")
+	}
+	if !sawShardLabel {
+		t.Errorf("no metric key carries a shard_id=\"1\" label; per-shard series are not fanning out")
+	}
+	sort.Strings(lines)
+	golden(t, "metrics_shape.txt", []byte(strings.Join(lines, "")))
+}

@@ -1,0 +1,97 @@
+package router
+
+import (
+	"strconv"
+
+	"adaudit/internal/telemetry"
+)
+
+// routerTelemetry bundles the router-level instruments (no shard
+// dimension). All fields are nil-safe.
+type routerTelemetry struct {
+	connections    *telemetry.Counter
+	sessionsActive *telemetry.Gauge
+	sheds          *telemetry.CounterVec
+	events         *telemetry.Counter
+	commits        *telemetry.Counter
+	relayTrunks    *telemetry.Gauge
+	relayFrames    *telemetry.CounterVec
+	relayDrops     *telemetry.Counter
+}
+
+func newRouterTelemetry(reg *telemetry.Registry, r *Router) routerTelemetry {
+	tel := routerTelemetry{
+		connections: reg.Counter("adaudit_router_connections_total",
+			"Beacon WebSocket connections accepted at the router.", nil),
+		sessionsActive: reg.Gauge("adaudit_router_sessions_active",
+			"Beacon sessions and gateway trunks currently open on this router.", nil),
+		sheds: reg.CounterVec("adaudit_router_sheds_total",
+			"Beacon requests refused at admission, by reason.", "reason"),
+		events: reg.Counter("adaudit_router_events_total",
+			"Interaction updates received from beacon sessions.", nil),
+		commits: reg.Counter("adaudit_router_commits_total",
+			"Session commits handed to a shard's spill/forward pipeline.", nil),
+		relayTrunks: reg.Gauge("adaudit_router_relay_trunks_active",
+			"Gateway trunk connections currently terminated on this router.", nil),
+		relayFrames: reg.CounterVec("adaudit_router_relay_frames_total",
+			"Trunk frames relayed from gateways onto shards, by frame type.", "type"),
+		relayDrops: reg.Counter("adaudit_router_relay_drops_total",
+			"Relayed advisory frames dropped for an unknown or shardless stream.", nil),
+	}
+	reg.GaugeFunc("adaudit_router_shards_total",
+		"Configured collector shard count.", nil,
+		func() float64 { return float64(len(r.cfg.Shards)) })
+	reg.GaugeFunc("adaudit_router_spill_pending",
+		"Commits awaiting shard acknowledgement, summed over all shards.", nil,
+		func() float64 { return float64(r.spillPending()) })
+	return tel
+}
+
+// shardTelemetry bundles one shard pool's instruments. Every series
+// carries a shard_id label, so the same metric name fans out into one
+// series per shard — a dashboard can spot a hot or dead shard without
+// per-shard scrape targets.
+type shardTelemetry struct {
+	commits       *telemetry.Counter
+	acks          *telemetry.Counter
+	rejects       *telemetry.Counter
+	replays       *telemetry.Counter
+	queueDrops    *telemetry.Counter
+	breakerOpens  *telemetry.Counter
+	trunkBatches  *telemetry.Counter
+	trunksHealthy *telemetry.Gauge
+	forward       *telemetry.Histogram
+	batchBytes    *telemetry.Histogram
+}
+
+func newShardTelemetry(reg *telemetry.Registry, p *shardPool) shardTelemetry {
+	lbl := map[string]string{"shard_id": strconv.Itoa(p.id)}
+	tel := shardTelemetry{
+		commits: reg.Counter("adaudit_router_shard_commits_total",
+			"Commits routed onto this shard.", lbl),
+		acks: reg.Counter("adaudit_router_shard_acks_total",
+			"Commits acknowledged by this shard.", lbl),
+		rejects: reg.Counter("adaudit_router_shard_rejected_total",
+			"Commits this shard rejected permanently.", lbl),
+		replays: reg.Counter("adaudit_router_shard_replays_total",
+			"Commit retransmissions after a trunk change or ack timeout.", lbl),
+		queueDrops: reg.Counter("adaudit_router_shard_queue_drops_total",
+			"Advisory frames dropped with no healthy trunk to this shard.", lbl),
+		breakerOpens: reg.Counter("adaudit_router_shard_breaker_opens_total",
+			"Trunk circuit-breaker openings toward this shard.", lbl),
+		trunkBatches: reg.Counter("adaudit_router_shard_trunk_batches_total",
+			"Batch messages written to this shard's trunks.", lbl),
+		trunksHealthy: reg.Gauge("adaudit_router_shard_trunks_healthy",
+			"Trunk connections currently established to this shard.", lbl),
+		forward: reg.Histogram("adaudit_router_shard_forward_seconds",
+			"Commit-to-shard-ack latency, spill time included.",
+			telemetry.LatencyBuckets(), lbl),
+		batchBytes: reg.Histogram("adaudit_router_shard_batch_bytes",
+			"Trunk batch sizes at flush.",
+			[]float64{256, 1024, 4096, 16384, 65536, 262144}, lbl),
+	}
+	reg.GaugeFunc("adaudit_router_shard_spill_pending",
+		"Commits awaiting this shard's acknowledgement.", lbl,
+		func() float64 { return float64(p.spillPending()) })
+	return tel
+}

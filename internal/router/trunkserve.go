@@ -1,0 +1,283 @@
+package router
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"adaudit/internal/beacon"
+	"adaudit/internal/shardmerge"
+	"adaudit/internal/trunk"
+	"adaudit/internal/wsproto"
+)
+
+// relayOpen is the continuity record for one gateway stream: the
+// router stream it was re-homed onto and the shard that owns it, fixed
+// at Open time by the payload nonce. The record is keyed by
+// gatewayID/stream at the router level — not per connection — because a
+// gateway round-robins frames over its trunk pool, so a stream's Open
+// and Event may arrive on different connections. Commit removes the
+// record; the two-generation cache in Router bounds leftovers from
+// gateways that die without committing.
+type relayOpen struct {
+	stream uint64
+	shard  int
+}
+
+// relayOpenLimit is the per-generation size of the Open continuity
+// cache.
+const relayOpenLimit = 1 << 16
+
+// relayRecordOpen remembers the route fixed for one origin stream.
+func (r *Router) relayRecordOpen(key string, ro relayOpen) {
+	r.opensMu.Lock()
+	if len(r.opensCur) >= relayOpenLimit {
+		r.opensPrev = r.opensCur
+		r.opensCur = make(map[string]relayOpen, relayOpenLimit/4)
+	}
+	r.opensCur[key] = ro
+	r.opensMu.Unlock()
+}
+
+// relayLookupOpen returns the recorded route for an origin stream.
+func (r *Router) relayLookupOpen(key string) (relayOpen, bool) {
+	r.opensMu.Lock()
+	defer r.opensMu.Unlock()
+	if ro, ok := r.opensCur[key]; ok {
+		return ro, true
+	}
+	ro, ok := r.opensPrev[key]
+	return ro, ok
+}
+
+// relayTakeOpen removes and returns the recorded route — called by the
+// Commit that finishes the stream.
+func (r *Router) relayTakeOpen(key string) (relayOpen, bool) {
+	r.opensMu.Lock()
+	defer r.opensMu.Unlock()
+	if ro, ok := r.opensCur[key]; ok {
+		delete(r.opensCur, key)
+		return ro, true
+	}
+	if ro, ok := r.opensPrev[key]; ok {
+		delete(r.opensPrev, key)
+		return ro, true
+	}
+	return relayOpen{}, false
+}
+
+// ServeTrunk terminates one gateway trunk connection on the router: the
+// gateway speaks the ordinary trunk protocol, unaware that its
+// "collector" is a router fanning its sessions out across shards. Every
+// relayed commit is re-streamed under a router-owned stream ID onto the
+// shard its nonce hashes to, held in that shard's spill buffer until
+// the shard acks, and the ack is translated back to the gateway's
+// original stream ID — so the gateway's own spill discipline covers the
+// full gateway → router → shard path with no new protocol.
+//
+// Replays are layered: a gateway re-sending an unacked commit while the
+// router still holds it in spill is folded onto the same router stream
+// (relayByOrigin); a replay arriving after the router already resolved
+// the stream gets a fresh router stream and is absorbed by the shard
+// collector's nonce dedup — the same backstop a collector restart
+// relies on in the single-collector topology.
+func (r *Router) ServeTrunk(w http.ResponseWriter, req *http.Request) {
+	if tok := r.cfg.TrunkToken; tok != "" && req.Header.Get(trunk.TokenHeader) != tok {
+		http.Error(w, "bad trunk token", http.StatusForbidden)
+		return
+	}
+	up := wsproto.Upgrader{MaxMessageSize: trunkMaxMessage}
+	conn, err := up.Upgrade(w, req)
+	if err != nil {
+		r.log.Debug("router: trunk handshake rejected", "err", err, "remote", req.RemoteAddr)
+		return
+	}
+	if r.draining.Load() {
+		_ = conn.Close(wsproto.CloseGoingAway, "router shutting down")
+		return
+	}
+	conn.ReuseReadBuffer()
+	// Relayed trunks ride the same session tracking as beacon
+	// connections, so Drain tears them down too: the gateway spills
+	// unacked commits and replays them against another router.
+	r.trackSession(conn)
+	defer r.untrackSession(conn)
+	r.tel.relayTrunks.Add(1)
+	defer r.tel.relayTrunks.Add(-1)
+	defer conn.Close(wsproto.CloseNormal, "")
+
+	_ = conn.SetReadDeadline(time.Now().Add(r.cfg.HandshakeTimeout))
+	gatewayID := ""
+	for {
+		op, msg, err := conn.ReadMessage()
+		if err != nil {
+			if gatewayID != "" {
+				r.log.Debug("router: relay trunk closed", "gateway", gatewayID, "err", err)
+			}
+			return
+		}
+		if op != wsproto.OpBinary {
+			_ = conn.Close(wsproto.ClosePolicyViolation, "trunk frames must be binary")
+			return
+		}
+		frames, err := trunk.DecodeBatch(msg)
+		if err != nil {
+			r.log.Warn("router: malformed relay trunk batch", "gateway", gatewayID, "err", err)
+			_ = conn.Close(wsproto.ClosePolicyViolation, "malformed trunk batch")
+			return
+		}
+		var reply []byte
+		for _, f := range frames {
+			r.tel.relayFrames.With(f.Type.String()).Inc()
+			switch f.Type {
+			case trunk.Hello:
+				if gatewayID == "" {
+					gatewayID = f.GatewayID
+					_ = conn.SetReadDeadline(time.Time{})
+					r.log.Info("router: relay trunk established",
+						"gateway", gatewayID, "version", f.Version, "remote", req.RemoteAddr)
+				}
+			case trunk.Open:
+				r.relayOpenFrame(gatewayID, f)
+			case trunk.Event:
+				r.relayEventFrame(gatewayID, f)
+			case trunk.Commit:
+				reply = r.relayCommitFrame(conn, gatewayID, f, reply)
+			}
+		}
+		if gatewayID == "" {
+			_ = conn.Close(wsproto.ClosePolicyViolation, "trunk batch before hello")
+			return
+		}
+		if len(reply) > 0 {
+			if err := conn.WriteMessage(wsproto.OpBinary, reply); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// relayOpenFrame fixes a relayed stream's shard from its payload nonce
+// and forwards the advisory Open. Droppable end to end: the accounting
+// state arrives self-contained in the Commit.
+func (r *Router) relayOpenFrame(gatewayID string, f trunk.Frame) {
+	payload, err := beacon.Decode(f.Payload)
+	if gatewayID == "" || err != nil || payload.Nonce == "" {
+		// Not shardable without a nonce; the commit will mint one and
+		// choose for itself.
+		r.tel.relayDrops.Add(1)
+		return
+	}
+	ro := relayOpen{
+		stream: r.streamID.Add(1),
+		shard:  shardmerge.ShardFor(payload.Nonce, len(r.pools)),
+	}
+	r.relayRecordOpen(gatewayID+"/"+strconv.FormatUint(f.Stream, 10), ro)
+	f.Stream = ro.stream
+	r.forwardAdvisory(ro.shard, f)
+}
+
+// relayEventFrame forwards an advisory Event along its Open's route;
+// with no Open on record (router restarted mid-session) it is dropped.
+func (r *Router) relayEventFrame(gatewayID string, f trunk.Frame) {
+	ro, ok := relayOpen{}, false
+	if gatewayID != "" {
+		ro, ok = r.relayLookupOpen(gatewayID + "/" + strconv.FormatUint(f.Stream, 10))
+	}
+	if !ok {
+		r.tel.relayDrops.Add(1)
+		return
+	}
+	f.Stream = ro.stream
+	r.forwardAdvisory(ro.shard, f)
+}
+
+// forwardAdvisory best-effort enqueues one re-streamed advisory frame
+// onto a shard's healthy trunk.
+func (r *Router) forwardAdvisory(shard int, f trunk.Frame) {
+	p := r.pools[shard]
+	t := p.pickTrunk()
+	if t == nil || !t.enqueue(trunk.AppendFrame(nil, f)) {
+		p.tel.queueDrops.Add(1)
+	}
+}
+
+// relayCommitFrame re-streams one gateway commit onto its owning shard
+// and registers the ack return path. Undecodable commits are rejected
+// back to the gateway immediately; everything else is answered
+// asynchronously when the shard acks.
+func (r *Router) relayCommitFrame(conn *wsproto.Conn, gatewayID string,
+	f trunk.Frame, reply []byte) []byte {
+	payload, err := beacon.Decode(f.Payload)
+	if err != nil {
+		return trunk.AppendFrame(reply, trunk.Frame{
+			Type: trunk.Reject, Stream: f.Stream, Reason: "decode: " + err.Error(),
+		})
+	}
+	if payload.Nonce == "" {
+		payload.Nonce = beacon.NewNonce()
+		f.Payload = payload.Encode()
+	}
+	shard := shardmerge.ShardFor(payload.Nonce, len(r.pools))
+	originKey := gatewayID + "/" + strconv.FormatUint(f.Stream, 10)
+	ro, hadOpen := r.relayTakeOpen(originKey)
+
+	r.relayMu.Lock()
+	rs, replayed := r.relayByOrigin[originKey]
+	if replayed {
+		// The gateway re-sent a commit the router still holds: fold it
+		// onto the existing router stream and re-point the return path
+		// at the connection the replay arrived on.
+		e := r.relays[rs]
+		e.origin = conn
+		shard = e.shard
+	} else {
+		if hadOpen {
+			rs = ro.stream // shard sees Open and Commit on one stream
+		} else {
+			rs = r.streamID.Add(1)
+		}
+		r.relays[rs] = &relayEntry{
+			origin: conn, originStream: f.Stream, originKey: originKey, shard: shard,
+		}
+		r.relayByOrigin[originKey] = rs
+	}
+	r.relayMu.Unlock()
+
+	f.Stream = rs
+	frame := trunk.AppendFrame(nil, f)
+	if replayed {
+		r.pools[shard].respillCommit(rs, frame)
+	} else {
+		r.tel.commits.Add(1)
+		r.pools[shard].spillCommit(rs, frame)
+	}
+	return reply
+}
+
+// relayResolve completes one relayed stream: the shard acked (ok) or
+// rejected it, so the verdict is translated back to the origin
+// gateway's stream and the mappings are dropped. Streams with no relay
+// entry (router-terminated beacon sessions) are a no-op. A failed write
+// back to the gateway is not retried: the gateway's ack timeout replays
+// the commit, and the shard's nonce dedup turns that replay into a
+// fresh ack.
+func (r *Router) relayResolve(stream uint64, ok bool, reason string) {
+	r.relayMu.Lock()
+	e, found := r.relays[stream]
+	if found {
+		delete(r.relays, stream)
+		delete(r.relayByOrigin, e.originKey)
+	}
+	r.relayMu.Unlock()
+	if !found {
+		return
+	}
+	reply := trunk.Frame{Type: trunk.Ack, Stream: e.originStream}
+	if !ok {
+		reply = trunk.Frame{Type: trunk.Reject, Stream: e.originStream, Reason: reason}
+	}
+	// wsproto serialises writers, so this ack can fan back from a shard
+	// pool's reader goroutine while ServeTrunk writes its own replies.
+	_ = e.origin.WriteMessage(wsproto.OpBinary, trunk.AppendFrame(nil, reply))
+}

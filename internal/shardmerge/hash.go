@@ -1,0 +1,27 @@
+package shardmerge
+
+// ShardFor maps a session key onto one of n shards. The key is the
+// beacon nonce: it is present on every gatewayed or routed impression
+// (the edge mints one when the client omits it), it is stable across
+// client retries and gateway replays — so a re-sent commit lands on the
+// same shard — and it is uniformly distributed, unlike user keys or
+// publishers, whose popularity skew would hotspot a shard.
+//
+// The router and the shard-merge oracle both use this function, so a
+// dataset partitioned by either agrees about ownership. FNV-1a over the
+// key, reduced modulo n; with n <= 1 everything maps to shard 0.
+func ShardFor(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}

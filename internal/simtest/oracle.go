@@ -15,6 +15,7 @@ import (
 	"adaudit/internal/beacon"
 	"adaudit/internal/collector"
 	"adaudit/internal/ipmeta"
+	"adaudit/internal/shardmerge"
 	"adaudit/internal/store"
 	"adaudit/internal/streamaudit"
 	"adaudit/internal/trace"
@@ -179,6 +180,10 @@ type oracle struct {
 	attack   string
 	disable  string
 	advFlags int
+
+	// shards mirrors Config.Shards; checkShardMerge holds the sharded
+	// topology's merge layer to the batch audit post hoc.
+	shards int
 }
 
 func (o *oracle) violate(format string, args ...any) {
@@ -518,10 +523,99 @@ func (o *oracle) auditInputs() []audit.CampaignInput {
 func (o *oracle) checkFinal() {
 	o.checkModel()
 	o.checkStreamAudit("final")
+	o.checkShardMerge("final")
 	o.checkRecovery("final")
 	o.checkAudit()
 	o.checkAdversarial()
 	o.checkTraces()
+}
+
+// checkShardMerge is the sharded-topology invariant, run post hoc over
+// the final store: every record is partitioned onto the shard its
+// nonce hashes to (conversions by user key — the join identity), one
+// unmodified streamaudit engine runs per shard, and the shard exports
+// merged in shard order must report exactly what the batch FullAudit
+// computes over the shard-order combined store. Because the partition
+// draws nothing from the schedule RNG and runs after the digest is
+// sealed, a run's digest is identical across shard counts — that
+// equality is asserted by TestShardsDigestDeterminism.
+func (o *oracle) checkShardMerge(stage string) {
+	n := o.shards
+	if n <= 0 {
+		return
+	}
+	shards := make([]*store.Store, n)
+	for i := range shards {
+		shards[i] = store.New()
+	}
+	var err error
+	o.store.ForEach(func(im store.Impression) bool {
+		_, err = shards[shardmerge.ShardFor(im.Nonce, n)].Insert(im)
+		return err == nil
+	})
+	if err == nil {
+		for _, c := range o.store.Conversions("") {
+			if _, err = shards[shardmerge.ShardFor(c.UserKey, n)].InsertConversion(c); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		o.violate("%s shardmerge: partitioning store onto %d shards: %v", stage, n, err)
+		return
+	}
+	combined := store.New()
+	for _, sh := range shards {
+		sh.ForEach(func(im store.Impression) bool {
+			_, err = combined.Insert(im)
+			return err == nil
+		})
+		if err == nil {
+			for _, c := range sh.Conversions("") {
+				if _, err = combined.InsertConversion(c); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			o.violate("%s shardmerge: rebuilding combined store: %v", stage, err)
+			return
+		}
+	}
+	inputs := o.auditInputs()
+	aud, err := audit.New(combined, o.auditMeta)
+	if err != nil {
+		o.violate("%s shardmerge: constructing combined auditor: %v", stage, err)
+		return
+	}
+	want, err := aud.FullAuditSerial(inputs)
+	if err != nil {
+		o.violate("%s shardmerge: combined batch audit failed: %v", stage, err)
+		return
+	}
+	exports := make([]*streamaudit.Export, n)
+	for i, sh := range shards {
+		eng, err := streamaudit.New(streamaudit.Config{Store: sh, Meta: o.auditMeta})
+		if err != nil {
+			o.violate("%s shardmerge: shard %d engine: %v", stage, i, err)
+			return
+		}
+		eng.Drain()
+		exports[i] = eng.Export()
+	}
+	merged, err := streamaudit.NewStatic(streamaudit.StaticConfig{Meta: o.auditMeta}, shardmerge.Merge(exports))
+	if err != nil {
+		o.violate("%s shardmerge: static engine over merged export: %v", stage, err)
+		return
+	}
+	got, err := merged.Report(inputs)
+	if err != nil {
+		o.violate("%s shardmerge: merged report failed: %v", stage, err)
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		o.violate("%s shardmerge: merged %d-shard report diverges from combined-store batch audit", stage, n)
+	}
 }
 
 // checkTraces is the trace-completeness invariant: with the engine

@@ -119,6 +119,14 @@ type Config struct {
 	// the run must then fail — the executable proof the oracle's
 	// adversarial invariant has teeth.
 	DisableDetector string
+	// Shards > 0 adds a post-hoc sharded-topology oracle: the final
+	// store is partitioned onto Shards stores by the router's partition
+	// function (nonce hash; conversions by user key), one streamaudit
+	// engine runs per shard, and the shard-merged report must equal the
+	// batch audit over the combined store. The partition runs after the
+	// digest is sealed and draws nothing from the schedule RNG, so a
+	// run's digest is byte-identical across shard counts.
+	Shards int
 }
 
 // Result is the outcome of one run.
@@ -570,6 +578,7 @@ func Run(cfg Config) (*Result, error) {
 		traced:    traced,
 		attack:    cfg.Attack,
 		disable:   cfg.DisableDetector,
+		shards:    cfg.Shards,
 	}
 
 	if cfg.Workers > 1 {

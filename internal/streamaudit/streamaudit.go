@@ -233,6 +233,9 @@ func (e *Engine) applyLocked(ev *store.FeedEvent, dirty map[string]struct{}) err
 // consumption mode the simulation harness checkpoints use; live
 // deployments run Run instead.
 func (e *Engine) Drain() (applied int, resynced bool) {
+	if e.store == nil {
+		return 0, false // static engine (NewStatic): no feed to drain
+	}
 	dirty := map[string]struct{}{}
 	e.mu.Lock()
 	for {
@@ -263,6 +266,9 @@ func (e *Engine) Drain() (applied int, resynced bool) {
 // shutdown ends with the engine caught up to the last pre-shutdown
 // mutation.
 func (e *Engine) Run(ctx context.Context) {
+	if e.store == nil {
+		return // static engine (NewStatic): no feed to consume
+	}
 	for {
 		e.mu.Lock()
 		sub := e.sub
@@ -314,6 +320,9 @@ func (e *Engine) Resyncs() int64 { return e.resyncs.Load() }
 // CaughtUp reports whether the engine has applied every mutation
 // published so far.
 func (e *Engine) CaughtUp() bool {
+	if e.store == nil {
+		return true // static engine: frozen at the export cut
+	}
 	return e.Applied() >= e.store.FeedSeq()
 }
 

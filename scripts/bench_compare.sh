@@ -355,4 +355,89 @@ else
     echo "==> no committed direct-path baseline; $GW_JSON is the new baseline"
 fi
 
+# Router forwarding vs the direct ingest path: one full beacon session
+# through the sharded front tier (router trunk hop included) against
+# the same session straight into a collector. The hop is expected to
+# cost a network leg; what is gated is the router's own allocation
+# footprint — allocs/op of BenchmarkRouterForward against the committed
+# BENCH_router.json baseline, 10% budget, same rationale as the
+# Table2Context gate. The direct-path divisor is reused from the
+# gateway section's run above rather than re-measured.
+RT_JSON=BENCH_router.json
+rt_tmp=$(mktemp)
+trap 'rm -f "$tmp" "$stream_tmp" "$trace_tmp" "$gw_tmp" "$rt_tmp"' EXIT
+
+router_allocs() {
+    sed -n 's/.*"name": "BenchmarkRouterForward",.*"allocs_per_op": \([0-9][0-9]*\).*/\1/p' "$1"
+}
+
+baseline_router=""
+if [ -f "$RT_JSON" ]; then
+    baseline_router=$(router_allocs "$RT_JSON")
+fi
+
+echo "==> go test -bench BenchmarkRouterForward ($COUNT runs) ./internal/router/"
+go test -run '^$' -bench 'BenchmarkRouterForward$' -benchmem -count "$COUNT" \
+    ./internal/router/ 2>/dev/null | grep -E '^Benchmark|^PASS|^ok' | tee "$rt_tmp"
+grep '^BenchmarkWebSocketSession' "$gw_tmp" >> "$rt_tmp"
+
+{
+    echo "# bench_compare(router) $(go env GOOS)/$(go env GOARCH), count=$COUNT"
+    grep '^Benchmark' "$rt_tmp"
+} >> "$RAW"
+
+awk -v cpus="$CPUS" '
+/^Benchmark/ {
+    name = $1
+    gmp = 1
+    if (match(name, /-[0-9]+$/)) { gmp = substr(name, RSTART + 1) + 0 }
+    if (gmp > gomaxprocs) { gomaxprocs = gmp }
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        if (unit == "ns/op")     { ns[name] += $i;     runs[name]++ }
+        if (unit == "B/op")      { bytes[name] += $i }
+        if (unit == "allocs/op") { allocs[name] += $i }
+    }
+}
+END {
+    printf "{\n  \"benchmarks\": [\n"
+    for (k = 1; k <= n; k++) {
+        name = order[k]
+        r = runs[name]; if (r == 0) continue
+        printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f}%s\n", \
+            name, r, ns[name] / r, bytes[name] / r, allocs[name] / r, (k < n ? "," : "")
+    }
+    printf "  ],\n"
+    printf "  \"gomaxprocs\": %d,\n  \"cpus\": %d,\n", gomaxprocs, cpus
+    fwd = ns["BenchmarkRouterForward"] / runs["BenchmarkRouterForward"]
+    direct = ns["BenchmarkWebSocketSession"] / runs["BenchmarkWebSocketSession"]
+    printf "  \"router_hop_overhead\": %.3f\n}\n", fwd / direct
+}' "$rt_tmp" > "$RT_JSON"
+
+echo "==> wrote $RT_JSON"
+
+new_router=$(router_allocs "$RT_JSON")
+if [ -z "$new_router" ]; then
+    echo "bench_compare: BenchmarkRouterForward missing from results" >&2
+    exit 1
+fi
+if ! grep -q '"name": "BenchmarkWebSocketSession"' "$RT_JSON"; then
+    echo "bench_compare: BenchmarkWebSocketSession missing from router comparison results" >&2
+    exit 1
+fi
+
+if [ -n "$baseline_router" ]; then
+    echo "==> router forward allocs/op: baseline $baseline_router, now $new_router (budget 10%)"
+    awk -v old="$baseline_router" -v cur="$new_router" 'BEGIN {
+        if (old > 0 && cur > old * 1.10) {
+            printf "bench_compare: router forward path regressed: %.0f -> %.0f allocs/op (> 10%%)\n", old, cur
+            exit 1
+        }
+    }' || exit 1
+else
+    echo "==> no committed router baseline; $RT_JSON is the new baseline"
+fi
+
 echo "==> bench-compare ok"

@@ -12,11 +12,13 @@
 #                                   # plus the trace-digest determinism gate
 #   scripts/check.sh -adversarial   # also run the adversarial scenario pack under -race
 #                                   # (attack oracles, detector-disable gates, stream parity)
+#   scripts/check.sh -sharded       # also run the sharded-collector suite under -race
+#                                   # (shard-merge equality, router chaos, sharded sim oracle)
 #   scripts/check.sh -fuzz-smoke    # also fuzz every target 30s from the committed corpora
 set -eu
 cd "$(dirname "$0")/.."
 
-RACE_PKGS="./internal/collector/ ./internal/wsproto/ ./internal/store/ ./internal/telemetry/ ./internal/faultnet/ ./internal/beacon/ ./internal/semsim/ ./internal/audit/ ./internal/adnet/ ./internal/simclock/ ./internal/simtest/ ./internal/streamaudit/ ./internal/trace/ ./internal/logutil/ ./internal/gateway/ ./internal/trunk/"
+RACE_PKGS="./internal/collector/ ./internal/wsproto/ ./internal/store/ ./internal/telemetry/ ./internal/faultnet/ ./internal/beacon/ ./internal/semsim/ ./internal/audit/ ./internal/adnet/ ./internal/simclock/ ./internal/simtest/ ./internal/streamaudit/ ./internal/trace/ ./internal/logutil/ ./internal/gateway/ ./internal/trunk/ ./internal/router/ ./internal/shardmerge/"
 
 echo "==> go build ./..."
 go build ./...
@@ -101,6 +103,22 @@ if [ "${1:-}" = "-adversarial" ]; then
         -run 'TestCadenceCV|TestSellerAudit|TestPoolingFromReport|TestBehaviorFromState' \
         ./internal/audit/
     go test -race -count 1 -run 'TestRunAdversarialScenario' ./cmd/adsim/
+fi
+
+if [ "${1:-}" = "-sharded" ]; then
+    # The sharded collector tier: the shard-merge union must reproduce
+    # the single-store batch audit byte-for-byte (2/4/8 shards plus an
+    # adversarial workload), the router must survive a shard being
+    # killed and WAL-recovered mid-run with zero loss by nonce, the sim
+    # oracle must hold the same equality over post-hoc partitions
+    # without perturbing trace digests, and the adsim -shards replay
+    # must pass its in-process placement + merge verdicts.
+    echo "==> sharded collector suite (-race)"
+    go test -race -count 1 ./internal/shardmerge/ -v
+    go test -race -count 1 ./internal/router/ -v
+    go test -race -count 1 -run 'TestSimSharded|TestShardsDigestDeterminism' \
+        ./internal/simtest/ -v
+    go test -race -count 1 -run 'TestRunShardedReplay' ./cmd/adsim/ -v
 fi
 
 if [ "${1:-}" = "-fuzz-smoke" ]; then
